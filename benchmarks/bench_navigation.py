@@ -1,0 +1,71 @@
+"""Single-source / boolean lookups vs all-pairs evaluation.
+
+Example 3.1 shows the index's prefix-lookup shapes; this bench shows
+why they matter: answering "whom does *this node* reach" via
+``I(p, a)`` frontier expansion touches one neighborhood, while the
+all-pairs engine materializes the full relation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.navigation import evaluate_from, evaluate_pair
+from repro.rpq.parser import parse
+
+QUERY = "master/journeyer/apprentice/journeyer"
+
+
+@pytest.fixture(scope="module")
+def setup(prepared_bench):
+    database = prepared_bench.database(2)
+    node = parse(QUERY)
+    return database, node
+
+
+def test_all_pairs(benchmark, setup):
+    database, _ = setup
+    benchmark.group = "navigation"
+    result = benchmark.pedantic(
+        lambda: database.query(QUERY, method="minsupport"),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["answer_size"] = len(result.pairs)
+
+
+def test_single_source(benchmark, setup):
+    database, node = setup
+    benchmark.group = "navigation"
+    source = database.graph.node_id("n3")
+    targets = benchmark.pedantic(
+        lambda: evaluate_from(
+            node, source, database.index, database.graph, database.histogram
+        ),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+    benchmark.extra_info["targets"] = len(targets)
+
+
+def test_boolean_probe(benchmark, setup):
+    database, node = setup
+    benchmark.group = "navigation"
+    graph = database.graph
+    source, target = graph.node_id("n3"), graph.node_id("n5")
+    benchmark.pedantic(
+        lambda: evaluate_pair(
+            node, source, target, database.index, graph, database.histogram
+        ),
+        rounds=5, iterations=1, warmup_rounds=1,
+    )
+
+
+def test_single_source_consistent_with_all_pairs(setup):
+    database, node = setup
+    relation = database.query(QUERY, method="reference").pairs
+    graph = database.graph
+    for name in list(graph.node_names())[:10]:
+        expected = {b for a, b in relation if a == name}
+        targets = evaluate_from(
+            node, graph.node_id(name), database.index, graph, database.histogram
+        )
+        assert {graph.node_name(t) for t in targets} == expected

@@ -1,0 +1,26 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+The benchmarks reproduce the paper's experiments (see DESIGN.md's
+experiment index).  Graphs default to the "small" synthetic Advogato
+scale so the whole suite runs in minutes of pure-Python time; the
+harness functions in :mod:`repro.bench` accept larger scales for
+paper-sized runs (see ``examples/figure2_experiment.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import PreparedWorkload, advogato_workload
+
+
+@pytest.fixture(scope="session")
+def prepared_small() -> PreparedWorkload:
+    """Advogato-like graph (120 nodes / 600 edges), k=1..3 indexed."""
+    return advogato_workload(scale="small", ks=(1, 2, 3))
+
+
+@pytest.fixture(scope="session")
+def prepared_bench() -> PreparedWorkload:
+    """Advogato-like graph (300 nodes / 1800 edges), k=1..2 indexed."""
+    return advogato_workload(scale="bench", ks=(1, 2))

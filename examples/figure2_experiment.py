@@ -1,0 +1,70 @@
+"""Reproduce the paper's empirical artifacts (Figure 2 + comparisons).
+
+Regenerates, on the synthetic Advogato stand-in:
+
+* Figure 2 — the three panels of per-query run-times (8 queries x
+  4 evaluation methods x k in {1,2,3});
+* the Section 6 Datalog comparison (per-query speedups + geomean);
+* the Section 3.1 traversal comparison (vs the automaton baseline);
+* the index build table (size/time vs k).
+
+Run:  python examples/figure2_experiment.py [scale]
+where scale is small | bench (default) | medium | full.
+"""
+
+import sys
+
+from repro.bench.harness import (
+    run_automaton_comparison,
+    run_datalog_comparison,
+    run_figure2,
+    run_index_build,
+)
+from repro.bench.plots import figure2_charts
+from repro.bench.reporting import (
+    figure2_trends,
+    format_comparison,
+    format_figure2,
+    format_index_build,
+)
+from repro.bench.workloads import advogato_workload
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "bench"
+    print(f"# Advogato-like workload, scale={scale!r}")
+    prepared = advogato_workload(scale=scale, ks=(1, 2, 3))
+    graph = prepared.graph
+    print(f"# graph: {graph.node_count} nodes, {graph.edge_count} edges, "
+          f"labels {list(graph.labels())}")
+    print()
+
+    print("## Figure 2 — query execution times")
+    measurements = run_figure2(prepared, ks=(1, 2, 3), repeats=5)
+    print(format_figure2(measurements))
+    trends = figure2_trends(measurements)
+    for claim, holds in trends.items():
+        print(f"trend {claim}: {'holds' if holds else 'VIOLATED'}")
+    print()
+
+    print("## Figure 2 — as bar charts (the paper's visual form)")
+    print(figure2_charts(measurements))
+    print()
+
+    print("## Section 6 — Datalog comparison")
+    datalog_rows = run_datalog_comparison(prepared, k=3, repeats=3)
+    print(format_comparison(datalog_rows, "Datalog"))
+    print()
+
+    print("## Section 3.1 — traversal (automaton) comparison")
+    automaton_rows = run_automaton_comparison(prepared, k=3, repeats=3)
+    print(format_comparison(automaton_rows, "automaton"))
+    print()
+
+    print("## Index build — size and time vs k")
+    build_rows = run_index_build(graph, ks=(1, 2, 3))
+    print(format_index_build(build_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — regular path query evaluation using k-path indexes.
+
+A from-scratch reproduction of Fletcher, Peters, Poulovassilis,
+*Efficient regular path query evaluation using path indexes*
+(EDBT 2016): an edge-labeled graph store, a B+tree-backed k-path index
+with an equi-depth selectivity histogram, four plan-generation
+strategies (naive, semi-naive, minSupport, minJoin), and the three
+literature baselines (automaton search, Datalog, reachability index).
+
+Quickstart::
+
+    from repro import GraphDatabase
+
+    db = GraphDatabase.from_edges(
+        [("ada", "knows", "zoe"), ("zoe", "worksFor", "ada")], k=2
+    )
+    print(db.query("knows/worksFor").pairs)
+"""
+
+from repro.api import GraphDatabase, QueryResult
+from repro.engine.planner import Strategy
+from repro.graph.graph import Graph, LabelPath, Step
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphDatabase",
+    "LabelPath",
+    "QueryResult",
+    "Step",
+    "Strategy",
+    "__version__",
+]

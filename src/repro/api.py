@@ -1,0 +1,340 @@
+"""The public API: :class:`GraphDatabase`.
+
+A facade tying the substrates together in the life-of-a-query order the
+paper demonstrates: load a graph, build the k-path index and its
+histogram, then parse / rewrite / plan / execute queries with any of
+the four strategies — or with one of the three literature baselines.
+
+Example
+-------
+>>> from repro.api import GraphDatabase
+>>> from repro.graph.examples import FIGURE1_EDGES
+>>> db = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+>>> result = db.query("supervisor/^worksFor")
+>>> sorted(result.pairs)
+[('kim', 'sue')]
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.baselines import automaton_eval, datalog_eval, reachability_eval
+from repro.engine.executor import ExecutionReport, evaluate_ast
+from repro.engine.plan import render
+from repro.engine.planner import Planner, Strategy
+from repro.errors import ValidationError
+from repro.graph.graph import Graph, LabelPath
+from repro.graph.io import load_csv, load_edgelist, load_json
+from repro.graph.stats import GraphSummary, star_bound, summarize
+from repro.indexes.histogram import EquiDepthHistogram
+from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import ExactStatistics
+from repro.rpq.ast import Node
+from repro.rpq.parser import parse
+from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, NormalForm, normalize
+from repro.rpq.semantics import eval_ast
+
+#: Methods accepted by :meth:`GraphDatabase.query`: the paper's four
+#: index strategies plus the literature baselines (NFA and DFA product
+#: search, Datalog, reachability) and the reference evaluator.
+BASELINE_METHODS = ("automaton", "dfa", "datalog", "reachability", "reference")
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """The answer to one query plus how it was obtained."""
+
+    query: str
+    method: str
+    pairs: frozenset[tuple[str, str]]
+    seconds: float
+    report: ExecutionReport | None = None
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair: tuple[str, str]) -> bool:
+        return pair in self.pairs
+
+
+class GraphDatabase:
+    """An RPQ-queryable graph with a k-path index and histogram."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int = 2,
+        backend: str = "memory",
+        index_path: str | Path | None = None,
+        histogram_buckets: int = 64,
+        build: bool = True,
+    ):
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = k
+        self._backend = backend
+        self._index_path = index_path
+        self._histogram_buckets = histogram_buckets
+        self._index: PathIndex | None = None
+        self._histogram: EquiDepthHistogram | None = None
+        self._exact_statistics: ExactStatistics | None = None
+        if build:
+            self.build_index()
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[str, str, str]], k: int = 2, **kwargs
+    ) -> "GraphDatabase":
+        """Build from ``(source, label, target)`` triples."""
+        return cls(Graph.from_edges(edges), k=k, **kwargs)
+
+    @classmethod
+    def from_file(cls, path: str | Path, k: int = 2, **kwargs) -> "GraphDatabase":
+        """Load a graph file by extension (.tsv/.txt, .json, .csv)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix in (".tsv", ".txt", ".edgelist"):
+            graph = load_edgelist(path)
+        elif suffix == ".json":
+            graph = load_json(path)
+        elif suffix == ".csv":
+            graph = load_csv(path)
+        else:
+            raise ValidationError(f"unrecognized graph file extension: {path}")
+        return cls(graph, k=k, **kwargs)
+
+    # -- index & statistics ----------------------------------------------------------
+
+    def build_index(self) -> PathIndex:
+        """(Re)build the k-path index and both statistics providers."""
+        self._index = PathIndex.build(
+            self.graph, self.k, backend=self._backend, path=self._index_path
+        )
+        self._exact_statistics = ExactStatistics.from_index(self._index, self.graph)
+        self._histogram = EquiDepthHistogram.from_counts(
+            self._index.counts_by_path(),
+            k=self.k,
+            total_paths_k=self._exact_statistics.total_paths_k,
+            buckets=self._histogram_buckets,
+        )
+        return self._index
+
+    @property
+    def index(self) -> PathIndex:
+        """The k-path index (building it on first use if needed)."""
+        if self._index is None:
+            self.build_index()
+        assert self._index is not None
+        return self._index
+
+    @property
+    def histogram(self) -> EquiDepthHistogram:
+        """The equi-depth histogram ``sel_{G,k}``."""
+        if self._histogram is None:
+            self.build_index()
+        assert self._histogram is not None
+        return self._histogram
+
+    @property
+    def exact_statistics(self) -> ExactStatistics:
+        """Exact per-path statistics (ablation alternative)."""
+        if self._exact_statistics is None:
+            self.build_index()
+        assert self._exact_statistics is not None
+        return self._exact_statistics
+
+    def selectivity(self, path_text: str) -> float:
+        """Histogram estimate of ``sel_{G,k}`` for a label path.
+
+        ``path_text`` uses step syntax: ``knows/knows/worksFor`` or
+        ``knows/^worksFor``.
+        """
+        path = self._parse_label_path(path_text)
+        return self.histogram.selectivity(path)
+
+    def summary(self) -> GraphSummary:
+        """Graph-level statistics (size, labels, degrees)."""
+        return summarize(self.graph)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def query(
+        self,
+        query: str | Node,
+        method: str = "minsupport",
+        use_exact_statistics: bool = False,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ) -> QueryResult:
+        """Answer an RPQ.
+
+        ``method`` is one of the paper's strategies (``naive``,
+        ``semi-naive``, ``minsupport``, ``minjoin``) or a baseline
+        (``automaton``, ``datalog``, ``reachability``, ``reference``).
+        """
+        text, node = self._parse(query)
+        started = time.perf_counter()
+        if method in BASELINE_METHODS:
+            pairs = self._run_baseline(method, node)
+            seconds = time.perf_counter() - started
+            return QueryResult(
+                query=text,
+                method=method,
+                pairs=frozenset(self.graph.pairs_to_names(pairs)),
+                seconds=seconds,
+            )
+        strategy = Strategy.parse(method)
+        statistics = (
+            self.exact_statistics if use_exact_statistics else self.histogram
+        )
+        report = evaluate_ast(
+            node, self.index, self.graph, statistics, strategy, max_disjuncts
+        )
+        seconds = time.perf_counter() - started
+        return QueryResult(
+            query=text,
+            method=strategy.value,
+            pairs=frozenset(self.graph.pairs_to_names(set(report.pairs))),
+            seconds=seconds,
+            report=report,
+        )
+
+    def explain(
+        self,
+        query: str | Node,
+        method: str = "minsupport",
+        use_exact_statistics: bool = False,
+    ) -> str:
+        """The physical plan for a (bounded) query, as text."""
+        _, node = self._parse(query)
+        strategy = Strategy.parse(method)
+        statistics = (
+            self.exact_statistics if use_exact_statistics else self.histogram
+        )
+        normal_form = self.normal_form(node)
+        planner = Planner(self.k, statistics, self.graph, strategy)
+        costed = planner.plan(normal_form)
+        header = (
+            f"query: {node}\n"
+            f"strategy: {strategy.value}   k: {self.k}\n"
+            f"disjuncts: {normal_form.disjunct_count}   "
+            f"est. cost: {costed.cost:.1f}   est. rows: {costed.cardinality:.1f}\n"
+        )
+        return header + render(costed.plan)
+
+    def normal_form(self, query: str | Node) -> NormalForm:
+        """Rewrite a query to the planner's union-of-paths normal form."""
+        _, node = self._parse(query)
+        return normalize(node, star_bound(self.graph))
+
+    def query_from(
+        self,
+        source: str,
+        query: str | Node,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ) -> frozenset[str]:
+        """All nodes reachable from ``source`` by the query.
+
+        Answered with single-source index lookups (``I(p, a)`` prefix
+        scans, Example 3.1), so only the source's neighborhood is
+        touched rather than the full relation.
+        """
+        from repro.engine.navigation import evaluate_from
+
+        _, node = self._parse(query)
+        source_id = self.graph.node_id(source)
+        targets = evaluate_from(
+            node, source_id, self.index, self.graph, self.histogram,
+            max_disjuncts,
+        )
+        return frozenset(self.graph.node_name(t) for t in targets)
+
+    def witness(self, source: str, target: str, query: str | Node):
+        """A shortest concrete path justifying ``(source, target)``.
+
+        Returns a :class:`repro.rpq.witness.Witness` or ``None`` when
+        the pair is not in the answer.
+        """
+        from repro.rpq.witness import find_witness
+
+        _, node = self._parse(query)
+        self.graph.node_id(source)  # validate names early
+        self.graph.node_id(target)
+        return find_witness(self.graph, node, source, target)
+
+    def query_pair(
+        self,
+        source: str,
+        target: str,
+        query: str | Node,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ) -> bool:
+        """Boolean check: does (source, target) answer the query?
+
+        Short disjuncts are single ``I(p, a, b)`` membership probes.
+        """
+        from repro.engine.navigation import evaluate_pair
+
+        _, node = self._parse(query)
+        return evaluate_pair(
+            node,
+            self.graph.node_id(source),
+            self.graph.node_id(target),
+            self.index,
+            self.graph,
+            self.histogram,
+            max_disjuncts,
+        )
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _run_baseline(self, method: str, node: Node) -> set[tuple[int, int]]:
+        if method == "automaton":
+            return automaton_eval.evaluate(self.graph, node)
+        if method == "dfa":
+            from repro.rpq.dfa import evaluate as dfa_evaluate
+
+            return dfa_evaluate(self.graph, node)
+        if method == "datalog":
+            return datalog_eval.evaluate(self.graph, node)
+        if method == "reachability":
+            return reachability_eval.evaluate(self.graph, node)
+        return eval_ast(self.graph, node)
+
+    def _parse(self, query: str | Node) -> tuple[str, Node]:
+        if isinstance(query, str):
+            return query, parse(query)
+        if isinstance(query, Node):
+            return str(query), query
+        raise ValidationError(f"query must be text or an AST, got {type(query)}")
+
+    def _parse_label_path(self, text: str) -> LabelPath:
+        node = parse(text)
+        normal = normalize(node, star_bound(self.graph))
+        if normal.has_epsilon or len(normal.paths) != 1:
+            raise ValidationError(f"{text!r} is not a single label path")
+        return normal.paths[0]
+
+    def close(self) -> None:
+        """Release index resources (needed for the disk backend)."""
+        if self._index is not None:
+            self._index.close()
+
+    def __enter__(self) -> "GraphDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"GraphDatabase(nodes={self.graph.node_count}, "
+            f"edges={self.graph.edge_count}, k={self.k}, "
+            f"backend={self._backend!r})"
+        )

@@ -1,0 +1,5 @@
+"""Baseline evaluators: the three literature approaches of Section 1."""
+
+from repro.baselines import automaton_eval, datalog_eval, reachability_eval
+
+__all__ = ["automaton_eval", "datalog_eval", "reachability_eval"]

@@ -1,0 +1,67 @@
+"""Automaton/search-based RPQ evaluation (approach 1 in the paper).
+
+The query is compiled to an NFA over navigation steps; evaluation is a
+breadth-first search over the *product* of the graph and the automaton.
+For the all-pairs semantics the paper uses, a product BFS is launched
+from every graph node — which is exactly why this approach loses to the
+path index on multi-join queries: it re-walks neighborhoods once per
+source node and cannot exploit selective interior path segments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graph.graph import Graph
+from repro.rpq.ast import Node
+from repro.rpq.automaton import NFA, compile_ast
+
+Pair = tuple[int, int]
+
+
+def evaluate_from(graph: Graph, nfa: NFA, source: int) -> set[int]:
+    """All targets ``t`` such that ``(source, t)`` satisfies the NFA."""
+    start_states = nfa.eps_closure(nfa.start)
+    accept = nfa.accept
+    targets: set[int] = set()
+    visited: set[tuple[int, int]] = set()
+    queue: deque[tuple[int, int]] = deque()
+    for state in start_states:
+        pair = (source, state)
+        if pair not in visited:
+            visited.add(pair)
+            queue.append(pair)
+            if state == accept:
+                targets.add(source)
+    while queue:
+        node, state = queue.popleft()
+        for step in nfa.out_steps(state):
+            successors = nfa.step_targets(state, step)
+            if not successors:
+                continue
+            for neighbor in graph.step_neighbors(node, step):
+                for raw_state in successors:
+                    for next_state in nfa.eps_closure(raw_state):
+                        pair = (neighbor, next_state)
+                        if pair not in visited:
+                            visited.add(pair)
+                            queue.append(pair)
+                            if next_state == accept:
+                                targets.add(neighbor)
+    return targets
+
+
+def evaluate(graph: Graph, query: Node) -> set[Pair]:
+    """All-pairs evaluation: a product BFS from every node."""
+    nfa = compile_ast(query)
+    result: set[Pair] = set()
+    for source in graph.node_ids():
+        for target in evaluate_from(graph, nfa, source):
+            result.add((source, target))
+    return result
+
+
+def evaluate_pair(graph: Graph, query: Node, source: int, target: int) -> bool:
+    """Boolean evaluation of one pair (early-exits the BFS)."""
+    nfa = compile_ast(query)
+    return target in evaluate_from(graph, nfa, source)

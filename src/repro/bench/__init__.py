@@ -1,0 +1,34 @@
+"""Benchmark workloads, harness, reporting and export for the evaluation."""
+
+from repro.bench.harness import (
+    ComparisonRow,
+    HistogramRow,
+    IndexBuildRow,
+    Measurement,
+    run_automaton_comparison,
+    run_datalog_comparison,
+    run_figure2,
+    run_histogram_ablation,
+    run_index_build,
+)
+from repro.bench.export import write_csv, write_json
+from repro.bench.queries import WorkloadQuery, workload
+from repro.bench.workloads import PreparedWorkload, advogato_workload
+
+__all__ = [
+    "ComparisonRow",
+    "HistogramRow",
+    "IndexBuildRow",
+    "Measurement",
+    "PreparedWorkload",
+    "WorkloadQuery",
+    "advogato_workload",
+    "run_automaton_comparison",
+    "run_datalog_comparison",
+    "run_figure2",
+    "run_histogram_ablation",
+    "run_index_build",
+    "workload",
+    "write_csv",
+    "write_json",
+]

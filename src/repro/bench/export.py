@@ -1,0 +1,76 @@
+"""Exporting experiment rows to CSV / JSON.
+
+Reproduction artifacts should be machine-readable, not just printed;
+these writers serialize the harness dataclasses so downstream plotting
+or regression-tracking can consume them.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ValidationError
+
+
+def _check_rows(rows: Sequence[object]) -> type:
+    if not rows:
+        raise ValidationError("cannot export zero rows")
+    first_type = type(rows[0])
+    if not dataclasses.is_dataclass(rows[0]):
+        raise ValidationError(f"rows must be dataclasses, got {first_type}")
+    for row in rows:
+        if type(row) is not first_type:
+            raise ValidationError(
+                f"mixed row types: {first_type.__name__} and "
+                f"{type(row).__name__}"
+            )
+    return first_type
+
+
+def rows_to_dicts(rows: Sequence[object]) -> list[dict]:
+    """Dataclass rows -> plain dictionaries (computed fields included)."""
+    _check_rows(rows)
+    dicts = []
+    for row in rows:
+        payload = dataclasses.asdict(row)
+        # include simple computed properties (e.g. ComparisonRow.speedup)
+        for name in dir(type(row)):
+            attribute = getattr(type(row), name, None)
+            if isinstance(attribute, property):
+                payload[name] = getattr(row, name)
+        dicts.append(payload)
+    return dicts
+
+
+def write_csv(rows: Sequence[object], path: str | Path) -> None:
+    """Write dataclass rows as a CSV file with a header."""
+    dicts = rows_to_dicts(rows)
+    fieldnames = list(dicts[0])
+    with Path(path).open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(dicts)
+
+
+def write_json(rows: Sequence[object], path: str | Path, experiment: str = "") -> None:
+    """Write dataclass rows as a JSON document with metadata."""
+    payload = {
+        "experiment": experiment,
+        "row_type": type(rows[0]).__name__ if rows else "",
+        "rows": rows_to_dicts(rows),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1, default=float) + "\n", encoding="utf-8"
+    )
+
+
+def read_json(path: str | Path) -> dict:
+    """Read back a document written by :func:`write_json`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValidationError(f"{path}: not an experiment export")
+    return payload

@@ -1,0 +1,63 @@
+"""The 8-query Advogato workload (Figure 2 of the paper).
+
+The demo paper runs 8 queries over Advogato but does not print them;
+this module reconstructs a workload with the same *coverage*: every
+operator of the RPQ grammar (concatenation, inverse, union, bounded
+recursion, and combinations) at disjunct lengths from 2 to 6 steps —
+the range in which the choice of k (1..3) and of evaluation strategy
+visibly matters.
+
+Queries are templates over a 3-label vocabulary, instantiated for
+whatever label set a concrete graph uses (Advogato's certification
+levels by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.graph.generators import ADVOGATO_LABELS
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadQuery:
+    """One named query of the benchmark workload."""
+
+    name: str
+    text: str
+    description: str
+
+
+#: Templates over placeholders {a} {b} {c} (three labels).
+_TEMPLATES: tuple[tuple[str, str, str], ...] = (
+    ("Q1", "{a}/{b}", "short concatenation (2 steps)"),
+    ("Q2", "{b}/{b}/{c}", "concatenation with a repeated label (3 steps)"),
+    ("Q3", "{a}/^{b}", "concatenation with an inverse step"),
+    ("Q4", "{b}{{1,3}}", "bounded recursion of a single label"),
+    ("Q5", "({a}|{c})/{b}", "union under concatenation"),
+    ("Q6", "{a}/{b}/{c}/{b}", "long concatenation (4 steps)"),
+    ("Q7", "^{c}/{a}{{1,2}}/{b}", "inverse + recursion + concatenation"),
+    ("Q8", "({a}/{b}){{2,3}}", "recursion of a composite path (4-6 steps)"),
+)
+
+
+def workload(labels: tuple[str, str, str] = ADVOGATO_LABELS) -> list[WorkloadQuery]:
+    """Instantiate Q1-Q8 for a 3-label vocabulary."""
+    if len(labels) != 3:
+        raise ValidationError(
+            f"the benchmark workload needs exactly 3 labels, got {labels!r}"
+        )
+    a, b, c = labels
+    return [
+        WorkloadQuery(name, template.format(a=a, b=b, c=c), description)
+        for name, template, description in _TEMPLATES
+    ]
+
+
+def query_by_name(name: str, labels: tuple[str, str, str] = ADVOGATO_LABELS) -> WorkloadQuery:
+    """Fetch one workload query by its ``Q<n>`` name."""
+    for query in workload(labels):
+        if query.name == name:
+            return query
+    raise ValidationError(f"no workload query named {name!r}")

@@ -1,0 +1,191 @@
+"""Command-line interface: ``repro-rpq`` / ``python -m repro``.
+
+Subcommands cover the life of a query the demo walks through (load,
+inspect, explain, run) plus every experiment driver:
+
+    repro-rpq stats --synthetic bench
+    repro-rpq query --synthetic bench -k 2 "master/journeyer"
+    repro-rpq explain --synthetic bench -k 3 --method minjoin "master/journeyer/apprentice"
+    repro-rpq figure2 --scale small
+    repro-rpq compare-datalog --scale small
+    repro-rpq index-build --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import GraphDatabase
+from repro.bench import harness, reporting
+from repro.bench.workloads import SCALES, advogato_workload
+from repro.errors import ReproError
+from repro.graph.generators import advogato_like
+from repro.graph.stats import summarize
+
+
+def _load_database(args: argparse.Namespace, k: int | None = None) -> GraphDatabase:
+    k = k if k is not None else args.k
+    if args.graph is not None:
+        return GraphDatabase.from_file(args.graph, k=k)
+    nodes, edges = SCALES[args.synthetic]
+    graph = advogato_like(nodes=nodes, edges=edges, seed=args.seed)
+    return GraphDatabase(graph, k=k)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--graph", help="graph file (.tsv/.json/.csv)")
+    source.add_argument(
+        "--synthetic",
+        choices=sorted(SCALES),
+        default="bench",
+        help="use a seeded Advogato-like synthetic graph (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+    parser.add_argument("-k", type=int, default=2, help="index locality k")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    print(summarize(database.graph).format())
+    index = database.index
+    print(f"index:  k={index.k} paths={index.path_count} entries={index.entry_count}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    result = database.query(args.query, method=args.method)
+    for source, target in sorted(result.pairs):
+        print(f"{source}\t{target}")
+    print(
+        f"# {len(result.pairs)} pairs in {result.seconds * 1000.0:.2f} ms "
+        f"({result.method}, k={database.k})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    print(database.explain(args.query, method=args.method))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    prepared = advogato_workload(scale=args.scale, ks=tuple(args.ks))
+    measurements = harness.run_figure2(
+        prepared, ks=tuple(args.ks), repeats=args.repeats
+    )
+    if args.chart:
+        from repro.bench.plots import figure2_charts
+
+        print(figure2_charts(measurements))
+    else:
+        print(reporting.format_figure2(measurements))
+    trends = reporting.figure2_trends(measurements)
+    for claim, holds in trends.items():
+        print(f"trend {claim}: {'holds' if holds else 'VIOLATED'}")
+    return 0
+
+
+def _cmd_compare_datalog(args: argparse.Namespace) -> int:
+    rows = harness.run_datalog_comparison(scale=args.scale, k=args.k)
+    print(reporting.format_comparison(rows, "Datalog"))
+    return 0
+
+
+def _cmd_compare_automaton(args: argparse.Namespace) -> int:
+    rows = harness.run_automaton_comparison(scale=args.scale, k=args.k)
+    print(reporting.format_comparison(rows, "automaton"))
+    return 0
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    nodes, edges = SCALES[args.scale]
+    graph = advogato_like(nodes=nodes, edges=edges, seed=args.seed)
+    rows = harness.run_index_build(graph, ks=tuple(args.ks))
+    print(reporting.format_index_build(rows))
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    rows = harness.run_histogram_ablation(scale=args.scale, k=args.k)
+    print(reporting.format_histogram(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-rpq",
+        description="RPQ evaluation with k-path indexes (EDBT 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="graph and index statistics")
+    _add_graph_arguments(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    query = commands.add_parser("query", help="run one RPQ")
+    _add_graph_arguments(query)
+    query.add_argument("query", help="RPQ text, e.g. 'master/journeyer'")
+    query.add_argument("--method", default="minsupport")
+    query.set_defaults(handler=_cmd_query)
+
+    explain = commands.add_parser("explain", help="show the physical plan")
+    _add_graph_arguments(explain)
+    explain.add_argument("query")
+    explain.add_argument("--method", default="minsupport")
+    explain.set_defaults(handler=_cmd_explain)
+
+    figure2 = commands.add_parser("figure2", help="reproduce Figure 2")
+    figure2.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    figure2.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3])
+    figure2.add_argument("--repeats", type=int, default=3)
+    figure2.add_argument(
+        "--chart", action="store_true", help="render bar charts instead of tables"
+    )
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    datalog = commands.add_parser(
+        "compare-datalog", help="Section 6 Datalog comparison"
+    )
+    datalog.add_argument("--scale", choices=sorted(SCALES), default="small")
+    datalog.add_argument("-k", type=int, default=2)
+    datalog.set_defaults(handler=_cmd_compare_datalog)
+
+    automaton = commands.add_parser(
+        "compare-automaton", help="traversal-baseline comparison"
+    )
+    automaton.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    automaton.add_argument("-k", type=int, default=2)
+    automaton.set_defaults(handler=_cmd_compare_automaton)
+
+    build = commands.add_parser("index-build", help="index size/time vs k")
+    build.add_argument("--scale", choices=sorted(SCALES), default="small")
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3])
+    build.set_defaults(handler=_cmd_index_build)
+
+    histogram = commands.add_parser("histogram", help="histogram ablation")
+    histogram.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    histogram.add_argument("-k", type=int, default=2)
+    histogram.set_defaults(handler=_cmd_histogram)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

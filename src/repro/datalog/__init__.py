@@ -1,0 +1,28 @@
+"""A from-scratch Datalog engine and the RPQ translation (approach 2)."""
+
+from repro.datalog.ast import Atom, Const, Program, Rule, Var, atom, rule, var
+from repro.datalog.engine import (
+    Database,
+    EvaluationStats,
+    naive_evaluate,
+    seminaive_evaluate,
+)
+from repro.datalog.translate import Translation, graph_to_edb, translate
+
+__all__ = [
+    "Atom",
+    "Const",
+    "Database",
+    "EvaluationStats",
+    "Program",
+    "Rule",
+    "Translation",
+    "Var",
+    "atom",
+    "graph_to_edb",
+    "naive_evaluate",
+    "rule",
+    "seminaive_evaluate",
+    "translate",
+    "var",
+]

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  Subsystems raise the most specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (bad label, unknown node, ...)."""
+
+
+class UnknownNodeError(GraphError):
+    """A node name or identifier is not present in the graph."""
+
+
+class ParseError(ReproError):
+    """The RPQ text could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset of the offending token, or ``None``
+        when the error is not tied to a single position.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class RewriteError(ReproError):
+    """An RPQ could not be rewritten into the planner's normal form."""
+
+
+class PlanningError(ReproError):
+    """No physical plan could be produced for a query."""
+
+
+class ExecutionError(ReproError):
+    """A physical plan failed during execution."""
+
+
+class PathIndexError(ReproError):
+    """The k-path index was used incorrectly (e.g. path longer than k)."""
+
+
+class StorageError(ReproError):
+    """Low-level storage failure (page corruption, codec error, ...)."""
+
+
+class KeyOrderError(StorageError):
+    """Keys supplied to a bulk-load were not in strictly ascending order."""
+
+
+class DatalogError(ReproError):
+    """Invalid Datalog program or evaluation failure."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The chosen evaluation method cannot answer this query shape.
+
+    Raised, for example, by the reachability-index baseline (approach 3
+    in the paper) for queries that are not of the restricted
+    single-label-star form it supports.
+    """
+
+
+class ValidationError(ReproError):
+    """An argument failed validation at an API boundary."""

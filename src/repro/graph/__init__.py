@@ -1,0 +1,6 @@
+"""Graph data model, I/O, generators and statistics."""
+
+from repro.graph.graph import Graph, LabelPath, Step
+from repro.graph import examples, generators, io, stats
+
+__all__ = ["Graph", "LabelPath", "Step", "examples", "generators", "io", "stats"]

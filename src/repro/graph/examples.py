@@ -1,0 +1,92 @@
+"""Small example graphs, including a reconstruction of the paper's Figure 1.
+
+The exact 16-edge list of the paper's ``Gex`` exists only in the figure
+artwork; the running text pins down the node set, the vocabulary, the
+label multiset (9 ``knows``, 6 ``worksFor``, 1 ``supervisor``) and a few
+query answers.  :func:`figure1_graph` is a hand-built graph honoring the
+reconstructible constraints:
+
+* nodes ``{sue, liz, joe, zoe, sam, tim, kim, ada, jan}``;
+* 9 ``knows`` + 6 ``worksFor`` + 1 ``supervisor`` edges;
+* ``supervisor ∘ worksFor⁻`` evaluates to exactly ``{(kim, sue)}``;
+* ``supervisor ∘ knows`` contains exactly one pair (the paper's
+  selectivity example);
+* ``(sam, ada)`` is in ``paths_2`` but not ``paths_1``, with the two
+  witness paths through ``zoe`` the paper names.
+
+The precise edge placements beyond those constraints are ours; all
+correctness tests treat the reference evaluator, not this graph, as the
+oracle.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+
+FIGURE1_EDGES: tuple[tuple[str, str, str], ...] = (
+    # knows (9 edges)
+    ("ada", "knows", "zoe"),
+    ("zoe", "knows", "sam"),
+    ("sue", "knows", "zoe"),
+    ("kim", "knows", "sue"),
+    ("liz", "knows", "joe"),
+    ("jan", "knows", "joe"),
+    ("joe", "knows", "tim"),
+    ("tim", "knows", "jan"),
+    ("sam", "knows", "tim"),
+    # worksFor (6 edges)
+    ("sue", "worksFor", "liz"),
+    ("zoe", "worksFor", "ada"),
+    ("jan", "worksFor", "kim"),
+    ("tim", "worksFor", "kim"),
+    ("joe", "worksFor", "ada"),
+    ("sam", "worksFor", "kim"),
+    # supervisor (1 edge)
+    ("kim", "supervisor", "liz"),
+)
+
+
+def figure1_graph() -> Graph:
+    """The reconstruction of the paper's example graph ``Gex``."""
+    return Graph.from_edges(FIGURE1_EDGES)
+
+
+def two_triangles() -> Graph:
+    """Two label-disjoint directed triangles sharing one node.
+
+    A minimal graph where composition across labels, inverses and
+    2-bounded recursion all have small, hand-checkable answers.
+    """
+    return Graph.from_edges(
+        [
+            ("a", "red", "b"),
+            ("b", "red", "c"),
+            ("c", "red", "a"),
+            ("a", "blue", "x"),
+            ("x", "blue", "y"),
+            ("y", "blue", "a"),
+        ]
+    )
+
+
+def diamond() -> Graph:
+    """A diamond: two length-2 routes from ``s`` to ``t``.
+
+    Exercises duplicate elimination: ``hop/hop`` has one answer pair
+    with two witness paths.
+    """
+    return Graph.from_edges(
+        [
+            ("s", "hop", "l"),
+            ("s", "hop", "r"),
+            ("l", "hop", "t"),
+            ("r", "hop", "t"),
+        ]
+    )
+
+
+def self_loop() -> Graph:
+    """One node with a self-loop; recursion fixpoints terminate here."""
+    graph = Graph()
+    graph.add_edge("o", "spin", "o")
+    return graph

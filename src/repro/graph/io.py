@@ -1,0 +1,131 @@
+"""Loading and saving graphs.
+
+Three interchange formats are supported:
+
+* **edge list** — one edge per line, ``source<sep>label<sep>target``,
+  with ``#`` comments.  This is the format graph repositories such as
+  KONECT (the source of the paper's Advogato dataset) distribute.
+* **JSON** — a single object ``{"nodes": [...], "edges": [[s,l,t], ...]}``
+  that round-trips isolated nodes as well.
+* **CSV** — ``source,label,target`` rows with an optional header.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def load_edgelist(
+    path: str | Path,
+    separator: str = "\t",
+    comment: str = "#",
+    default_label: str | None = None,
+) -> Graph:
+    """Read an edge-list file into a :class:`Graph`.
+
+    Lines are ``source<sep>label<sep>target``; two-column lines are
+    accepted when ``default_label`` is given (unlabeled datasets).
+    Blank lines and lines starting with ``comment`` are skipped.
+    """
+    graph = Graph()
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(separator)
+            if len(parts) == 3:
+                src, label, tgt = parts
+            elif len(parts) == 2 and default_label is not None:
+                src, tgt = parts
+                label = default_label
+            else:
+                raise GraphError(
+                    f"{path}:{line_no}: expected 3 fields separated by "
+                    f"{separator!r}, got {len(parts)}"
+                )
+            graph.add_edge(src.strip(), label.strip(), tgt.strip())
+    return graph
+
+
+def save_edgelist(graph: Graph, path: str | Path, separator: str = "\t") -> None:
+    """Write a graph as a sorted edge-list file.
+
+    Isolated nodes are *not* representable in this format; use
+    :func:`save_json` to preserve them.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write("# source{0}label{0}target\n".format(separator))
+        for src, label, tgt in graph.edges():
+            handle.write(f"{src}{separator}{label}{separator}{tgt}\n")
+
+
+def load_json(path: str | Path) -> Graph:
+    """Read a graph from the JSON interchange format."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise GraphError(f"{path}: not a graph JSON document")
+    graph = Graph()
+    for name in payload.get("nodes", []):
+        graph.add_node(name)
+    for entry in payload["edges"]:
+        if len(entry) != 3:
+            raise GraphError(f"{path}: malformed edge entry {entry!r}")
+        src, label, tgt = entry
+        graph.add_edge(src, label, tgt)
+    return graph
+
+
+def save_json(graph: Graph, path: str | Path) -> None:
+    """Write a graph (including isolated nodes) as JSON."""
+    payload = {
+        "nodes": list(graph.node_names()),
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+
+
+def load_csv(path: str | Path, has_header: bool = True) -> Graph:
+    """Read ``source,label,target`` CSV rows into a :class:`Graph`."""
+    graph = Graph()
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for row_no, row in enumerate(reader):
+            if row_no == 0 and has_header:
+                continue
+            if not row:
+                continue
+            if len(row) != 3:
+                raise GraphError(f"{path}: row {row_no} has {len(row)} fields")
+            src, label, tgt = row
+            graph.add_edge(src.strip(), label.strip(), tgt.strip())
+    return graph
+
+
+def save_csv(graph: Graph, path: str | Path) -> None:
+    """Write a graph as ``source,label,target`` CSV with a header."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["source", "label", "target"])
+        for edge in graph.edges():
+            writer.writerow(edge)
+
+
+def from_triples(triples: Iterable[tuple[str, str, str]]) -> Graph:
+    """Alias of :meth:`Graph.from_edges` for symmetry with the loaders."""
+    return Graph.from_edges(triples)

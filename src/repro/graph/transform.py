@@ -1,0 +1,129 @@
+"""Graph transformations: subgraphs, reversal, relabeling, merging.
+
+Utilities a downstream user of the library needs when preparing data
+for indexing (e.g. restricting a large network to a neighborhood, or
+canonicalizing label names before building ``I_{G,k}``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.errors import ValidationError
+from repro.graph.graph import Graph
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[str]) -> Graph:
+    """The subgraph on ``nodes``: kept nodes plus edges between them."""
+    keep = set(nodes)
+    unknown = [name for name in keep if not graph.has_node(name)]
+    if unknown:
+        raise ValidationError(f"unknown nodes: {sorted(unknown)[:5]}")
+    result = Graph()
+    for name in sorted(keep):
+        result.add_node(name)
+    for source, label, target in graph.edges():
+        if source in keep and target in keep:
+            result.add_edge(source, label, target)
+    return result
+
+
+def neighborhood(graph: Graph, center: str, radius: int) -> Graph:
+    """The induced subgraph of everything within undirected ``radius``.
+
+    Matches the paper's *localized* view: the k-path index only ever
+    sees pairs within i-path distance k, so indexing a radius-limited
+    neighborhood answers all queries that stay inside it.
+    """
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    center_id = graph.node_id(center)
+    seen = {center_id}
+    frontier = deque([(center_id, 0)])
+    while frontier:
+        node, depth = frontier.popleft()
+        if depth == radius:
+            continue
+        for neighbor in graph.undirected_neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append((neighbor, depth + 1))
+    return induced_subgraph(graph, (graph.node_name(n) for n in seen))
+
+
+def reverse(graph: Graph) -> Graph:
+    """Every edge flipped; labels preserved.
+
+    ``R(reverse(G)) == (^R)(G)`` with sources/targets exchanged — a
+    useful identity for testing inverse handling.
+    """
+    result = Graph()
+    for name in graph.node_names():
+        result.add_node(name)
+    for source, label, target in graph.edges():
+        result.add_edge(target, label, source)
+    return result
+
+
+def relabel(graph: Graph, mapping: dict[str, str] | Callable[[str], str]) -> Graph:
+    """Rename edge labels; merging labels (n-to-1 maps) is allowed."""
+    if isinstance(mapping, dict):
+        missing = set(graph.labels()) - set(mapping)
+        if missing:
+            raise ValidationError(
+                f"mapping lacks labels: {sorted(missing)}"
+            )
+        translate = mapping.__getitem__
+    else:
+        translate = mapping
+    result = Graph()
+    for name in graph.node_names():
+        result.add_node(name)
+    for source, label, target in graph.edges():
+        result.add_edge(source, translate(label), target)
+    return result
+
+
+def merge(first: Graph, second: Graph) -> Graph:
+    """The union of two graphs (shared node names are identified)."""
+    result = Graph()
+    for graph in (first, second):
+        for name in graph.node_names():
+            result.add_node(name)
+        for edge in graph.edges():
+            result.add_edge(*edge)
+    return result
+
+
+def drop_labels(graph: Graph, labels: Iterable[str]) -> Graph:
+    """Remove every edge carrying one of ``labels`` (nodes are kept)."""
+    dropped = set(labels)
+    result = Graph()
+    for name in graph.node_names():
+        result.add_node(name)
+    for source, label, target in graph.edges():
+        if label not in dropped:
+            result.add_edge(source, label, target)
+    return result
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """The induced subgraph of the largest *undirected* component."""
+    unvisited = set(graph.node_ids())
+    best: set[int] = set()
+    while unvisited:
+        start = next(iter(unvisited))
+        component = {start}
+        frontier = deque([start])
+        unvisited.discard(start)
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in graph.undirected_neighbors(node):
+                if neighbor in unvisited:
+                    unvisited.discard(neighbor)
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        if len(component) > len(best):
+            best = component
+    return induced_subgraph(graph, (graph.node_name(n) for n in best))

@@ -1,0 +1,125 @@
+"""Enumerating label paths and materializing their relations.
+
+The k-path index ``I_{G,k}`` (Section 3.1) contains one entry
+``(p, a, b)`` for every label path ``p`` of length 1..k over the step
+alphabet ``{l, l⁻}`` and every pair ``(a, b) ∈ p(G)``.
+
+The builder walks the prefix trie of label paths depth-first, computing
+each path's relation from its parent's by one relational composition
+(``p·s (G) = p(G) ∘ s(G)``), so only ``k`` relations are alive at any
+moment.  Subtrees rooted at an empty relation are pruned — every
+extension of an empty path is empty — but the empty path itself is
+still *reported* with count 0 so the statistics layer knows it exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.graph.graph import Graph, LabelPath, Step
+
+Pair = tuple[int, int]
+
+
+def enumerate_label_paths(labels: tuple[str, ...], k: int) -> list[LabelPath]:
+    """All step sequences of length 1..k, in trie (DFS) order.
+
+    There are ``(2|L|)^1 + ... + (2|L|)^k`` of them; this enumerates
+    syntax only and touches no graph data.
+    """
+    _check_k(k)
+    steps = _sorted_steps(labels)
+    result: list[LabelPath] = []
+
+    def extend(prefix: tuple[Step, ...]) -> None:
+        for step in steps:
+            path = prefix + (step,)
+            result.append(LabelPath(path))
+            if len(path) < k:
+                extend(path)
+
+    extend(())
+    return result
+
+
+def count_label_paths(label_count: int, k: int) -> int:
+    """Closed form for ``len(enumerate_label_paths(...))``."""
+    _check_k(k)
+    alphabet = 2 * label_count
+    return sum(alphabet**length for length in range(1, k + 1))
+
+
+def path_relations(
+    graph: Graph, k: int, prune_empty: bool = True
+) -> Iterator[tuple[LabelPath, list[Pair]]]:
+    """Yield ``(path, sorted relation)`` for every label path up to k.
+
+    Paths appear in DFS (trie) order, so a path's prefix always appears
+    before it.  With ``prune_empty`` (the default), a path with an empty
+    relation is yielded once (empty list) and its extensions skipped.
+    """
+    _check_k(k)
+    steps = _sorted_steps(graph.labels())
+    step_adjacency = {
+        step: _adjacency(graph, step) for step in steps
+    }
+
+    def expand(
+        prefix: tuple[Step, ...], relation: set[Pair]
+    ) -> Iterator[tuple[LabelPath, list[Pair]]]:
+        for step in steps:
+            path_steps = prefix + (step,)
+            if prefix:
+                extended = _compose_with_step(relation, step_adjacency[step])
+            else:
+                extended = set(graph.step_pairs(step))
+            yield LabelPath(path_steps), sorted(extended)
+            if len(path_steps) < k:
+                if extended or not prune_empty:
+                    yield from expand(path_steps, extended)
+
+    yield from expand((), set())
+
+
+def _adjacency(graph: Graph, step: Step) -> dict[int, list[int]]:
+    """source -> targets adjacency of one step relation."""
+    adjacency: dict[int, list[int]] = {}
+    for source, target in graph.step_pairs(step):
+        adjacency.setdefault(source, []).append(target)
+    return adjacency
+
+
+def _compose_with_step(
+    relation: set[Pair], adjacency: dict[int, list[int]]
+) -> set[Pair]:
+    result: set[Pair] = set()
+    for source, mid in relation:
+        targets = adjacency.get(mid)
+        if targets:
+            for target in targets:
+                result.add((source, target))
+    return result
+
+
+def estimate_index_entries(graph: Graph, k: int) -> int:
+    """Total number of index entries ``|I_{G,k}|`` (builds nothing kept)."""
+    return sum(len(pairs) for _, pairs in path_relations(graph, k))
+
+
+def path_counts(graph: Graph, k: int) -> dict[str, int]:
+    """Map encoded path -> ``|p(G)|`` for every enumerated path."""
+    return {
+        path.encode(): len(pairs) for path, pairs in path_relations(graph, k)
+    }
+
+
+def _sorted_steps(labels: tuple[str, ...]) -> tuple[Step, ...]:
+    steps = [Step(label) for label in labels]
+    steps += [Step(label, inverse=True) for label in labels]
+    return tuple(sorted(steps, key=lambda step: step.encode()))
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")

@@ -1,0 +1,233 @@
+"""Incremental maintenance of the k-path index (the paper's future work).
+
+The demo paper builds ``I_{G,k}`` once per graph; maintaining it under
+edge insertions/deletions is left open.  This module implements both
+directions with a localized delta algorithm:
+
+* **insert** ``u -l-> v`` — for every indexed label path
+  ``p = s_1 ... s_m`` and every position ``i`` whose step matches the
+  new edge (forward ``l`` or inverse ``l⁻``), the new pairs are exactly
+  ``A × B`` where ``A`` are the nodes reaching the edge's entry point
+  via the inverted prefix ``(s_1..s_{i-1})⁻`` and ``B`` the nodes
+  reachable from its exit point via the suffix ``s_{i+1}..s_m`` — both
+  computed on the *updated* graph by depth-bounded frontier expansion.
+  Every genuinely new pair has a witness through the new edge at some
+  position, so the union over positions is complete.
+
+* **delete** — the same ``A × B`` candidate sets are computed *before*
+  removing the edge (witnesses ran through it); after removal each
+  candidate pair is re-checked by a bounded search, since it may have
+  surviving witnesses elsewhere.
+
+Cost is proportional to the affected neighborhoods (``O(deg^k)`` per
+position) rather than to the whole graph — the point of the exercise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.errors import PathIndexError, ValidationError
+from repro.graph.graph import Graph, LabelPath, Step
+from repro.indexes.builder import enumerate_label_paths, path_relations
+
+Pair = tuple[int, int]
+
+
+def path_targets(graph: Graph, source: int, path: LabelPath) -> set[int]:
+    """Frontier expansion: all targets of ``path`` from ``source``."""
+    frontier = {source}
+    for step in path:
+        if not frontier:
+            break
+        next_frontier: set[int] = set()
+        for node in frontier:
+            next_frontier.update(graph.step_neighbors(node, step))
+        frontier = next_frontier
+    return frontier
+
+
+class DynamicPathIndex:
+    """A k-path index that tracks graph mutations.
+
+    Exposes the same lookup surface as :class:`PathIndex` (``scan``,
+    ``scan_from``, ``contains``, ``count``) backed by per-path sorted
+    pair lists, plus :meth:`add_edge` / :meth:`remove_edge` which update
+    the graph *and* the index together.
+    """
+
+    def __init__(self, graph: Graph, k: int):
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = k
+        self._relations: dict[str, list[Pair]] = {}
+        self._all_paths: list[LabelPath] = []
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._relations = {
+            path.encode(): pairs
+            for path, pairs in path_relations(self.graph, self.k, prune_empty=False)
+        }
+        self._all_paths = enumerate_label_paths(self.graph.labels(), self.k)
+
+    # -- lookups (PathIndex-compatible) -----------------------------------
+
+    def scan(self, path: LabelPath) -> list[Pair]:
+        """The relation of ``path``, sorted by (src, tgt)."""
+        self._check(path)
+        return list(self._relations.get(path.encode(), ()))
+
+    def scan_from(self, path: LabelPath, source: int) -> list[int]:
+        """Sorted targets of ``path`` from ``source``."""
+        pairs = self._relations.get(path.encode())
+        if not pairs:
+            return []
+        start = bisect.bisect_left(pairs, (source, -1))
+        result: list[int] = []
+        for src, tgt in pairs[start:]:
+            if src != source:
+                break
+            result.append(tgt)
+        return result
+
+    def contains(self, path: LabelPath, source: int, target: int) -> bool:
+        pairs = self._relations.get(path.encode())
+        if not pairs:
+            return False
+        position = bisect.bisect_left(pairs, (source, target))
+        return position < len(pairs) and pairs[position] == (source, target)
+
+    def count(self, path: LabelPath) -> int:
+        self._check(path)
+        return len(self._relations.get(path.encode(), ()))
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(pairs) for pairs in self._relations.values())
+
+    def counts_by_path(self) -> dict[str, int]:
+        return {encoded: len(pairs) for encoded, pairs in self._relations.items()}
+
+    def paths(self) -> Iterator[LabelPath]:
+        yield from self._all_paths
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_edge(self, source_name: str, label: str, target_name: str) -> bool:
+        """Insert an edge into the graph and propagate index deltas."""
+        new_label = label not in self.graph.labels()
+        added = self.graph.add_edge(source_name, label, target_name)
+        if not added:
+            return False
+        if new_label:
+            # The path alphabet itself grew; incremental deltas cannot
+            # cover paths that did not exist — rebuild once.
+            self._rebuild()
+            return True
+        source = self.graph.node_id(source_name)
+        target = self.graph.node_id(target_name)
+        for path in self._all_paths:
+            delta = self._edge_delta(path, label, source, target)
+            if delta:
+                self._insert_pairs(path, delta)
+        return True
+
+    def remove_edge(self, source_name: str, label: str, target_name: str) -> bool:
+        """Delete an edge and retract index pairs that lost all witnesses."""
+        if not self.graph.has_edge(source_name, label, target_name):
+            return False
+        source = self.graph.node_id(source_name)
+        target = self.graph.node_id(target_name)
+        # Candidates must be collected while the edge still exists.
+        candidates: dict[str, set[Pair]] = {}
+        for path in self._all_paths:
+            delta = self._edge_delta(path, label, source, target)
+            if delta:
+                candidates[path.encode()] = delta
+        _remove_graph_edge(self.graph, source, label, target)
+        for encoded, pairs in candidates.items():
+            path = LabelPath.decode(encoded)
+            dead = {
+                pair
+                for pair in pairs
+                if pair[1] not in path_targets(self.graph, pair[0], path)
+            }
+            if dead:
+                self._delete_pairs(path, dead)
+        return True
+
+    # -- internals ----------------------------------------------------------------
+
+    def _edge_delta(
+        self, path: LabelPath, label: str, source: int, target: int
+    ) -> set[Pair]:
+        """Pairs of ``path`` with a witness through the (u,v) edge."""
+        delta: set[Pair] = set()
+        for position, step in enumerate(path.steps):
+            if step.label != label:
+                continue
+            entry, exit_ = (source, target) if not step.inverse else (target, source)
+            if position > 0:
+                prefix = path.prefix(position).inverted()
+                left = path_targets(self.graph, entry, prefix)
+            else:
+                left = {entry}
+            if not left:
+                continue
+            if position + 1 < len(path):
+                suffix = path.subpath(position + 1, len(path))
+                right = path_targets(self.graph, exit_, suffix)
+            else:
+                right = {exit_}
+            for a in left:
+                for b in right:
+                    delta.add((a, b))
+        return delta
+
+    def _insert_pairs(self, path: LabelPath, pairs: set[Pair]) -> None:
+        current = self._relations.setdefault(path.encode(), [])
+        for pair in sorted(pairs):
+            position = bisect.bisect_left(current, pair)
+            if position >= len(current) or current[position] != pair:
+                current.insert(position, pair)
+
+    def _delete_pairs(self, path: LabelPath, pairs: set[Pair]) -> None:
+        current = self._relations.get(path.encode())
+        if not current:
+            return
+        for pair in sorted(pairs):
+            position = bisect.bisect_left(current, pair)
+            if position < len(current) and current[position] == pair:
+                del current[position]
+
+    def _check(self, path: LabelPath) -> None:
+        if len(path) > self.k:
+            raise PathIndexError(
+                f"path {path} has length {len(path)} > k={self.k}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicPathIndex(k={self.k}, paths={len(self._all_paths)}, "
+            f"entries={self.entry_count})"
+        )
+
+
+def _remove_graph_edge(graph: Graph, source: int, label: str, target: int) -> None:
+    """Remove one edge from a Graph's internal structures.
+
+    :class:`Graph` is append-only by design (indexes assume immutable
+    graphs); the dynamic index owns its graph, so it reaches into the
+    adjacency here rather than widening the public Graph API.
+    """
+    graph._edges[label].discard((source, target))
+    out_list = graph._out[label].get(source)
+    if out_list and target in out_list:
+        out_list.remove(target)
+    in_list = graph._in[label].get(target)
+    if in_list and source in in_list:
+        in_list.remove(source)
+    graph._edge_count -= 1

@@ -1,0 +1,283 @@
+"""The k-path index ``I_{G,k}`` (Section 3.1).
+
+An ordered dictionary with search key ``(label path, source, target)``,
+supporting exactly the lookups of Example 3.1:
+
+* ``scan(p)`` — all pairs of ``p(G)``, sorted by (source, target);
+* ``scan_from(p, a)`` — all targets ``b`` with ``(a, b) ∈ p(G)``;
+* ``contains(p, a, b)`` — membership of one pair.
+
+Two backends implement the ordered dictionary: the in-memory B+tree
+(default, fastest) and the page-based disk B+tree (faithful to the
+paper's use of PostgreSQL B+trees).  A catalog maps each label path to
+a dense integer path id assigned in build (trie) order, so index keys
+are homogeneous ``(path_id, src, tgt)`` integer triples; the catalog
+also records exact per-path counts, from which the statistics layer is
+derived.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+from typing import Iterator
+
+from repro.errors import PathIndexError, ValidationError
+from repro.graph.graph import Graph, LabelPath
+from repro.indexes.builder import path_relations
+from repro.storage.diskbtree import DiskBPlusTree
+from repro.storage.memtree import BPlusTree
+from repro.storage.records import decode_key, encode_key
+
+Pair = tuple[int, int]
+
+
+class _MemoryBackend:
+    """Tuple-key B+tree backend."""
+
+    name = "memory"
+
+    def __init__(self, order: int = 64):
+        self._tree = BPlusTree(order=order)
+
+    def bulk_load(self, entries: Iterator[tuple[int, int, int]]) -> None:
+        self._tree = BPlusTree.bulk_load(
+            ((key, None) for key in entries), order=self._tree.order
+        )
+
+    def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
+        for key, _ in self._tree.prefix_scan(prefix):
+            yield key
+
+    def contains(self, key: tuple[int, int, int]) -> bool:
+        return key in self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def close(self) -> None:
+        """Nothing to release for the in-memory backend."""
+
+
+class _DiskBackend:
+    """Page-based disk B+tree backend with memcomparable keys."""
+
+    name = "disk"
+
+    def __init__(self, path: str | FilePath, page_size: int = 4096,
+                 cache_pages: int = 256):
+        self._tree = DiskBPlusTree(
+            path, page_size=page_size, cache_pages=cache_pages
+        )
+
+    def bulk_load(self, entries: Iterator[tuple[int, int, int]]) -> None:
+        self._tree.bulk_load((encode_key(key), b"") for key in entries)
+        self._tree.flush()
+
+    def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
+        encoded = encode_key(prefix)
+        for key, _ in self._tree.prefix_scan(encoded):
+            yield decode_key(key)  # type: ignore[misc]
+
+    def contains(self, key: tuple[int, int, int]) -> bool:
+        return encode_key(key) in self._tree
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def close(self) -> None:
+        self._tree.close()
+
+
+class PathIndex:
+    """The paper's ``I_{G,k}`` over a fixed graph.
+
+    Build with :meth:`PathIndex.build`; query with :meth:`scan`,
+    :meth:`scan_from` and :meth:`contains`.  Exact per-path counts are
+    kept in the catalog (:meth:`count`) — the equi-depth histogram
+    compresses them for the optimizer.
+    """
+
+    def __init__(self, graph: Graph, k: int, backend) -> None:
+        self.graph = graph
+        self.k = k
+        self._backend = backend
+        self._path_ids: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        k: int,
+        backend: str = "memory",
+        prune_empty: bool = True,
+        order: int = 64,
+        path: str | FilePath | None = None,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ) -> "PathIndex":
+        """Materialize ``I_{G,k}`` over ``graph``.
+
+        Parameters
+        ----------
+        backend:
+            ``"memory"`` (in-memory B+tree) or ``"disk"`` (page-based
+            B+tree at ``path``).
+        prune_empty:
+            Skip descendants of empty paths (their relations are
+            provably empty); the empty paths themselves are still
+            recorded with count 0.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if backend == "memory":
+            store = _MemoryBackend(order=order)
+        elif backend == "disk":
+            if path is None:
+                raise ValidationError("the disk backend requires a file path")
+            store = _DiskBackend(path, page_size=page_size, cache_pages=cache_pages)
+        elif backend == "compressed":
+            from repro.indexes.compressed import CompressedBackend
+
+            store = CompressedBackend()
+        else:
+            raise ValidationError(f"unknown backend {backend!r}")
+
+        index = cls(graph, k, store)
+
+        def entries() -> Iterator[tuple[int, int, int]]:
+            for label_path, pairs in path_relations(
+                graph, k, prune_empty=prune_empty
+            ):
+                encoded = label_path.encode()
+                path_id = len(index._path_ids)
+                index._path_ids[encoded] = path_id
+                index._counts[encoded] = len(pairs)
+                for source, target in pairs:
+                    yield path_id, source, target
+
+        store.bulk_load(entries())
+        return index
+
+    # -- lookups ------------------------------------------------------------------
+
+    def scan(self, path: LabelPath) -> list[Pair]:
+        """``I_{G,k}(p)``: the relation of ``p``, sorted by (src, tgt)."""
+        path_id = self._path_id(path)
+        if path_id is None:
+            return []
+        return [(src, tgt) for _, src, tgt in self._backend.prefix((path_id,))]
+
+    def scan_swapped(self, path: LabelPath) -> list[Pair]:
+        """The relation of ``p`` sorted by (tgt, src).
+
+        Implemented exactly as the paper does: scan the index on the
+        *inverse* path (which is itself indexed, because inverse steps
+        are alphabet symbols) and swap each pair.
+        """
+        return [(tgt, src) for src, tgt in self.scan(path.inverted())]
+
+    def scan_from(self, path: LabelPath, source: int) -> list[int]:
+        """``I_{G,k}(p, a)``: sorted targets reachable from ``source``."""
+        path_id = self._path_id(path)
+        if path_id is None:
+            return []
+        return [tgt for _, _, tgt in self._backend.prefix((path_id, source))]
+
+    def contains(self, path: LabelPath, source: int, target: int) -> bool:
+        """``I_{G,k}(p, a, b)``: is the pair in ``p(G)``?"""
+        path_id = self._path_id(path)
+        if path_id is None:
+            return False
+        return self._backend.contains((path_id, source, target))
+
+    def count(self, path: LabelPath) -> int:
+        """Exact ``|p(G)|`` from the catalog (0 for pruned/empty paths)."""
+        self._check_length(path)
+        return self._counts.get(path.encode(), 0)
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of ``(p, a, b)`` entries in the index."""
+        return len(self._backend)
+
+    @property
+    def path_count(self) -> int:
+        """Number of label paths recorded in the catalog."""
+        return len(self._path_ids)
+
+    def paths(self) -> Iterator[LabelPath]:
+        """All cataloged label paths, in build order."""
+        for encoded in self._path_ids:
+            yield LabelPath.decode(encoded)
+
+    def counts_by_path(self) -> dict[str, int]:
+        """Encoded path -> exact count (the statistics layer's input)."""
+        return dict(self._counts)
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the memory backend)."""
+        self._backend.close()
+
+    def __enter__(self) -> "PathIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- catalog persistence (disk backend) --------------------------------------------
+
+    def save_catalog(self, path: str | FilePath) -> None:
+        """Persist the path-id catalog and counts next to a disk index."""
+        payload = {
+            "k": self.k,
+            "path_ids": self._path_ids,
+            "counts": self._counts,
+        }
+        FilePath(path).write_text(
+            json.dumps(payload, indent=1) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def open_disk(
+        cls,
+        graph: Graph,
+        index_path: str | FilePath,
+        catalog_path: str | FilePath,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ) -> "PathIndex":
+        """Re-open a previously built disk index and its catalog."""
+        payload = json.loads(FilePath(catalog_path).read_text(encoding="utf-8"))
+        store = _DiskBackend(index_path, page_size=page_size, cache_pages=cache_pages)
+        index = cls(graph, int(payload["k"]), store)
+        index._path_ids = {key: int(value) for key, value in payload["path_ids"].items()}
+        index._counts = {key: int(value) for key, value in payload["counts"].items()}
+        return index
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _path_id(self, path: LabelPath) -> int | None:
+        self._check_length(path)
+        return self._path_ids.get(path.encode())
+
+    def _check_length(self, path: LabelPath) -> None:
+        if len(path) > self.k:
+            raise PathIndexError(
+                f"path {path} has length {len(path)} > k={self.k}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PathIndex(k={self.k}, backend={self.backend_name!r}, "
+            f"paths={self.path_count}, entries={self.entry_count})"
+        )

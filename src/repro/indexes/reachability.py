@@ -1,0 +1,173 @@
+"""A reachability index: approach (3) from the paper's introduction.
+
+Gubichev et al.'s approach translates *restricted* uses of Kleene star
+into reachability queries answered by an off-the-shelf reachability
+index.  To demonstrate that restriction (and contrast it with the
+path-index approach, which handles arbitrary RPQs), this module builds
+a classic reachability index for a single step relation:
+
+1. Tarjan's algorithm (iterative) condenses the relation digraph into
+   strongly connected components;
+2. components are processed in reverse topological order, propagating
+   per-component reachability *bitsets*, so a query is two lookups and
+   one bit test.
+
+:class:`LabelReachabilityIndex` answers ``a (l)* b`` / ``a (l)+ b`` for
+one label (or step); the baseline front-end in
+:mod:`repro.baselines.reachability_eval` recognizes exactly the query
+shapes this supports and raises
+:class:`~repro.errors.UnsupportedQueryError` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.graph import Graph, Step
+
+Pair = tuple[int, int]
+
+
+def strongly_connected_components(
+    node_count: int, edges: Iterable[Pair]
+) -> list[int]:
+    """Tarjan's SCC, iteratively; returns node -> component id.
+
+    Component ids are assigned in *reverse* topological order of the
+    condensation (a property of Tarjan's algorithm): if component X can
+    reach component Y (X != Y), then ``id(X) > id(Y)``.
+    """
+    adjacency: list[list[int]] = [[] for _ in range(node_count)]
+    for source, target in edges:
+        adjacency[source].append(target)
+
+    UNVISITED = -1
+    index_counter = 0
+    component_counter = 0
+    indices = [UNVISITED] * node_count
+    lowlink = [0] * node_count
+    on_stack = [False] * node_count
+    component = [UNVISITED] * node_count
+    stack: list[int] = []
+
+    for root in range(node_count):
+        if indices[root] != UNVISITED:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            neighbors = adjacency[node]
+            while child_index < len(neighbors):
+                successor = neighbors[child_index]
+                child_index += 1
+                if indices[successor] == UNVISITED:
+                    work[-1] = (node, child_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if on_stack[successor]:
+                    lowlink[node] = min(lowlink[node], indices[successor])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == indices[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component[member] = component_counter
+                    if member == node:
+                        break
+                component_counter += 1
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+class LabelReachabilityIndex:
+    """Reachability over the digraph of one step relation."""
+
+    def __init__(self, graph: Graph, step: Step):
+        self.graph = graph
+        self.step = step
+        node_count = graph.node_count
+        edges = list(graph.step_pairs(step))
+        self._component = strongly_connected_components(node_count, edges)
+        component_count = (max(self._component) + 1) if node_count else 0
+
+        # Component DAG edges, then reachability bitsets in topological
+        # order.  Tarjan ids are reverse-topological: an edge X -> Y in
+        # the condensation has id(X) > id(Y), so ascending id order is a
+        # valid propagation order.
+        successors: list[set[int]] = [set() for _ in range(component_count)]
+        self._nontrivial = [False] * component_count
+        member_count = [0] * component_count
+        for node in range(node_count):
+            member_count[self._component[node]] += 1
+        for source, target in edges:
+            cs, ct = self._component[source], self._component[target]
+            if cs == ct:
+                self._nontrivial[cs] = True
+            else:
+                successors[cs].add(ct)
+        for comp in range(component_count):
+            if member_count[comp] > 1:
+                self._nontrivial[comp] = True
+
+        self._reach: list[int] = [0] * component_count
+        for comp in range(component_count):
+            mask = 1 << comp
+            for successor in successors[comp]:
+                mask |= self._reach[successor]
+            self._reach[comp] = mask
+        self._members: list[list[int]] = [[] for _ in range(component_count)]
+        for node in range(node_count):
+            self._members[self._component[node]].append(node)
+
+    # -- queries ----------------------------------------------------------------
+
+    def reachable(self, source: int, target: int, reflexive: bool = True) -> bool:
+        """Is there an l-labeled walk from ``source`` to ``target``?
+
+        ``reflexive=True`` answers ``(l)*`` (zero steps allowed);
+        ``reflexive=False`` answers ``(l)+`` (at least one step).
+        """
+        cs, ct = self._component[source], self._component[target]
+        if source == target and reflexive:
+            return True
+        if cs == ct:
+            return self._nontrivial[cs]
+        return bool(self._reach[cs] & (1 << ct))
+
+    def reachable_set(self, source: int, reflexive: bool = True) -> set[int]:
+        """All nodes reachable from ``source``."""
+        result: set[int] = set()
+        cs = self._component[source]
+        mask = self._reach[cs]
+        comp = 0
+        while mask:
+            if mask & 1:
+                if comp == cs and not self._nontrivial[cs]:
+                    pass  # own trivial component: only via 0 steps
+                else:
+                    result.update(self._members[comp])
+            mask >>= 1
+            comp += 1
+        if reflexive:
+            result.add(source)
+        elif not self._nontrivial[cs]:
+            result.discard(source)
+        return result
+
+    def all_pairs(self, reflexive: bool = True) -> Iterator[Pair]:
+        """Every reachable ``(a, b)`` pair (the full ``(l)*`` answer)."""
+        for source in self.graph.node_ids():
+            for target in sorted(self.reachable_set(source, reflexive=reflexive)):
+                yield source, target

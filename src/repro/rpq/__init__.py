@@ -1,0 +1,8 @@
+"""The RPQ language: AST, parser, rewrites, semantics, automata."""
+
+from repro.rpq import ast
+from repro.rpq.parser import parse
+from repro.rpq.rewrite import NormalForm, normalize
+from repro.rpq.semantics import eval_ast, eval_query
+
+__all__ = ["ast", "parse", "normalize", "NormalForm", "eval_ast", "eval_query"]

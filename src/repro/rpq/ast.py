@@ -1,0 +1,241 @@
+"""Abstract syntax for regular path queries (Section 2.2).
+
+The grammar of the paper is
+
+    R ::= eps | l | l⁻ | R ∘ R | R ∪ R | R^{i,j}
+
+We additionally allow inverse on arbitrary subexpressions (rewritten to
+label level by :mod:`repro.rpq.rewrite`) and unbounded recursion
+(``R*``/``R+``/``R{i,}``), desugared to bounded recursion against a
+concrete graph via the paper's ``n(G)`` observation.
+
+All nodes are immutable and hashable; construction normalizes nothing —
+rewriting is an explicit, separate phase so tests can inspect each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ValidationError
+from repro.graph.graph import LabelPath, Step
+
+
+class Node:
+    """Base class of all RPQ AST nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Node", ...]:
+        return ()
+
+    def size(self) -> int:
+        """Number of AST nodes in this subtree."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def labels_used(self) -> frozenset[str]:
+        """Every edge label mentioned anywhere in the expression."""
+        labels: set[str] = set()
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Label):
+                labels.add(node.step.label)
+            stack.extend(node.children())
+        return frozenset(labels)
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Node):
+    """The identity transition ``eps``: relates every node to itself."""
+
+    def __str__(self) -> str:
+        return "<eps>"
+
+
+@dataclass(frozen=True, slots=True)
+class Label(Node):
+    """A single navigation step (forward or inverse edge label)."""
+
+    step: Step
+
+    def __str__(self) -> str:
+        return str(self.step)
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Node):
+    """Path composition ``R ∘ S`` (n-ary for convenience)."""
+
+    parts: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValidationError("Concat requires at least two parts")
+
+    def children(self) -> tuple[Node, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return "/".join(_wrap(part, for_concat=True) for part in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Node):
+    """Path disjunction ``R ∪ S`` (n-ary for convenience)."""
+
+    parts: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValidationError("Union requires at least two parts")
+
+    def children(self) -> tuple[Node, ...]:
+        return self.parts
+
+    def __str__(self) -> str:
+        return "|".join(str(part) for part in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(Node):
+    """Bounded path recursion ``R{low,high}``.
+
+    ``high=None`` means unbounded (``R{low,}``); :func:`repro.rpq.rewrite.bound_star`
+    replaces it by a concrete bound before planning.
+    """
+
+    child: Node
+    low: int
+    high: int | None
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ValidationError(f"Repeat lower bound must be >= 0, got {self.low}")
+        if self.high is not None and self.high < self.low:
+            raise ValidationError(
+                f"Repeat bounds must satisfy low <= high, got "
+                f"{{{self.low},{self.high}}}"
+            )
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        body = _wrap(self.child, tight=True)
+        if self.high is None:
+            return f"{body}{{{self.low},}}"
+        return f"{body}{{{self.low},{self.high}}}"
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Node):
+    """Unbounded Kleene star ``R*`` (sugar for ``R{0,}``)."""
+
+    child: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.child, tight=True)}*"
+
+
+@dataclass(frozen=True, slots=True)
+class Inverse(Node):
+    """Syntactic inverse ``^R`` on an arbitrary subexpression."""
+
+    child: Node
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        return f"^{_wrap(self.child, tight=True)}"
+
+
+def _wrap(node: Node, for_concat: bool = False, tight: bool = False) -> str:
+    """Parenthesize when needed for an unambiguous unparse.
+
+    ``tight`` is used under postfix/prefix operators (repetition, star,
+    inverse), which bind tighter than both concatenation and union.
+    """
+    needs_parens = isinstance(node, Union) or (
+        (for_concat or tight) and isinstance(node, Concat)
+    ) or (tight and isinstance(node, (Repeat, Star, Inverse)))
+    text = str(node)
+    return f"({text})" if needs_parens else text
+
+
+# -- constructor helpers ------------------------------------------------------
+
+def label(name: str) -> Label:
+    """Forward navigation of edge label ``name``."""
+    return Label(Step(name))
+
+
+def inv_label(name: str) -> Label:
+    """Backward navigation of edge label ``name`` (the paper's ``l⁻``)."""
+    return Label(Step(name, inverse=True))
+
+
+def concat(*parts: Node) -> Node:
+    """``parts[0] ∘ parts[1] ∘ ...`` (flattens nested concats)."""
+    flat: list[Node] = []
+    for part in parts:
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Node) -> Node:
+    """``parts[0] ∪ parts[1] ∪ ...`` (flattens nested unions)."""
+    flat: list[Node] = []
+    for part in parts:
+        if isinstance(part, Union):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        raise ValidationError("union of zero expressions")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def repeat(child: Node, low: int, high: int | None) -> Repeat:
+    """Bounded recursion ``child{low,high}``."""
+    return Repeat(child, low, high)
+
+
+def star(child: Node) -> Star:
+    """``child*``."""
+    return Star(child)
+
+
+def plus(child: Node) -> Repeat:
+    """``child+`` == ``child{1,}``."""
+    return Repeat(child, 1, None)
+
+
+def optional(child: Node) -> Repeat:
+    """``child?`` == ``child{0,1}``."""
+    return Repeat(child, 0, 1)
+
+
+def from_label_path(path: LabelPath) -> Node:
+    """An AST that is exactly one label path (concat of its steps)."""
+    return concat(*(Label(step) for step in path))

@@ -1,0 +1,172 @@
+"""Nondeterministic finite automata over navigation steps.
+
+This powers the automaton/search baseline (approach 1 in the paper's
+introduction): an RPQ is compiled to an NFA whose alphabet is the set of
+:class:`~repro.graph.graph.Step` symbols, then evaluated by a BFS over
+the product of the graph and the automaton.
+
+Construction is Thompson-style with epsilon transitions; bounded
+recursion ``R{i,j}`` becomes ``i`` mandatory copies followed by
+``j - i`` skippable copies.  :meth:`NFA.eps_closure` memoizes closures,
+since product search queries them per visited pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RewriteError
+from repro.graph.graph import Step
+from repro.rpq.ast import (
+    Concat,
+    Epsilon,
+    Inverse,
+    Label,
+    Node,
+    Repeat,
+    Star,
+    Union,
+)
+from repro.rpq.rewrite import push_inverse
+
+
+@dataclass
+class NFA:
+    """An NFA with a single start state and a single accepting state."""
+
+    start: int = 0
+    accept: int = 1
+    state_count: int = 2
+    #: state -> step -> set of successor states
+    transitions: dict[int, dict[Step, set[int]]] = field(default_factory=dict)
+    #: state -> set of epsilon-successor states
+    epsilon: dict[int, set[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._closure_cache: dict[int, frozenset[int]] = {}
+
+    # -- construction helpers -------------------------------------------------
+
+    def new_state(self) -> int:
+        state = self.state_count
+        self.state_count += 1
+        return state
+
+    def add_transition(self, source: int, step: Step, target: int) -> None:
+        self.transitions.setdefault(source, {}).setdefault(step, set()).add(target)
+        self._closure_cache.clear()
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        if source != target:
+            self.epsilon.setdefault(source, set()).add(target)
+            self._closure_cache.clear()
+
+    # -- queries --------------------------------------------------------------------
+
+    def eps_closure(self, state: int) -> frozenset[int]:
+        """All states reachable from ``state`` via epsilon moves."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for successor in self.epsilon.get(current, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append(successor)
+        closure = frozenset(seen)
+        self._closure_cache[state] = closure
+        return closure
+
+    def eps_closure_set(self, states: frozenset[int]) -> frozenset[int]:
+        """Union of epsilon closures of a state set."""
+        result: set[int] = set()
+        for state in states:
+            result |= self.eps_closure(state)
+        return frozenset(result)
+
+    def step_targets(self, state: int, step: Step) -> frozenset[int]:
+        """Successors of ``state`` on symbol ``step`` (no closure applied)."""
+        return frozenset(self.transitions.get(state, {}).get(step, ()))
+
+    def accepts_empty(self) -> bool:
+        """Whether the automaton accepts the empty word."""
+        return self.accept in self.eps_closure(self.start)
+
+    def alphabet(self) -> frozenset[Step]:
+        """All step symbols appearing on any transition."""
+        symbols: set[Step] = set()
+        for by_step in self.transitions.values():
+            symbols.update(by_step)
+        return frozenset(symbols)
+
+    def out_steps(self, state: int) -> frozenset[Step]:
+        """Symbols with at least one transition out of ``state``."""
+        return frozenset(self.transitions.get(state, {}))
+
+
+def compile_ast(node: Node) -> NFA:
+    """Compile an RPQ AST (inverse allowed) to an NFA."""
+    nfa = NFA()
+    prepared = push_inverse(node)
+    _build(nfa, prepared, nfa.start, nfa.accept)
+    return nfa
+
+
+def _build(nfa: NFA, node: Node, entry: int, exit_: int) -> None:
+    """Wire ``node`` between the existing states ``entry`` and ``exit_``."""
+    if isinstance(node, Epsilon):
+        nfa.add_epsilon(entry, exit_)
+        return
+    if isinstance(node, Label):
+        nfa.add_transition(entry, node.step, exit_)
+        return
+    if isinstance(node, Concat):
+        current = entry
+        for part in node.parts[:-1]:
+            nxt = nfa.new_state()
+            _build(nfa, part, current, nxt)
+            current = nxt
+        _build(nfa, node.parts[-1], current, exit_)
+        return
+    if isinstance(node, Union):
+        for part in node.parts:
+            inner_entry = nfa.new_state()
+            inner_exit = nfa.new_state()
+            nfa.add_epsilon(entry, inner_entry)
+            _build(nfa, part, inner_entry, inner_exit)
+            nfa.add_epsilon(inner_exit, exit_)
+        return
+    if isinstance(node, Star):
+        hub = nfa.new_state()
+        nfa.add_epsilon(entry, hub)
+        nfa.add_epsilon(hub, exit_)
+        inner_entry = nfa.new_state()
+        inner_exit = nfa.new_state()
+        nfa.add_epsilon(hub, inner_entry)
+        _build(nfa, node.child, inner_entry, inner_exit)
+        nfa.add_epsilon(inner_exit, hub)
+        return
+    if isinstance(node, Repeat):
+        current = entry
+        for _ in range(node.low):
+            nxt = nfa.new_state()
+            _build(nfa, node.child, current, nxt)
+            current = nxt
+        if node.high is None:
+            star_exit = nfa.new_state()
+            _build(nfa, Star(node.child), current, star_exit)
+            nfa.add_epsilon(star_exit, exit_)
+            return
+        for _ in range(node.high - node.low):
+            nxt = nfa.new_state()
+            nfa.add_epsilon(current, exit_)  # stop early
+            _build(nfa, node.child, current, nxt)
+            current = nxt
+        nfa.add_epsilon(current, exit_)
+        return
+    if isinstance(node, Inverse):
+        raise RewriteError("inverse should have been pushed before NFA build")
+    raise RewriteError(f"unknown AST node {type(node).__name__}")

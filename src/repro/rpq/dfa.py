@@ -1,0 +1,175 @@
+"""Deterministic finite automata over navigation steps.
+
+Completes the automaton substrate (approach 1): the Thompson NFA from
+:mod:`repro.rpq.automaton` is determinized by subset construction and
+minimized by Hopcroft-style partition refinement.  A DFA product
+evaluation visits each (node, state) pair at most once with no epsilon
+bookkeeping, trading construction cost for evaluation speed — the
+classic engineering choice automaton-based RPQ systems make.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph, Step
+from repro.rpq.ast import Node
+from repro.rpq.automaton import NFA, compile_ast
+
+Pair = tuple[int, int]
+
+
+@dataclass
+class DFA:
+    """A deterministic automaton: one start state, a set of finals."""
+
+    start: int = 0
+    state_count: int = 1
+    finals: frozenset[int] = frozenset()
+    #: state -> step -> single successor state
+    transitions: dict[int, dict[Step, int]] = field(default_factory=dict)
+
+    def successor(self, state: int, step: Step) -> int | None:
+        return self.transitions.get(state, {}).get(step)
+
+    def out_steps(self, state: int) -> frozenset[Step]:
+        return frozenset(self.transitions.get(state, {}))
+
+    def accepts_empty(self) -> bool:
+        return self.start in self.finals
+
+    def accepts(self, word: tuple[Step, ...]) -> bool:
+        """Does the DFA accept this step word?"""
+        state: int | None = self.start
+        for step in word:
+            state = self.successor(state, step)
+            if state is None:
+                return False
+        return state in self.finals
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset construction (only reachable subsets are materialized)."""
+    start_set = nfa.eps_closure(nfa.start)
+    numbering: dict[frozenset[int], int] = {start_set: 0}
+    transitions: dict[int, dict[Step, int]] = {}
+    finals: set[int] = set()
+    queue: deque[frozenset[int]] = deque([start_set])
+    while queue:
+        subset = queue.popleft()
+        subset_id = numbering[subset]
+        if nfa.accept in subset:
+            finals.add(subset_id)
+        outgoing: dict[Step, set[int]] = {}
+        for state in subset:
+            for step in nfa.out_steps(state):
+                outgoing.setdefault(step, set()).update(
+                    nfa.step_targets(state, step)
+                )
+        for step, raw_targets in outgoing.items():
+            closure = nfa.eps_closure_set(frozenset(raw_targets))
+            successor_id = numbering.get(closure)
+            if successor_id is None:
+                successor_id = len(numbering)
+                numbering[closure] = successor_id
+                queue.append(closure)
+            transitions.setdefault(subset_id, {})[step] = successor_id
+    return DFA(
+        start=0,
+        state_count=len(numbering),
+        finals=frozenset(finals),
+        transitions=transitions,
+    )
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Partition-refinement minimization (partial-transition aware).
+
+    States are initially split into accepting / non-accepting; blocks
+    are refined until every pair of states in a block agrees, for each
+    step, on the *block* of its successor (missing transitions count as
+    a distinguished sink).  The quotient automaton is returned.
+    """
+    alphabet = sorted(
+        {step for by_step in dfa.transitions.values() for step in by_step},
+        key=lambda step: step.encode(),
+    )
+    # block id per state; -1 marks the implicit dead state.
+    block_of = [
+        0 if state in dfa.finals else 1 for state in range(dfa.state_count)
+    ]
+
+    changed = True
+    while changed:
+        changed = False
+        signature_to_block: dict[tuple, int] = {}
+        next_blocks = [0] * dfa.state_count
+        for state in range(dfa.state_count):
+            successor_blocks = []
+            for step in alphabet:
+                successor = dfa.successor(state, step)
+                successor_blocks.append(
+                    -1 if successor is None else block_of[successor]
+                )
+            signature = (block_of[state], tuple(successor_blocks))
+            block = signature_to_block.setdefault(
+                signature, len(signature_to_block)
+            )
+            next_blocks[state] = block
+        if next_blocks != block_of:
+            block_of = next_blocks
+            changed = True
+
+    block_count = max(block_of) + 1 if block_of else 1
+    transitions: dict[int, dict[Step, int]] = {}
+    for state in range(dfa.state_count):
+        block = block_of[state]
+        for step, successor in dfa.transitions.get(state, {}).items():
+            transitions.setdefault(block, {})[step] = block_of[successor]
+    finals = frozenset(block_of[state] for state in dfa.finals)
+    return DFA(
+        start=block_of[dfa.start],
+        state_count=block_count,
+        finals=finals,
+        transitions=transitions,
+    )
+
+
+def compile_dfa(query: Node, minimized: bool = True) -> DFA:
+    """AST -> (minimized) DFA."""
+    dfa = determinize(compile_ast(query))
+    return minimize(dfa) if minimized else dfa
+
+
+def evaluate(graph: Graph, query: Node) -> set[Pair]:
+    """All-pairs evaluation via DFA × graph product BFS."""
+    dfa = compile_dfa(query)
+    result: set[Pair] = set()
+    for source in graph.node_ids():
+        for target in evaluate_from(graph, dfa, source):
+            result.add((source, target))
+    return result
+
+
+def evaluate_from(graph: Graph, dfa: DFA, source: int) -> set[int]:
+    """All targets of ``source`` under the DFA."""
+    targets: set[int] = set()
+    start = (source, dfa.start)
+    visited = {start}
+    queue = deque([start])
+    if dfa.start in dfa.finals:
+        targets.add(source)
+    while queue:
+        node, state = queue.popleft()
+        for step in dfa.out_steps(state):
+            next_state = dfa.successor(state, step)
+            assert next_state is not None
+            for neighbor in graph.step_neighbors(node, step):
+                pair = (neighbor, next_state)
+                if pair not in visited:
+                    visited.add(pair)
+                    queue.append(pair)
+                    if next_state in dfa.finals:
+                        targets.add(neighbor)
+    return targets

@@ -1,0 +1,224 @@
+"""Text syntax for regular path queries.
+
+The concrete syntax follows SPARQL 1.1 property paths where possible::
+
+    query   := union
+    union   := concat ('|' concat)*
+    concat  := postfix ('/' postfix)*
+    postfix := prefix ('*' | '+' | '?' | '{' INT (',' INT?)? '}')*
+    prefix  := '^' prefix | atom
+    atom    := IDENT | '<eps>' | '(' union ')'
+
+Examples (all from the paper, Section 2.2 / Section 4)::
+
+    supervisor/^worksFor
+    (supervisor|worksFor|^worksFor){4,5}
+    knows/(knows/worksFor){2,4}/worksFor
+
+``^`` is inverse navigation (the paper's ``l⁻``); it may be applied to
+any parenthesized expression, not just labels.  ``R{i}`` abbreviates
+``R{i,i}``; ``R{i,}`` and ``R*``/``R+`` are unbounded and are bounded
+against a concrete graph during rewriting.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.rpq import ast
+from repro.rpq.ast import Node
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<eps><eps>|ε)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>\d+)
+  | (?P<sym>[\^/|*+?{},()])
+    """,
+    re.VERBOSE,
+)
+
+#: Hard cap on repetition bounds accepted by the parser; expanding a
+#: recursion is exponential in the bound, so absurd literals are
+#: rejected early with a clear message.
+MAX_REPEAT_BOUND = 10_000
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # 'eps' | 'ident' | 'int' | one of the symbol characters
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Split query text into tokens; raise :class:`ParseError` on junk."""
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at offset {position}",
+                position=position,
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "sym":
+            kind = value
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query", position=len(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r} "
+                f"at offset {token.position}",
+                position=token.position,
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self._union()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected {trailing.text!r} after end of query "
+                f"at offset {trailing.position}",
+                position=trailing.position,
+            )
+        return node
+
+    def _union(self) -> Node:
+        parts = [self._concat()]
+        while self._accept("|"):
+            parts.append(self._concat())
+        return ast.union(*parts)
+
+    def _concat(self) -> Node:
+        parts = [self._postfix()]
+        while self._accept("/"):
+            parts.append(self._postfix())
+        return ast.concat(*parts)
+
+    def _postfix(self) -> Node:
+        node = self._prefix()
+        while True:
+            token = self._peek()
+            if token is None:
+                return node
+            if token.kind == "*":
+                self._next()
+                node = ast.star(node)
+            elif token.kind == "+":
+                self._next()
+                node = ast.plus(node)
+            elif token.kind == "?":
+                self._next()
+                node = ast.optional(node)
+            elif token.kind == "{":
+                node = self._bounds(node)
+            else:
+                return node
+
+    def _bounds(self, node: Node) -> Node:
+        open_token = self._expect("{")
+        low = self._int()
+        high: int | None
+        if self._accept(","):
+            if self._peek() is not None and self._peek().kind == "int":
+                high = self._int()
+            else:
+                high = None
+        else:
+            high = low
+        self._expect("}")
+        if high is not None and high < low:
+            raise ParseError(
+                f"repetition bounds {{{low},{high}}} are inverted "
+                f"at offset {open_token.position}",
+                position=open_token.position,
+            )
+        return ast.repeat(node, low, high)
+
+    def _int(self) -> int:
+        token = self._expect("int")
+        value = int(token.text)
+        if value > MAX_REPEAT_BOUND:
+            raise ParseError(
+                f"repetition bound {value} exceeds the maximum "
+                f"{MAX_REPEAT_BOUND}",
+                position=token.position,
+            )
+        return value
+
+    def _prefix(self) -> Node:
+        if self._accept("^"):
+            return ast.Inverse(self._prefix())
+        return self._atom()
+
+    def _atom(self) -> Node:
+        token = self._next()
+        if token.kind == "ident":
+            return ast.label(token.text)
+        if token.kind == "eps":
+            return ast.Epsilon()
+        if token.kind == "(":
+            node = self._union()
+            self._expect(")")
+            return node
+        raise ParseError(
+            f"expected a label, '<eps>' or '(' but found {token.text!r} "
+            f"at offset {token.position}",
+            position=token.position,
+        )
+
+
+def parse(text: str) -> Node:
+    """Parse RPQ text into an AST.
+
+    >>> str(parse("supervisor/^worksFor"))
+    'supervisor/^worksFor'
+    >>> str(parse("(supervisor|worksFor|^worksFor){4,5}"))
+    '(supervisor|worksFor|^worksFor){4,5}'
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("empty query text")
+    return _Parser(text).parse()

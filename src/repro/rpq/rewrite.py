@@ -1,0 +1,247 @@
+"""Rewriting RPQs into the planner's normal form (Section 4, steps 1-2).
+
+The pipeline is::
+
+    parse text ──► push_inverse ──► bound_star ──► expand_recursion
+                                              ──► pull_up_unions ──► NormalForm
+
+* :func:`push_inverse` eliminates syntactic inverse by distributing it
+  down to steps (``^(a/b) == ^b/^a`` etc.);
+* :func:`bound_star` replaces unbounded recursion by bounded recursion
+  using the paper's ``n(G)`` observation (``R* == R{0,n(G)}``);
+* :func:`expand_recursion` unrolls every ``R{i,j}`` into a union of
+  powers (step 1 of the paper);
+* :func:`pull_up_unions` distributes concatenation over union until the
+  query is a flat union of *label paths* (step 2 of the paper).
+
+The result is a :class:`NormalForm`: an optional epsilon disjunct plus a
+duplicate-free list of :class:`~repro.graph.graph.LabelPath`.
+Expansion is exponential in the worst case, so both rewrites take a
+``max_disjuncts`` guard and raise :class:`RewriteError` beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RewriteError
+from repro.graph.graph import LabelPath, Step
+from repro.rpq import ast
+from repro.rpq.ast import (
+    Concat,
+    Epsilon,
+    Inverse,
+    Label,
+    Node,
+    Repeat,
+    Star,
+    Union,
+)
+
+#: Default ceiling on the number of label-path disjuncts a query may
+#: expand to.  The paper's queries expand to a handful; this guard stops
+#: adversarial ``(a|b|c){0,20}`` blow-ups with a clear error.
+DEFAULT_MAX_DISJUNCTS = 4096
+
+#: Default ceiling on the *total* number of steps across all disjuncts.
+#: A star bounded at n(G) on a large graph expands into few but very
+#: long disjuncts (``l{1,n}`` is n paths of total length ~n²/2); past
+#: this budget the executor's fixpoint fallback is strictly better, so
+#: :func:`normalize` refuses with :class:`RewriteError`.  The paper's
+#: largest worked query, ``(sup|wF|wF⁻){4,5}``, totals 1,539 steps.
+DEFAULT_MAX_TOTAL_STEPS = 2048
+
+
+@dataclass(frozen=True, slots=True)
+class NormalForm:
+    """A query as a flat union of label paths (plus optional epsilon)."""
+
+    has_epsilon: bool
+    paths: tuple[LabelPath, ...]
+
+    @property
+    def disjunct_count(self) -> int:
+        return len(self.paths) + (1 if self.has_epsilon else 0)
+
+    def max_length(self) -> int:
+        """Length of the longest disjunct (0 when only epsilon)."""
+        return max((len(path) for path in self.paths), default=0)
+
+    def __str__(self) -> str:
+        parts = (["<eps>"] if self.has_epsilon else []) + [
+            str(path) for path in self.paths
+        ]
+        return " | ".join(parts) if parts else "<empty>"
+
+
+def push_inverse(node: Node) -> Node:
+    """Eliminate :class:`Inverse` nodes by pushing them onto steps."""
+    return _push(node, inverted=False)
+
+
+def _push(node: Node, inverted: bool) -> Node:
+    if isinstance(node, Inverse):
+        return _push(node.child, not inverted)
+    if isinstance(node, Epsilon):
+        return node
+    if isinstance(node, Label):
+        return Label(node.step.inverted()) if inverted else node
+    if isinstance(node, Concat):
+        parts = [_push(part, inverted) for part in node.parts]
+        if inverted:
+            parts.reverse()
+        return ast.concat(*parts)
+    if isinstance(node, Union):
+        return ast.union(*(_push(part, inverted) for part in node.parts))
+    if isinstance(node, Repeat):
+        return Repeat(_push(node.child, inverted), node.low, node.high)
+    if isinstance(node, Star):
+        return Star(_push(node.child, inverted))
+    raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def bound_star(node: Node, bound: int) -> Node:
+    """Replace unbounded recursion by bounded recursion.
+
+    ``R*`` becomes ``R{0,bound}`` and ``R{i,}`` becomes ``R{i,max(i,bound)}``;
+    ``bound`` should be the graph's ``n(G)``
+    (:func:`repro.graph.stats.star_bound`), which Section 2.2 argues is
+    always sufficient.
+    """
+    if bound < 0:
+        raise RewriteError(f"star bound must be >= 0, got {bound}")
+    if isinstance(node, Star):
+        return Repeat(bound_star(node.child, bound), 0, bound)
+    if isinstance(node, Repeat):
+        high = node.high if node.high is not None else max(node.low, bound)
+        return Repeat(bound_star(node.child, bound), node.low, high)
+    if isinstance(node, (Epsilon, Label)):
+        return node
+    if isinstance(node, Concat):
+        return ast.concat(*(bound_star(part, bound) for part in node.parts))
+    if isinstance(node, Union):
+        return ast.union(*(bound_star(part, bound) for part in node.parts))
+    if isinstance(node, Inverse):
+        return Inverse(bound_star(node.child, bound))
+    raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def expand_recursion(node: Node, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS) -> Node:
+    """Step 1 of the paper: unroll ``R{i,j}`` into ``R^i ∪ ... ∪ R^j``.
+
+    The input must already be inverse-free and star-free (apply
+    :func:`push_inverse` and :func:`bound_star` first).
+    """
+    if isinstance(node, (Epsilon, Label)):
+        return node
+    if isinstance(node, Concat):
+        return ast.concat(
+            *(expand_recursion(part, max_disjuncts) for part in node.parts)
+        )
+    if isinstance(node, Union):
+        return ast.union(
+            *(expand_recursion(part, max_disjuncts) for part in node.parts)
+        )
+    if isinstance(node, Repeat):
+        if node.high is None:
+            raise RewriteError(
+                "unbounded recursion survived to expansion; call bound_star first"
+            )
+        child = expand_recursion(node.child, max_disjuncts)
+        if node.high - node.low + 1 > max_disjuncts:
+            raise RewriteError(
+                f"recursion {{{node.low},{node.high}}} expands past the "
+                f"disjunct limit {max_disjuncts}"
+            )
+        powers: list[Node] = []
+        for exponent in range(node.low, node.high + 1):
+            powers.append(_power(child, exponent))
+        return ast.union(*powers) if len(powers) > 1 else powers[0]
+    if isinstance(node, Star):
+        raise RewriteError("Kleene star survived to expansion; call bound_star first")
+    if isinstance(node, Inverse):
+        raise RewriteError("inverse survived to expansion; call push_inverse first")
+    raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def _power(node: Node, exponent: int) -> Node:
+    if exponent == 0:
+        return Epsilon()
+    return ast.concat(*([node] * exponent))
+
+
+def pull_up_unions(
+    node: Node, max_disjuncts: int = DEFAULT_MAX_DISJUNCTS
+) -> list[tuple[Step, ...]]:
+    """Step 2 of the paper: distribute concat over union.
+
+    Returns the disjuncts as step tuples; the empty tuple stands for the
+    epsilon disjunct.  Input must be recursion-, star- and inverse-free.
+    """
+    disjuncts = _disjuncts(node, max_disjuncts)
+    seen: set[tuple[Step, ...]] = set()
+    unique: list[tuple[Step, ...]] = []
+    for disjunct in disjuncts:
+        if disjunct not in seen:
+            seen.add(disjunct)
+            unique.append(disjunct)
+    return unique
+
+
+def _disjuncts(node: Node, max_disjuncts: int) -> list[tuple[Step, ...]]:
+    if isinstance(node, Epsilon):
+        return [()]
+    if isinstance(node, Label):
+        return [(node.step,)]
+    if isinstance(node, Union):
+        result: list[tuple[Step, ...]] = []
+        for part in node.parts:
+            result.extend(_disjuncts(part, max_disjuncts))
+            if len(result) > max_disjuncts:
+                raise RewriteError(
+                    f"query expands past the disjunct limit {max_disjuncts}"
+                )
+        return result
+    if isinstance(node, Concat):
+        result = [()]
+        for part in node.parts:
+            part_disjuncts = _disjuncts(part, max_disjuncts)
+            combined = [
+                left + right for left in result for right in part_disjuncts
+            ]
+            if len(combined) > max_disjuncts:
+                raise RewriteError(
+                    f"query expands past the disjunct limit {max_disjuncts}"
+                )
+            result = combined
+        return result
+    raise RewriteError(
+        f"cannot pull unions out of {type(node).__name__}; "
+        "run push_inverse/bound_star/expand_recursion first"
+    )
+
+
+def normalize(
+    node: Node,
+    star_bound_value: int,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    max_total_steps: int = DEFAULT_MAX_TOTAL_STEPS,
+) -> NormalForm:
+    """The full rewrite pipeline, producing a :class:`NormalForm`.
+
+    Raises :class:`RewriteError` when the expansion exceeds either the
+    disjunct budget or the total-steps budget; callers that can fall
+    back to fixpoint evaluation (the executor) catch it there.
+    """
+    prepared = bound_star(push_inverse(node), star_bound_value)
+    expanded = expand_recursion(prepared, max_disjuncts)
+    raw = pull_up_unions(expanded, max_disjuncts)
+    total_steps = sum(len(disjunct) for disjunct in raw)
+    if total_steps > max_total_steps:
+        raise RewriteError(
+            f"query expands to {total_steps} total steps, past the budget "
+            f"{max_total_steps}; use fixpoint evaluation instead"
+        )
+    has_epsilon = any(disjunct == () for disjunct in raw)
+    paths = tuple(LabelPath(disjunct) for disjunct in raw if disjunct)
+    return NormalForm(has_epsilon=has_epsilon, paths=paths)

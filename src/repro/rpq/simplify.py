@@ -1,0 +1,171 @@
+"""Algebraic RPQ simplification.
+
+An optional pre-rewrite pass that shrinks queries before expansion.
+Every rule is a *semantic identity* over arbitrary graphs (each is
+property-tested against the reference evaluator):
+
+* flattening — nested concats/unions are flattened (constructors do
+  this already; re-simplification keeps it canonical);
+* epsilon elimination — ``eps ∘ R == R``;
+* union deduplication — ``R ∪ R == R`` (syntactic duplicates);
+* epsilon absorption — ``eps ∪ R == R`` when ``R`` is nullable
+  (already accepts the empty word);
+* trivial repeats — ``R{1,1} == R``, ``R{0,0} == eps``,
+  ``eps{i,j} == eps``;
+* nested repeats — ``R{a,b}{c,d} == R{a·c, b·d}`` when the inner
+  ranges tile contiguously (``a·(c+1) <= b·c + 1``), e.g.
+  ``R{1,2}{1,2} == R{1,4}`` but *not* ``R{2,2}{1,2}`` (can't make 5);
+* star collapsing — ``(R*)* == R*``, ``R*{i,j} == R*`` for ``i == 0``
+  or ``j >= 1``, ``R{0,n}* == R*``.
+
+The pass runs to a fixpoint bottom-up; it never grows the AST.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.rpq import ast
+from repro.rpq.ast import (
+    Concat,
+    Epsilon,
+    Inverse,
+    Label,
+    Node,
+    Repeat,
+    Star,
+    Union,
+)
+
+
+def nullable(node: Node) -> bool:
+    """Does the expression's language contain the empty word?
+
+    (Sound for answering "is identity included": eps-containment at the
+    language level implies identity-containment at the relation level.)
+    """
+    if isinstance(node, Epsilon):
+        return True
+    if isinstance(node, Label):
+        return False
+    if isinstance(node, Concat):
+        return all(nullable(part) for part in node.parts)
+    if isinstance(node, Union):
+        return any(nullable(part) for part in node.parts)
+    if isinstance(node, Star):
+        return True
+    if isinstance(node, Repeat):
+        return node.low == 0 or nullable(node.child)
+    if isinstance(node, Inverse):
+        return nullable(node.child)
+    raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def simplify(node: Node) -> Node:
+    """Apply the identities above bottom-up until a fixpoint."""
+    current = node
+    for _ in range(node.size() + 1):
+        simplified = _simplify_once(current)
+        if simplified == current:
+            return current
+        current = simplified
+    return current
+
+
+def _simplify_once(node: Node) -> Node:
+    if isinstance(node, (Epsilon, Label)):
+        return node
+    if isinstance(node, Inverse):
+        return Inverse(_simplify_once(node.child))
+    if isinstance(node, Concat):
+        parts = [_simplify_once(part) for part in node.parts]
+        parts = [part for part in parts if not isinstance(part, Epsilon)]
+        if not parts:
+            return Epsilon()
+        return ast.concat(*parts)
+    if isinstance(node, Union):
+        parts = [_simplify_once(part) for part in node.parts]
+        deduped: list[Node] = []
+        seen: set[Node] = set()
+        for part in parts:
+            if part not in seen:
+                seen.add(part)
+                deduped.append(part)
+        # eps ∪ R == R when some branch is already nullable.
+        non_eps = [part for part in deduped if not isinstance(part, Epsilon)]
+        if len(non_eps) < len(deduped) and any(nullable(p) for p in non_eps):
+            deduped = non_eps
+        return ast.union(*deduped)
+    if isinstance(node, Star):
+        child = _simplify_once(node.child)
+        # (R*)* == R*;  (R{0,n})* == R*;  (R{1,n})* == R*
+        if isinstance(child, Star):
+            return child
+        if isinstance(child, Repeat) and child.low in (0, 1):
+            return Star(child.child)
+        if isinstance(child, Epsilon):
+            return Epsilon()
+        return Star(child)
+    if isinstance(node, Repeat):
+        child = _simplify_once(node.child)
+        if isinstance(child, Epsilon):
+            return Epsilon()
+        if (node.low, node.high) == (1, 1):
+            return child
+        if (node.low, node.high) == (0, 0):
+            return Epsilon()
+        # R*{i,j}: any repetition of R* is R* when 0 or >=1 copies are
+        # allowed (and i copies of R* is still R* for i >= 1).
+        if isinstance(child, Star):
+            return child if node.low <= 1 else Star(child.child)
+        if isinstance(child, Repeat):
+            merged = _merge_repeats(child, node.low, node.high)
+            if merged is not None:
+                return merged
+        return Repeat(child, node.low, node.high)
+    raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def _merge_repeats(
+    inner: Repeat, outer_low: int, outer_high: int | None
+) -> Node | None:
+    """``R{a,b}{c,d} -> R{a*c, b*d}`` when exponent ranges tile.
+
+    The outer repetition chooses m ∈ [c,d] copies of ``R{a,b}``; the
+    reachable exponents are ⋃_m [a·m, b·m].  These intervals cover
+    [a·c, b·d] without gaps iff consecutive intervals touch:
+    ``a·(m+1) <= b·m + 1`` for all m in [c, d-1]; since the constraint
+    tightens as m shrinks, checking m = c suffices.  Unbounded outer
+    (d = None) additionally requires a <= 1 asymptotically — covered by
+    the same check plus b >= a ensured by construction.
+    """
+    a, b = inner.low, inner.high
+    if b is None:
+        # R{a,}{c,d}: exponents reach everything >= a*c.
+        if outer_high is None or outer_high >= 1:
+            low = a * outer_low
+            if outer_low == 0:
+                return Repeat(Repeat(inner.child, a, None), 0, 1)
+            return Repeat(inner.child, low, None)
+        return None
+    c, d = outer_low, outer_high
+    if d is None:
+        if c == 0:
+            return None  # R{a,b}{0,}: gaps unless a<=1; keep simple
+        if a * (c + 1) <= b * c + 1 and (a <= 1 or b >= a + 1 or a == b == 1):
+            # contiguity holds for all m >= c because it holds at c and
+            # the gap a·(m+1) - (b·m + 1) is non-increasing when a <= b.
+            if a * (c + 1) <= b * c + 1:
+                return Repeat(inner.child, a * c, None)
+        return None
+    if c == 0:
+        # m = 0 contributes exponent 0 (epsilon); the rest must tile
+        # from a·1 upward.
+        if d == 0:
+            return Epsilon()
+        rest = _merge_repeats(inner, 1, d)
+        if isinstance(rest, Repeat) and rest.low <= 1:
+            return Repeat(rest.child, 0, rest.high)
+        return None
+    if all(a * (m + 1) <= b * m + 1 for m in range(c, d)):
+        return Repeat(inner.child, a * c, b * d)
+    return None

@@ -1,0 +1,461 @@
+"""A disk-backed B+tree over byte keys, built on the pager.
+
+This is the "faithful" backend for the k-path index: the paper stores
+``I_{G,k}`` in PostgreSQL B+trees; here the same ordered-dictionary
+contract is provided by a from-scratch page-based tree.
+
+Page layouts (big-endian):
+
+* leaf — ``u8 type=1 | u16 count | u64 next_page`` then ``count``
+  entries of ``u16 key_len | u16 value_len | key | value``;
+* internal — ``u8 type=2 | u16 count`` then ``count+1`` ``u64`` child
+  page numbers followed by ``count`` entries of ``u16 key_len | key``.
+
+Keys are compared as raw bytes, so callers encode tuples with
+:func:`repro.storage.records.encode_key` (memcomparable).  Deletion is
+*lazy*: emptied nodes are unlinked and their pages freed, but no
+borrowing/merging between siblings is performed — a common engineering
+simplification (the index workload is build-once/read-many).
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import KeyOrderError, StorageError
+from repro.storage.pager import Pager
+
+_LEAF = 1
+_INTERNAL = 2
+_LEAF_HEADER = struct.Struct(">BHQ")
+_INTERNAL_HEADER = struct.Struct(">BH")
+_SLOT_ROOT = 0
+_SLOT_SIZE = 1
+_NO_PAGE = 0
+
+
+class _LeafNode:
+    __slots__ = ("keys", "values", "next_page")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []
+        self.next_page = _NO_PAGE
+
+    def encoded_size(self) -> int:
+        payload = sum(4 + len(k) + len(v) for k, v in zip(self.keys, self.values))
+        return _LEAF_HEADER.size + payload
+
+    def encode(self) -> bytes:
+        parts = [_LEAF_HEADER.pack(_LEAF, len(self.keys), self.next_page)]
+        for key, value in zip(self.keys, self.values):
+            parts.append(struct.pack(">HH", len(key), len(value)))
+            parts.append(key)
+            parts.append(value)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, page: bytes) -> "_LeafNode":
+        node = cls()
+        kind, count, node.next_page = _LEAF_HEADER.unpack_from(page, 0)
+        if kind != _LEAF:
+            raise StorageError(f"expected leaf page, found type {kind}")
+        offset = _LEAF_HEADER.size
+        for _ in range(count):
+            key_len, value_len = struct.unpack_from(">HH", page, offset)
+            offset += 4
+            node.keys.append(bytes(page[offset : offset + key_len]))
+            offset += key_len
+            node.values.append(bytes(page[offset : offset + value_len]))
+            offset += value_len
+        return node
+
+
+class _InternalNode:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[bytes] = []
+        self.children: list[int] = []
+
+    def encoded_size(self) -> int:
+        return (
+            _INTERNAL_HEADER.size
+            + 8 * len(self.children)
+            + sum(2 + len(k) for k in self.keys)
+        )
+
+    def encode(self) -> bytes:
+        parts = [_INTERNAL_HEADER.pack(_INTERNAL, len(self.keys))]
+        parts.append(struct.pack(f">{len(self.children)}Q", *self.children))
+        for key in self.keys:
+            parts.append(struct.pack(">H", len(key)))
+            parts.append(key)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, page: bytes) -> "_InternalNode":
+        node = cls()
+        kind, count = _INTERNAL_HEADER.unpack_from(page, 0)
+        if kind != _INTERNAL:
+            raise StorageError(f"expected internal page, found type {kind}")
+        offset = _INTERNAL_HEADER.size
+        node.children = list(struct.unpack_from(f">{count + 1}Q", page, offset))
+        offset += 8 * (count + 1)
+        for _ in range(count):
+            (key_len,) = struct.unpack_from(">H", page, offset)
+            offset += 2
+            node.keys.append(bytes(page[offset : offset + key_len]))
+            offset += key_len
+        return node
+
+
+class DiskBPlusTree:
+    """A persistent B+tree mapping byte keys to byte values."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ):
+        self._pager = Pager(path, page_size=page_size, cache_pages=cache_pages)
+        self._max_entry = page_size - _LEAF_HEADER.size - 4
+        root = self._pager.get_metadata(_SLOT_ROOT)
+        if root == _NO_PAGE:
+            root = self._pager.allocate_page()
+            self._write_node(root, _LeafNode())
+            self._pager.set_metadata(_SLOT_ROOT, root)
+            self._pager.set_metadata(_SLOT_SIZE, 0)
+        self._root = root
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        self._pager.flush()
+
+    def close(self) -> None:
+        self._pager.close()
+
+    def __enter__(self) -> "DiskBPlusTree":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def pager_stats(self):
+        """Buffer-pool counters (hits/misses/evictions)."""
+        return self._pager.stats
+
+    def __len__(self) -> int:
+        return self._pager.get_metadata(_SLOT_SIZE)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+    # -- node I/O ---------------------------------------------------------------
+
+    def _read_node(self, page_no: int) -> "_LeafNode | _InternalNode":
+        page = self._pager.read_page(page_no)
+        kind = page[0]
+        if kind == _LEAF:
+            return _LeafNode.decode(page)
+        if kind == _INTERNAL:
+            return _InternalNode.decode(page)
+        raise StorageError(f"page {page_no}: unknown node type {kind}")
+
+    def _write_node(self, page_no: int, node: "_LeafNode | _InternalNode") -> None:
+        self._pager.write_page(page_no, node.encode())
+
+    def _set_size(self, delta: int) -> None:
+        self._pager.set_metadata(_SLOT_SIZE, len(self) + delta)
+
+    # -- point operations ----------------------------------------------------------
+
+    def get(self, key: bytes, default: bytes | None = None) -> bytes | None:
+        """The value stored under ``key``, or ``default``."""
+        self._check_key(key)
+        node = self._read_node(self._root)
+        while isinstance(node, _InternalNode):
+            index = bisect.bisect_right(node.keys, key)
+            node = self._read_node(node.children[index])
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return default
+
+    def insert(self, key: bytes, value: bytes = b"") -> bool:
+        """Insert or overwrite; return ``True`` if the key was new."""
+        self._check_key(key, value)
+        inserted, split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right_page = split
+            new_root = _InternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right_page]
+            new_root_page = self._pager.allocate_page()
+            self._write_node(new_root_page, new_root)
+            self._root = new_root_page
+            self._pager.set_metadata(_SLOT_ROOT, new_root_page)
+        if inserted:
+            self._set_size(+1)
+        return inserted
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; return ``False`` when absent (lazy rebalancing)."""
+        self._check_key(key)
+        removed, emptied = self._delete(self._root, key)
+        if removed:
+            self._set_size(-1)
+        if emptied:
+            # Root leaf may legitimately be empty; keep it.
+            pass
+        root = self._read_node(self._root)
+        if isinstance(root, _InternalNode) and len(root.children) == 1:
+            old_root = self._root
+            self._root = root.children[0]
+            self._pager.set_metadata(_SLOT_ROOT, self._root)
+            self._pager.free_page(old_root)
+        return removed
+
+    def _insert(
+        self, page_no: int, key: bytes, value: bytes
+    ) -> tuple[bool, tuple[bytes, int] | None]:
+        node = self._read_node(page_no)
+        if isinstance(node, _LeafNode):
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                inserted = False
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                inserted = True
+            if node.encoded_size() <= self._pager.page_size:
+                self._write_node(page_no, node)
+                return inserted, None
+            return inserted, self._split_leaf(page_no, node)
+
+        index = bisect.bisect_right(node.keys, key)
+        inserted, split = self._insert(node.children[index], key, value)
+        if split is None:
+            return inserted, None
+        separator, right_page = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right_page)
+        if node.encoded_size() <= self._pager.page_size:
+            self._write_node(page_no, node)
+            return inserted, None
+        return inserted, self._split_internal(page_no, node)
+
+    def _split_leaf(self, page_no: int, node: _LeafNode) -> tuple[bytes, int]:
+        middle = self._split_point(
+            [4 + len(k) + len(v) for k, v in zip(node.keys, node.values)]
+        )
+        right = _LeafNode()
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        del node.keys[middle:]
+        del node.values[middle:]
+        right_page = self._pager.allocate_page()
+        right.next_page = node.next_page
+        node.next_page = right_page
+        self._write_node(page_no, node)
+        self._write_node(right_page, right)
+        return right.keys[0], right_page
+
+    def _split_internal(self, page_no: int, node: _InternalNode) -> tuple[bytes, int]:
+        middle = max(1, len(node.keys) // 2)
+        separator = node.keys[middle]
+        right = _InternalNode()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        del node.keys[middle:]
+        del node.children[middle + 1 :]
+        right_page = self._pager.allocate_page()
+        self._write_node(page_no, node)
+        self._write_node(right_page, right)
+        return separator, right_page
+
+    @staticmethod
+    def _split_point(entry_sizes: list[int]) -> int:
+        """Index splitting the entries into two byte-balanced halves."""
+        total = sum(entry_sizes)
+        running = 0
+        for index, size in enumerate(entry_sizes):
+            running += size
+            if running >= total // 2 and 0 < index + 1 < len(entry_sizes):
+                return index + 1
+        return max(1, len(entry_sizes) // 2)
+
+    def _delete(self, page_no: int, key: bytes) -> tuple[bool, bool]:
+        node = self._read_node(page_no)
+        if isinstance(node, _LeafNode):
+            index = bisect.bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False, False
+            del node.keys[index]
+            del node.values[index]
+            self._write_node(page_no, node)
+            return True, not node.keys
+
+        index = bisect.bisect_right(node.keys, key)
+        child_page = node.children[index]
+        removed, child_empty = self._delete(child_page, key)
+        if removed and child_empty and len(node.children) > 1:
+            child = self._read_node(child_page)
+            if isinstance(child, _LeafNode):
+                self._unlink_leaf(node, index, child)
+            del node.children[index]
+            del node.keys[index - 1 if index > 0 else 0]
+            self._pager.free_page(child_page)
+            self._write_node(page_no, node)
+            return True, not node.children
+        return removed, False
+
+    def _unlink_leaf(self, parent: _InternalNode, index: int, child: _LeafNode) -> None:
+        """Repair the leaf chain around an emptied leaf being removed."""
+        if index == 0:
+            return  # predecessor lives in another subtree; handled lazily
+        left_page = parent.children[index - 1]
+        left = self._read_node(left_page)
+        if isinstance(left, _LeafNode):
+            left.next_page = child.next_page
+            self._write_node(left_page, left)
+
+    # -- scans -----------------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All pairs in byte-key order."""
+        yield from self.range_scan()
+
+    def range_scan(
+        self, low: bytes | None = None, high: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Pairs with ``low <= key < high`` (half-open, bounds optional)."""
+        node = self._read_node(self._root)
+        while isinstance(node, _InternalNode):
+            index = 0 if low is None else bisect.bisect_right(node.keys, low)
+            node = self._read_node(node.children[index])
+        index = 0 if low is None else bisect.bisect_left(node.keys, low)
+        while True:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if high is not None and key >= high:
+                    return
+                yield key, node.values[index]
+                index += 1
+            if node.next_page == _NO_PAGE:
+                return
+            node = self._read_node(node.next_page)
+            if not isinstance(node, _LeafNode):
+                raise StorageError("leaf chain points at a non-leaf page")
+            index = 0
+
+    def prefix_scan(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """All pairs whose key starts with ``prefix`` bytes."""
+        for key, value in self.range_scan(low=prefix):
+            if not key.startswith(prefix):
+                return
+            yield key, value
+
+    # -- bulk load ---------------------------------------------------------------------
+
+    def bulk_load(self, items: Iterable[tuple[bytes, bytes]], fill: float = 0.8) -> None:
+        """Replace the tree contents from key-sorted ``(key, value)`` pairs.
+
+        Packs leaves to ``fill`` of a page and stacks internal levels
+        bottom-up.  Only valid on an empty tree.
+        """
+        if len(self) != 0:
+            raise StorageError("bulk_load requires an empty tree")
+        if not 0.1 <= fill <= 1.0:
+            raise StorageError(f"fill factor out of range: {fill}")
+        budget = int(self._pager.page_size * fill)
+
+        leaf_pages: list[int] = []
+        separators: list[bytes] = []
+        current = _LeafNode()
+        current_page = self._root
+        previous: bytes | None = None
+        count = 0
+        for key, value in items:
+            self._check_key(key, value)
+            if previous is not None and key <= previous:
+                raise KeyOrderError(
+                    f"bulk_load keys must be strictly ascending at {key!r}"
+                )
+            previous = key
+            entry = 4 + len(key) + len(value)
+            if current.keys and current.encoded_size() + entry > budget:
+                next_page = self._pager.allocate_page()
+                current.next_page = next_page
+                self._write_node(current_page, current)
+                leaf_pages.append(current_page)
+                separators.append(current.keys[0])
+                current = _LeafNode()
+                current_page = next_page
+            current.keys.append(key)
+            current.values.append(value)
+            count += 1
+        self._write_node(current_page, current)
+        leaf_pages.append(current_page)
+        separators.append(current.keys[0] if current.keys else b"")
+
+        level = leaf_pages
+        level_seps = separators
+        while len(level) > 1:
+            parents: list[int] = []
+            parent_seps: list[bytes] = []
+            group_children: list[int] = []
+            group_keys: list[bytes] = []
+            group_first: bytes | None = None
+
+            def flush_group() -> None:
+                node = _InternalNode()
+                node.children = list(group_children)
+                node.keys = list(group_keys)
+                page = self._pager.allocate_page()
+                self._write_node(page, node)
+                parents.append(page)
+                parent_seps.append(group_first if group_first is not None else b"")
+
+            for child, sep in zip(level, level_seps):
+                projected = (
+                    _INTERNAL_HEADER.size
+                    + 8 * (len(group_children) + 1)
+                    + sum(2 + len(k) for k in group_keys)
+                    + 2
+                    + len(sep)
+                )
+                if group_children and projected > budget:
+                    flush_group()
+                    group_children = []
+                    group_keys = []
+                    group_first = None
+                if not group_children:
+                    group_first = sep
+                else:
+                    group_keys.append(sep)
+                group_children.append(child)
+            flush_group()
+            level = parents
+            level_seps = parent_seps
+
+        self._root = level[0]
+        self._pager.set_metadata(_SLOT_ROOT, self._root)
+        self._pager.set_metadata(_SLOT_SIZE, count)
+
+    # -- validation -------------------------------------------------------------------
+
+    def _check_key(self, key: bytes, value: bytes = b"") -> None:
+        if not isinstance(key, (bytes, bytearray)):
+            raise StorageError(f"keys must be bytes, got {type(key).__name__}")
+        if 4 + len(key) + len(value) > self._max_entry:
+            raise StorageError(
+                f"entry of {len(key) + len(value)} bytes exceeds page capacity"
+            )

@@ -1,0 +1,457 @@
+"""An in-memory B+tree over tuple keys.
+
+This is the default ordered-dictionary backend of the k-path index
+(Section 3.1 of the paper: "an ordered dictionary, which can be
+implemented, for example, as a B+tree").  Keys are tuples compared
+lexicographically; values are arbitrary payloads (the path index stores
+``None`` and uses pure key semantics).
+
+Supported operations: point insert/get/delete, ordered iteration,
+half-open range scans, *prefix* scans (all keys whose leading components
+equal a given tuple — exactly the ``I_{G,k}(p)``, ``I_{G,k}(p, a)`` and
+``I_{G,k}(p, a, b)`` lookups of Example 3.1), and sorted bulk loading.
+
+Deletion rebalances (borrow-then-merge), so the tree stays within its
+occupancy invariants under any workload; the invariants are checked by
+:meth:`BPlusTree.check_invariants`, which the property tests call.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+from repro.errors import KeyOrderError, StorageError
+
+Key = tuple
+_SENTINEL = object()
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[Key] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: list[Key] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """An in-memory B+tree mapping tuple keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (minimum 4).  Leaves and
+        internal nodes use the same fanout.
+    """
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise StorageError(f"B+tree order must be >= 4, got {order}")
+        self._order = order
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key, _SENTINEL) is not _SENTINEL
+
+    # -- point operations --------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Return the value stored under ``key`` or ``default``."""
+        leaf = self._find_leaf(key)
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return default
+
+    def insert(self, key: Key, value: Any = None) -> bool:
+        """Insert ``key``; return ``False`` (and overwrite) if present."""
+        if not isinstance(key, tuple):
+            raise StorageError(f"keys must be tuples, got {type(key).__name__}")
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Internal()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        inserted = self._inserted_flag
+        if inserted:
+            self._size += 1
+        return inserted
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; return ``False`` if it was absent."""
+        removed = self._delete(self._root, key)
+        if removed:
+            self._size -= 1
+            root = self._root
+            if isinstance(root, _Internal) and len(root.children) == 1:
+                self._root = root.children[0]
+        return removed
+
+    # -- scans ---------------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """All ``(key, value)`` pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def keys(self) -> Iterator[Key]:
+        """All keys in order."""
+        for key, _ in self.items():
+            yield key
+
+    def range_scan(
+        self, low: Key | None = None, high: Key | None = None
+    ) -> Iterator[tuple[Key, Any]]:
+        """Pairs with ``low <= key < high`` (either bound may be None)."""
+        if low is None:
+            leaf: _Leaf | None = self._leftmost_leaf()
+            index = 0
+        else:
+            leaf = self._find_leaf(low)
+            index = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            keys = leaf.keys
+            while index < len(keys):
+                key = keys[index]
+                if high is not None and key >= high:
+                    return
+                yield key, leaf.values[index]
+                index += 1
+            leaf = leaf.next
+            index = 0
+
+    def prefix_scan(self, prefix: Key) -> Iterator[tuple[Key, Any]]:
+        """All pairs whose key starts with the components of ``prefix``.
+
+        Relies on tuple comparison: a proper prefix sorts before all of
+        its extensions, so the matching keys form one contiguous run.
+        """
+        if not isinstance(prefix, tuple):
+            raise StorageError("prefix must be a tuple")
+        width = len(prefix)
+        for key, value in self.range_scan(low=prefix):
+            if key[:width] != prefix:
+                return
+            yield key, value
+
+    def count_prefix(self, prefix: Key) -> int:
+        """Number of keys matching ``prefix`` (linear in the answer)."""
+        return sum(1 for _ in self.prefix_scan(prefix))
+
+    # -- bulk load -------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, items: Iterable[tuple[Key, Any]], order: int = 64
+    ) -> "BPlusTree":
+        """Build a tree from key-sorted ``(key, value)`` pairs.
+
+        Bulk loading packs leaves sequentially and builds internal
+        levels bottom-up, which is how the path-index builder
+        materializes ``I_{G,k}`` (it produces entries in sorted order).
+        Raises :class:`KeyOrderError` on out-of-order or duplicate keys.
+        """
+        tree = cls(order=order)
+        leaf_capacity = order
+        leaves: list[_Leaf] = []
+        current = _Leaf()
+        previous_key: Key | None = None
+        count = 0
+        for key, value in items:
+            if previous_key is not None and key <= previous_key:
+                raise KeyOrderError(
+                    f"bulk_load keys must be strictly ascending; "
+                    f"{key!r} follows {previous_key!r}"
+                )
+            previous_key = key
+            if len(current.keys) == leaf_capacity:
+                leaves.append(current)
+                fresh = _Leaf()
+                current.next = fresh
+                current = fresh
+            current.keys.append(key)
+            current.values.append(value)
+            count += 1
+        leaves.append(current)
+        # Avoid an under-full final leaf (unless it is the only one).
+        if len(leaves) > 1 and len(leaves[-1].keys) < leaf_capacity // 2:
+            donor, last = leaves[-2], leaves[-1]
+            total = len(donor.keys) + len(last.keys)
+            keep = total // 2
+            last.keys[:0] = donor.keys[keep:]
+            last.values[:0] = donor.values[keep:]
+            del donor.keys[keep:]
+            del donor.values[keep:]
+
+        if count == 0:
+            return tree
+
+        level: list[Any] = list(leaves)
+        separators = [leaf.keys[0] for leaf in leaves]
+        fanout = order + 1
+        while len(level) > 1:
+            # Even-sized groups keep every internal node at or above the
+            # minimum occupancy (see the occupancy analysis in the tests).
+            group_count = -(-len(level) // fanout)
+            base, extra = divmod(len(level), group_count)
+            next_level: list[Any] = []
+            next_separators: list[Key] = []
+            start = 0
+            for group_index in range(group_count):
+                size = base + (1 if group_index < extra else 0)
+                group = level[start : start + size]
+                node = _Internal()
+                node.children = group
+                node.keys = separators[start + 1 : start + size]
+                next_level.append(node)
+                next_separators.append(separators[start])
+                start += size
+            level = next_level
+            separators = next_separators
+        tree._root = level[0]
+        tree._size = count
+        return tree
+
+    # -- invariant checking ------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`StorageError` if any B+tree invariant is broken.
+
+        Checked: key ordering within and across nodes, occupancy bounds,
+        uniform leaf depth, leaf-chain completeness, and size accounting.
+        """
+        leaves: list[_Leaf] = []
+        self._check_node(self._root, None, None, is_root=True, depth=0, leaves=leaves)
+        depths = {depth for _, depth in leaves_with_depth(self._root)}
+        if len(depths) > 1:
+            raise StorageError(f"leaves at multiple depths: {sorted(depths)}")
+        chained = []
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            chained.append(leaf)
+            leaf = leaf.next
+        if [id(leaf) for leaf in chained] != [id(leaf) for leaf in leaves]:
+            raise StorageError("leaf chain does not match tree order")
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._size:
+            raise StorageError(f"size mismatch: counted {total}, recorded {self._size}")
+        flat = [key for leaf in leaves for key in leaf.keys]
+        if flat != sorted(set(flat)):
+            raise StorageError("keys are not strictly ascending across leaves")
+
+    # -- internals ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        return node
+
+    def _insert(
+        self, node: _Leaf | _Internal, key: Key, value: Any
+    ) -> tuple[Key, Any] | None:
+        if isinstance(node, _Leaf):
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                self._inserted_flag = False
+                return None
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            self._inserted_flag = True
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) <= self._order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Leaf) -> tuple[Key, _Leaf]:
+        middle = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        del node.keys[middle:]
+        del node.values[middle:]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal) -> tuple[Key, _Internal]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Internal()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        del node.keys[middle:]
+        del node.children[middle + 1 :]
+        return separator, right
+
+    def _delete(self, node: _Leaf | _Internal, key: Key) -> bool:
+        if isinstance(node, _Leaf):
+            index = bisect.bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            del node.keys[index]
+            del node.values[index]
+            return True
+
+        index = bisect.bisect_right(node.keys, key)
+        child = node.children[index]
+        removed = self._delete(child, key)
+        if removed and self._is_underfull(child):
+            self._rebalance(node, index)
+        return removed
+
+    def _min_keys(self) -> int:
+        return self._order // 2
+
+    def _is_underfull(self, node: _Leaf | _Internal) -> bool:
+        if isinstance(node, _Leaf):
+            return len(node.keys) < self._min_keys()
+        return len(node.children) < self._min_keys() + 1
+
+    def _rebalance(self, parent: _Internal, index: int) -> None:
+        child = parent.children[index]
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+
+        if isinstance(child, _Leaf):
+            if left is not None and len(left.keys) > self._min_keys():
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[index - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._min_keys():
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[index] = right.keys[0]
+            elif left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                del parent.children[index]
+                del parent.keys[index - 1]
+            else:
+                assert right is not None
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                del parent.children[index + 1]
+                del parent.keys[index]
+            return
+
+        if left is not None and len(left.children) > self._min_keys() + 1:
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+        elif right is not None and len(right.children) > self._min_keys() + 1:
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+        elif left is not None:
+            left.keys.append(parent.keys[index - 1])
+            left.keys.extend(child.keys)
+            left.children.extend(child.children)
+            del parent.children[index]
+            del parent.keys[index - 1]
+        else:
+            assert right is not None
+            child.keys.append(parent.keys[index])
+            child.keys.extend(right.keys)
+            child.children.extend(right.children)
+            del parent.children[index + 1]
+            del parent.keys[index]
+
+    def _check_node(
+        self,
+        node: _Leaf | _Internal,
+        low: Key | None,
+        high: Key | None,
+        is_root: bool,
+        depth: int,
+        leaves: list[_Leaf],
+    ) -> None:
+        if isinstance(node, _Leaf):
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise StorageError(f"leaf key {key!r} below bound {low!r}")
+                if high is not None and key >= high:
+                    raise StorageError(f"leaf key {key!r} above bound {high!r}")
+            if node.keys != sorted(node.keys):
+                raise StorageError("leaf keys out of order")
+            if not is_root and len(node.keys) < self._min_keys():
+                raise StorageError("underfull leaf")
+            if len(node.keys) > self._order:
+                raise StorageError("overfull leaf")
+            leaves.append(node)
+            return
+        if node.keys != sorted(node.keys):
+            raise StorageError("internal keys out of order")
+        if len(node.children) != len(node.keys) + 1:
+            raise StorageError("internal child/key count mismatch")
+        if not is_root and len(node.children) < self._min_keys() + 1:
+            raise StorageError("underfull internal node")
+        if len(node.keys) > self._order:
+            raise StorageError("overfull internal node")
+        bounds = [low, *node.keys, high]
+        for position, child in enumerate(node.children):
+            self._check_node(
+                child,
+                bounds[position],
+                bounds[position + 1],
+                is_root=False,
+                depth=depth + 1,
+                leaves=leaves,
+            )
+
+
+def leaves_with_depth(root: _Leaf | _Internal) -> Iterator[tuple[_Leaf, int]]:
+    """Yield every leaf with its depth (used by invariant checks)."""
+    stack: list[tuple[Any, int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, _Leaf):
+            yield node, depth
+        else:
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))

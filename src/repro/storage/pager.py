@@ -1,0 +1,238 @@
+"""A fixed-size page file with an LRU buffer pool.
+
+This is the bottom layer of the disk-backed index: a file divided into
+``page_size``-byte pages, cached through a bounded write-back buffer
+pool.  Page 0 is the header: a magic string, the geometry, and eight
+named 64-bit metadata slots that higher layers (the disk B+tree) use to
+persist their root pointers and counters.
+
+Freed pages are chained into a free list threaded through the pages
+themselves (first 8 bytes of a free page point at the next free page),
+so files do not grow monotonically under churn.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StorageError
+
+MAGIC = b"RPQPAGES"
+HEADER_FORMAT = ">8sIIQ"  # magic, page_size, page_count, freelist head
+HEADER_SIZE = struct.calcsize(HEADER_FORMAT)
+METADATA_SLOTS = 8
+_NO_PAGE = 0  # page 0 is the header, so 0 doubles as "null pointer"
+
+
+@dataclass
+class PagerStats:
+    """Buffer-pool counters, for the storage benchmarks."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+    allocations: int = field(default=0)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Pager:
+    """Page-granular file access through an LRU write-back cache."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ):
+        if page_size < 128:
+            raise StorageError(f"page_size must be >= 128, got {page_size}")
+        if cache_pages < 4:
+            raise StorageError(f"cache_pages must be >= 4, got {cache_pages}")
+        self._path = Path(path)
+        self._cache_pages = cache_pages
+        self._cache: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.stats = PagerStats()
+        exists = self._path.exists() and self._path.stat().st_size > 0
+        self._file = open(self._path, "r+b" if exists else "w+b")
+        if exists:
+            self._load_header(page_size)
+        else:
+            self._page_size = page_size
+            self._page_count = 1
+            self._freelist_head = _NO_PAGE
+            self._metadata = [0] * METADATA_SLOTS
+            self._write_header()
+        self._closed = False
+
+    # -- header --------------------------------------------------------------
+
+    def _load_header(self, expected_page_size: int) -> None:
+        self._file.seek(0)
+        raw = self._file.read(HEADER_SIZE + 8 * METADATA_SLOTS)
+        if len(raw) < HEADER_SIZE:
+            raise StorageError(f"{self._path}: truncated header")
+        magic, page_size, page_count, freelist = struct.unpack_from(
+            HEADER_FORMAT, raw
+        )
+        if magic != MAGIC:
+            raise StorageError(f"{self._path}: bad magic {magic!r}")
+        if page_size != expected_page_size:
+            raise StorageError(
+                f"{self._path}: file has page_size={page_size}, "
+                f"caller expected {expected_page_size}"
+            )
+        self._page_size = page_size
+        self._page_count = page_count
+        self._freelist_head = freelist
+        self._metadata = list(
+            struct.unpack_from(f">{METADATA_SLOTS}Q", raw, HEADER_SIZE)
+        )
+
+    def _write_header(self) -> None:
+        header = struct.pack(
+            HEADER_FORMAT, MAGIC, self._page_size, self._page_count, self._freelist_head
+        ) + struct.pack(f">{METADATA_SLOTS}Q", *self._metadata)
+        self._file.seek(0)
+        self._file.write(header.ljust(min(self._page_size, 4096), b"\x00"))
+
+    # -- metadata slots -----------------------------------------------------------
+
+    def get_metadata(self, slot: int) -> int:
+        """Read one of the 64-bit header metadata slots."""
+        self._check_slot(slot)
+        return self._metadata[slot]
+
+    def set_metadata(self, slot: int, value: int) -> None:
+        """Write one of the 64-bit header metadata slots (flushed eagerly)."""
+        self._check_slot(slot)
+        if not 0 <= value < (1 << 64):
+            raise StorageError(f"metadata value out of range: {value}")
+        self._metadata[slot] = value
+        self._write_header()
+
+    @staticmethod
+    def _check_slot(slot: int) -> None:
+        if not 0 <= slot < METADATA_SLOTS:
+            raise StorageError(f"metadata slot out of range: {slot}")
+
+    # -- page access -------------------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    def allocate_page(self) -> int:
+        """Return a fresh zeroed page number (reusing freed pages)."""
+        self._check_open()
+        self.stats.allocations += 1
+        if self._freelist_head != _NO_PAGE:
+            page_no = self._freelist_head
+            head = self.read_page(page_no)
+            self._freelist_head = struct.unpack_from(">Q", head, 0)[0]
+            self._write_header()
+        else:
+            page_no = self._page_count
+            self._page_count += 1
+            self._write_header()
+        blank = bytearray(self._page_size)
+        self._cache_put(page_no, blank, dirty=True)
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the free list."""
+        self._check_page(page_no)
+        page = bytearray(self._page_size)
+        struct.pack_into(">Q", page, 0, self._freelist_head)
+        self._cache_put(page_no, page, dirty=True)
+        self._freelist_head = page_no
+        self._write_header()
+
+    def read_page(self, page_no: int) -> bytearray:
+        """Fetch a page (from cache or disk).  Mutations require write_page."""
+        self._check_page(page_no)
+        cached = self._cache.get(page_no)
+        if cached is not None:
+            self._cache.move_to_end(page_no)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        self._file.seek(page_no * self._page_size)
+        raw = self._file.read(self._page_size)
+        page = bytearray(raw.ljust(self._page_size, b"\x00"))
+        self._cache_put(page_no, page, dirty=False)
+        return page
+
+    def write_page(self, page_no: int, data: bytes | bytearray) -> None:
+        """Replace a page's contents (write-back through the cache)."""
+        self._check_page(page_no)
+        if len(data) > self._page_size:
+            raise StorageError(
+                f"page overflow: {len(data)} bytes into {self._page_size}-byte page"
+            )
+        page = bytearray(self._page_size)
+        page[: len(data)] = data
+        self._cache_put(page_no, page, dirty=True)
+        self.stats.writes += 1
+
+    def flush(self) -> None:
+        """Write all dirty pages and the header to disk."""
+        self._check_open()
+        for page_no in sorted(self._dirty):
+            self._file.seek(page_no * self._page_size)
+            self._file.write(self._cache[page_no])
+        self._dirty.clear()
+        self._write_header()
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- cache internals ------------------------------------------------------------
+
+    def _cache_put(self, page_no: int, page: bytearray, dirty: bool) -> None:
+        self._cache[page_no] = page
+        self._cache.move_to_end(page_no)
+        if dirty:
+            self._dirty.add(page_no)
+        while len(self._cache) > self._cache_pages:
+            victim_no, victim = self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_no in self._dirty:
+                self._file.seek(victim_no * self._page_size)
+                self._file.write(victim)
+                self._dirty.discard(victim_no)
+
+    def _check_page(self, page_no: int) -> None:
+        self._check_open()
+        if not 1 <= page_no < self._page_count:
+            raise StorageError(
+                f"page {page_no} out of range (1..{self._page_count - 1})"
+            )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("pager is closed")

@@ -1,0 +1,143 @@
+"""Memcomparable tuple encoding.
+
+The disk B+tree stores raw byte keys and compares them with ``bytes``
+ordering.  This codec maps tuples of ints, floats, strings and bytes to
+byte strings such that **byte order equals tuple order**, and a tuple
+that is a prefix of another encodes to a byte prefix of the other's
+encoding (so byte-prefix scans implement tuple-prefix scans — the
+``I_{G,k}(p, a)`` lookups).
+
+Per-element encodings (each prefixed by a one-byte type tag so mixed
+columns still order deterministically: int < float < str < bytes):
+
+* **int** — signed 64-bit, big-endian, with the sign bit flipped
+  (classic bias trick) so two's-complement order matches byte order;
+* **float** — IEEE-754 big-endian bits; negative values have all bits
+  inverted, non-negatives the sign bit set;
+* **str / bytes** — the payload with ``0x00`` escaped as ``0x00 0xFF``,
+  terminated by ``0x00 0x00``.  The terminator sorts below every
+  escaped byte, so shorter strings sort first, as required.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Sequence
+
+from repro.errors import StorageError
+
+_TAG_INT = b"\x01"
+_TAG_FLOAT = b"\x02"
+_TAG_STR = b"\x03"
+_TAG_BYTES = b"\x04"
+
+_INT_BIAS = 1 << 63
+_INT_MIN = -(1 << 63)
+_INT_MAX = (1 << 63) - 1
+_TERMINATOR = b"\x00\x00"
+
+
+def _encode_int(value: int) -> bytes:
+    if not _INT_MIN <= value <= _INT_MAX:
+        raise StorageError(f"integer out of 64-bit range: {value}")
+    return _TAG_INT + (value + _INT_BIAS).to_bytes(8, "big")
+
+
+def _decode_int(data: memoryview, offset: int) -> tuple[int, int]:
+    raw = int.from_bytes(data[offset : offset + 8], "big")
+    return raw - _INT_BIAS, offset + 8
+
+
+def _encode_float(value: float) -> bytes:
+    bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+    if bits & (1 << 63):
+        bits ^= (1 << 64) - 1
+    else:
+        bits |= 1 << 63
+    return _TAG_FLOAT + bits.to_bytes(8, "big")
+
+
+def _decode_float(data: memoryview, offset: int) -> tuple[float, int]:
+    bits = int.from_bytes(data[offset : offset + 8], "big")
+    if bits & (1 << 63):
+        bits &= (1 << 63) - 1
+    else:
+        bits ^= (1 << 64) - 1
+    value = struct.unpack(">d", struct.pack(">Q", bits))[0]
+    return value, offset + 8
+
+
+def _escape(payload: bytes) -> bytes:
+    return payload.replace(b"\x00", b"\x00\xff") + _TERMINATOR
+
+
+def _unescape(data: memoryview, offset: int) -> tuple[bytes, int]:
+    out = bytearray()
+    length = len(data)
+    position = offset
+    while position < length:
+        byte = data[position]
+        if byte != 0:
+            out.append(byte)
+            position += 1
+            continue
+        if position + 1 >= length:
+            raise StorageError("truncated string encoding")
+        marker = data[position + 1]
+        if marker == 0xFF:
+            out.append(0)
+            position += 2
+        elif marker == 0x00:
+            return bytes(out), position + 2
+        else:
+            raise StorageError(f"corrupt escape sequence 0x00 0x{marker:02x}")
+    raise StorageError("unterminated string encoding")
+
+
+def encode_key(values: Sequence[object]) -> bytes:
+    """Encode a tuple of ints/floats/strs/bytes memcomparably."""
+    parts: list[bytes] = []
+    for value in values:
+        if isinstance(value, bool):
+            raise StorageError("bool keys are ambiguous; use int 0/1 explicitly")
+        if isinstance(value, int):
+            parts.append(_encode_int(value))
+        elif isinstance(value, float):
+            parts.append(_encode_float(value))
+        elif isinstance(value, str):
+            parts.append(_TAG_STR + _escape(value.encode("utf-8")))
+        elif isinstance(value, bytes):
+            parts.append(_TAG_BYTES + _escape(value))
+        else:
+            raise StorageError(
+                f"unsupported key element type: {type(value).__name__}"
+            )
+    return b"".join(parts)
+
+
+def decode_key(encoded: bytes) -> tuple:
+    """Inverse of :func:`encode_key`."""
+    view = memoryview(encoded)
+    offset = 0
+    values: list[object] = []
+    while offset < len(view):
+        tag = view[offset : offset + 1].tobytes()
+        offset += 1
+        if tag == _TAG_INT:
+            value, offset = _decode_int(view, offset)
+        elif tag == _TAG_FLOAT:
+            value, offset = _decode_float(view, offset)
+        elif tag == _TAG_STR:
+            raw, offset = _unescape(view, offset)
+            value = raw.decode("utf-8")
+        elif tag == _TAG_BYTES:
+            value, offset = _unescape(view, offset)
+        else:
+            raise StorageError(f"unknown type tag {tag!r} at offset {offset - 1}")
+        values.append(value)
+    return tuple(values)
+
+
+def encode_many(rows: Iterable[Sequence[object]]) -> list[bytes]:
+    """Encode an iterable of tuples (convenience for bulk loads)."""
+    return [encode_key(row) for row in rows]

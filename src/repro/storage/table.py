@@ -1,0 +1,176 @@
+"""A minimal typed relation over a B+tree.
+
+The paper stores both the path index and the histogram as PostgreSQL
+tables.  :class:`Table` provides the corresponding abstraction here:
+a schema of typed columns, a primary key that is a prefix of the
+columns, storage in an ordered tree (so primary-key prefix scans are
+cheap), and JSON persistence for catalogs and statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import StorageError, ValidationError
+from repro.storage.memtree import BPlusTree
+
+_TYPES: dict[str, type] = {"int": int, "float": float, "str": str}
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One table column: a name and a type tag (``int|float|str``)."""
+
+    name: str
+    type: str
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise ValidationError(
+                f"column {self.name!r}: unknown type {self.type!r} "
+                f"(expected one of {sorted(_TYPES)})"
+            )
+
+    def check(self, value: Any) -> Any:
+        expected = _TYPES[self.type]
+        if expected is float and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if not isinstance(value, expected) or isinstance(value, bool):
+            raise ValidationError(
+                f"column {self.name!r} expects {self.type}, got {value!r}"
+            )
+        return value
+
+
+class Table:
+    """An ordered relation with a primary-key prefix.
+
+    >>> table = Table("paths", [Column("path", "str"), Column("count", "int")],
+    ...               key_width=1)
+    >>> table.insert(("knows", 42))
+    >>> table.lookup(("knows",))[0]
+    ('knows', 42)
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column], key_width: int):
+        if not columns:
+            raise ValidationError("a table needs at least one column")
+        if not 1 <= key_width <= len(columns):
+            raise ValidationError(
+                f"key_width must be within 1..{len(columns)}, got {key_width}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate column names in {names}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.key_width = key_width
+        self._tree = BPlusTree()
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Insert a full row; the key prefix must be unique."""
+        checked = self._check_row(row)
+        key = checked[: self.key_width]
+        if key in self._tree:
+            raise StorageError(f"{self.name}: duplicate primary key {key!r}")
+        self._tree.insert(key, checked[self.key_width :])
+
+    def upsert(self, row: Sequence[Any]) -> None:
+        """Insert or overwrite the row with the same key prefix."""
+        checked = self._check_row(row)
+        self._tree.insert(checked[: self.key_width], checked[self.key_width :])
+
+    def delete(self, key: Sequence[Any]) -> bool:
+        """Delete by full primary key; return ``False`` when absent."""
+        return self._tree.delete(tuple(key))
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def get(self, key: Sequence[Any]) -> tuple | None:
+        """The unique row with this full primary key, or ``None``."""
+        key = tuple(key)
+        rest = self._tree.get(key, _MISSING)
+        if rest is _MISSING:
+            return None
+        return key + rest
+
+    def lookup(self, key_prefix: Sequence[Any]) -> list[tuple]:
+        """All rows whose primary key starts with ``key_prefix``."""
+        prefix = tuple(key_prefix)
+        if len(prefix) > self.key_width:
+            raise ValidationError(
+                f"prefix wider than key ({len(prefix)} > {self.key_width})"
+            )
+        return [key + rest for key, rest in self._tree.prefix_scan(prefix)]
+
+    def scan(self) -> Iterator[tuple]:
+        """All rows in primary-key order."""
+        for key, rest in self._tree.items():
+            yield key + rest
+
+    def where(self, predicate: Callable[[tuple], bool]) -> Iterator[tuple]:
+        """Filter rows by an arbitrary predicate (full scan)."""
+        return (row for row in self.scan() if predicate(row))
+
+    def column_index(self, name: str) -> int:
+        """Position of a column by name."""
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise ValidationError(f"{self.name}: no column named {name!r}")
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save_json(self, path: str | Path) -> None:
+        """Persist schema + rows as JSON."""
+        payload = {
+            "name": self.name,
+            "columns": [[c.name, c.type] for c in self.columns],
+            "key_width": self.key_width,
+            "rows": [list(row) for row in self.scan()],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "Table":
+        """Rebuild a table persisted by :meth:`save_json`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        try:
+            table = cls(
+                payload["name"],
+                [Column(name, type_) for name, type_ in payload["columns"]],
+                payload["key_width"],
+            )
+            for row in payload["rows"]:
+                table.insert(row)
+        except (KeyError, TypeError) as exc:
+            raise StorageError(f"{path}: not a table JSON document") from exc
+        return table
+
+    # -- internals --------------------------------------------------------------------
+
+    def _check_row(self, row: Sequence[Any]) -> tuple:
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValidationError(
+                f"{self.name}: row has {len(row)} fields, "
+                f"schema has {len(self.columns)}"
+            )
+        return tuple(
+            column.check(value) for column, value in zip(self.columns, row)
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.type}" for c in self.columns)
+        return f"Table({self.name!r}, [{cols}], rows={len(self)})"
+
+
+_MISSING = object()

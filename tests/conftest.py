@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GraphDatabase
+from repro.graph.examples import diamond, figure1_graph, two_triangles
+from repro.graph.generators import advogato_like, erdos_renyi
+from repro.graph.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def figure1() -> Graph:
+    """The paper's Figure-1 example graph (reconstruction)."""
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def figure1_db(figure1: Graph) -> GraphDatabase:
+    """Figure-1 graph indexed at k=2."""
+    return GraphDatabase(figure1, k=2)
+
+
+@pytest.fixture(scope="session")
+def figure1_db_k3(figure1: Graph) -> GraphDatabase:
+    """Figure-1 graph indexed at k=3."""
+    return GraphDatabase(figure1, k=3)
+
+
+@pytest.fixture(scope="session")
+def small_social() -> Graph:
+    """A small Advogato-like graph for engine tests."""
+    return advogato_like(nodes=60, edges=240, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_social_db(small_social: Graph) -> GraphDatabase:
+    return GraphDatabase(small_social, k=2)
+
+
+@pytest.fixture(scope="session")
+def random_two_label() -> Graph:
+    """A seeded two-label random graph."""
+    return erdos_renyi(nodes=25, edges=80, labels=("a", "b"), seed=3)
+
+
+@pytest.fixture()
+def diamond_graph() -> Graph:
+    return diamond()
+
+
+@pytest.fixture()
+def triangles_graph() -> Graph:
+    return two_triangles()

@@ -1,0 +1,91 @@
+"""Hypothesis strategies for graphs, label paths and RPQ ASTs.
+
+Kept deliberately small-scale: the cross-validation properties run
+several evaluators per example, so examples must stay cheap.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph, LabelPath, Step
+from repro.rpq import ast
+
+LABELS = ("a", "b", "c")
+
+
+@st.composite
+def graphs(
+    draw,
+    max_nodes: int = 8,
+    max_edges: int = 16,
+    labels: tuple[str, ...] = LABELS,
+) -> Graph:
+    """A small random edge-labeled digraph."""
+    node_count = draw(st.integers(min_value=1, max_value=max_nodes))
+    nodes = [f"n{i}" for i in range(node_count)]
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(nodes),
+                st.sampled_from(labels),
+                st.sampled_from(nodes),
+            ),
+            max_size=max_edges,
+        )
+    )
+    graph = Graph()
+    for name in nodes:
+        graph.add_node(name)
+    for source, label, target in edges:
+        graph.add_edge(source, label, target)
+    return graph
+
+
+@st.composite
+def steps(draw, labels: tuple[str, ...] = LABELS) -> Step:
+    return Step(draw(st.sampled_from(labels)), inverse=draw(st.booleans()))
+
+
+@st.composite
+def label_paths(
+    draw, max_length: int = 4, labels: tuple[str, ...] = LABELS
+) -> LabelPath:
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    return LabelPath([draw(steps(labels)) for _ in range(length)])
+
+
+def _leaves(labels: tuple[str, ...]):
+    label_nodes = st.sampled_from(labels).map(ast.label)
+    inverse_nodes = st.sampled_from(labels).map(ast.inv_label)
+    return st.one_of(label_nodes, inverse_nodes, st.just(ast.Epsilon()))
+
+
+def _repeats(children):
+    return st.builds(
+        lambda child, low, extra: ast.repeat(child, low, low + extra),
+        children,
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    )
+
+
+def rpq_asts(
+    labels: tuple[str, ...] = LABELS,
+    max_leaves: int = 5,
+    allow_star: bool = False,
+):
+    """Random RPQ ASTs, bounded-recursion-only by default."""
+
+    def extend(children):
+        combinators = [
+            st.tuples(children, children).map(lambda pair: ast.concat(*pair)),
+            st.tuples(children, children).map(lambda pair: ast.union(*pair)),
+            _repeats(children),
+            children.map(ast.Inverse),
+        ]
+        if allow_star:
+            combinators.append(children.map(ast.star))
+        return st.one_of(combinators)
+
+    return st.recursive(_leaves(labels), extend, max_leaves=max_leaves)

@@ -1,0 +1,110 @@
+"""Tests for label-path enumeration and relation materialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.graph.examples import figure1_graph
+from repro.graph.generators import chain
+from repro.graph.graph import Graph
+from repro.indexes import builder
+from repro.rpq.semantics import eval_label_path
+
+from tests.strategies import graphs
+
+
+class TestEnumeration:
+    def test_count_formula(self):
+        assert builder.count_label_paths(3, 1) == 6
+        assert builder.count_label_paths(3, 2) == 6 + 36
+        assert builder.count_label_paths(3, 3) == 6 + 36 + 216
+
+    def test_enumerate_matches_formula(self):
+        paths = builder.enumerate_label_paths(("a", "b"), 2)
+        assert len(paths) == builder.count_label_paths(2, 2)
+
+    def test_enumeration_includes_inverses(self):
+        paths = {p.encode() for p in builder.enumerate_label_paths(("a",), 2)}
+        assert paths == {"a", "a-", "a.a", "a.a-", "a-.a", "a-.a-"}
+
+    def test_enumeration_is_dfs_prefix_order(self):
+        paths = builder.enumerate_label_paths(("a", "b"), 2)
+        encoded = [p.encode() for p in paths]
+        # every non-length-1 path appears directly under its prefix subtree
+        for position, path in enumerate(paths):
+            if len(path) > 1:
+                prefix = path.prefix(len(path) - 1)
+                assert encoded.index(prefix.encode()) < position
+
+    def test_k_validation(self):
+        with pytest.raises(ValidationError):
+            builder.enumerate_label_paths(("a",), 0)
+
+
+class TestRelations:
+    def test_relations_match_reference(self):
+        graph = figure1_graph()
+        for path, pairs in builder.path_relations(graph, 2):
+            assert set(pairs) == eval_label_path(graph, path)
+            assert pairs == sorted(pairs)
+
+    def test_prune_empty_skips_subtrees(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        # 'b' never appears; with a 2-label vocabulary only label 'a'
+        # exists, so enumeration covers only (a, a-) and combinations.
+        pruned = dict(
+            (path.encode(), pairs)
+            for path, pairs in builder.path_relations(graph, 2, prune_empty=True)
+        )
+        unpruned = dict(
+            (path.encode(), pairs)
+            for path, pairs in builder.path_relations(graph, 2, prune_empty=False)
+        )
+        assert set(pruned) <= set(unpruned)
+        # a.a is empty (chain of length 1): present with [] but its
+        # extensions are only visited without pruning.
+        assert pruned["a.a"] == []
+
+    def test_pruned_paths_are_provably_empty(self):
+        graph = chain(2, label="a")
+        reported = {p.encode() for p, _ in builder.path_relations(graph, 3)}
+        everything = {
+            p.encode() for p in builder.enumerate_label_paths(graph.labels(), 3)
+        }
+        for missing in everything - reported:
+            from repro.graph.graph import LabelPath
+
+            assert eval_label_path(graph, LabelPath.decode(missing)) == set()
+
+    def test_estimate_index_entries(self):
+        graph = chain(3, label="a")
+        # k=1: a has 3 pairs, a- has 3 pairs -> 6
+        assert builder.estimate_index_entries(graph, 1) == 6
+
+    def test_path_counts(self):
+        graph = figure1_graph()
+        counts = builder.path_counts(graph, 1)
+        assert counts["knows"] == 9
+        assert counts["knows-"] == 9
+        assert counts["supervisor"] == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10))
+    def test_property_relations_match_reference(self, graph):
+        for path, pairs in builder.path_relations(graph, 2):
+            assert set(pairs) == eval_label_path(graph, path)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10))
+    def test_inverse_paths_are_swapped_relations(self, graph):
+        relations = {
+            path.encode(): set(pairs)
+            for path, pairs in builder.path_relations(graph, 2, prune_empty=False)
+        }
+        for encoded, relation in relations.items():
+            from repro.graph.graph import LabelPath
+
+            inverse = LabelPath.decode(encoded).inverted().encode()
+            assert relations[inverse] == {(b, a) for a, b in relation}

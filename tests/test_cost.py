@@ -1,0 +1,95 @@
+"""Tests for the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.examples import figure1_graph
+from repro.graph.graph import LabelPath
+from repro.engine.cost import HASH_BUILD_FACTOR, CostModel
+from repro.engine.plan import Order
+from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import ExactStatistics
+
+
+@pytest.fixture(scope="module")
+def model():
+    graph = figure1_graph()
+    index = PathIndex.build(graph, k=2)
+    stats = ExactStatistics.from_index(index)
+    return CostModel(stats, graph), index, graph
+
+
+class TestScanCosts:
+    def test_scan_cost_tracks_cardinality(self, model):
+        cost_model, index, _ = model
+        knows = LabelPath.of("knows")
+        costed = cost_model.scan(knows)
+        assert costed.cardinality == index.count(knows)
+        assert costed.cost == pytest.approx(costed.cardinality + 1.0)
+
+    def test_inverse_scan_same_cardinality_different_order(self, model):
+        cost_model, _, _ = model
+        path = LabelPath.of("knows", "worksFor")
+        direct = cost_model.scan(path)
+        swapped = cost_model.scan(path, via_inverse=True)
+        assert direct.cardinality == swapped.cardinality
+        assert direct.order is Order.BY_SRC
+        assert swapped.order is Order.BY_TGT
+
+    def test_identity_costs_node_count(self, model):
+        cost_model, _, graph = model
+        assert cost_model.identity().cardinality == graph.node_count
+
+
+class TestJoinCosts:
+    def test_merge_chosen_when_orders_align(self, model):
+        cost_model, _, _ = model
+        left = cost_model.scan(LabelPath.of("knows"), via_inverse=True)
+        right = cost_model.scan(LabelPath.of("worksFor"))
+        joined = cost_model.join(left, right)
+        assert joined.plan.algorithm == "merge"
+
+    def test_hash_chosen_otherwise(self, model):
+        cost_model, _, _ = model
+        left = cost_model.scan(LabelPath.of("knows"))  # BY_SRC, not BY_TGT
+        right = cost_model.scan(LabelPath.of("worksFor"))
+        joined = cost_model.join(left, right)
+        assert joined.plan.algorithm == "hash"
+
+    def test_hash_join_costs_more_than_merge_all_else_equal(self, model):
+        cost_model, _, _ = model
+        swapped = cost_model.scan(LabelPath.of("knows"), via_inverse=True)
+        direct = cost_model.scan(LabelPath.of("knows"))
+        right = cost_model.scan(LabelPath.of("worksFor"))
+        merge = cost_model.join(swapped, right)
+        hashj = cost_model.join(direct, right)
+        assert merge.cost < hashj.cost
+        assert hashj.cost - merge.cost == pytest.approx(
+            HASH_BUILD_FACTOR * min(direct.cardinality, right.cardinality)
+        )
+
+    def test_join_cardinality_independence_estimate(self, model):
+        cost_model, _, graph = model
+        assert cost_model.join_cardinality(10, 20) == pytest.approx(
+            200 / graph.node_count
+        )
+
+    def test_long_path_cardinality_decomposes(self, model):
+        cost_model, _, _ = model
+        long_path = LabelPath.of("knows", "knows", "knows", "worksFor")
+        estimate = cost_model.path_cardinality(long_path)
+        assert estimate >= 0.0
+
+
+class TestCheapest:
+    def test_picks_min_cost(self, model):
+        cost_model, _, _ = model
+        cheap = cost_model.scan(LabelPath.of("supervisor"))
+        expensive = cost_model.scan(LabelPath.of("knows"))
+        assert cost_model.cheapest([expensive, cheap]) is cheap
+
+    def test_empty_candidates_rejected(self, model):
+        cost_model, _, _ = model
+        with pytest.raises(ValueError):
+            cost_model.cheapest([])

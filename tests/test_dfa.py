@@ -1,0 +1,154 @@
+"""Tests for DFA determinization, minimization and evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.graph import Step
+from repro.rpq import dfa as dfa_module
+from repro.rpq.automaton import compile_ast
+from repro.rpq.dfa import compile_dfa, determinize, evaluate, minimize
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast
+
+from tests.strategies import LABELS, graphs, rpq_asts
+
+WORDS = st.lists(
+    st.builds(Step, st.sampled_from(LABELS), st.booleans()),
+    max_size=6,
+).map(tuple)
+
+
+def _nfa_accepts(nfa, word) -> bool:
+    states = nfa.eps_closure(nfa.start)
+    for step in word:
+        raw = frozenset(
+            target
+            for state in states
+            for target in nfa.step_targets(state, step)
+        )
+        states = nfa.eps_closure_set(raw)
+        if not states:
+            return False
+    return nfa.accept in states
+
+
+class TestDeterminize:
+    def test_simple_label(self):
+        dfa = determinize(compile_ast(parse("a")))
+        assert not dfa.accepts_empty()
+        assert dfa.accepts((Step("a"),))
+        assert not dfa.accepts((Step("a"), Step("a")))
+        assert not dfa.accepts((Step("b"),))
+
+    def test_star_accepts_empty_and_repeats(self):
+        dfa = determinize(compile_ast(parse("a*")))
+        assert dfa.accepts_empty()
+        assert dfa.accepts((Step("a"),) * 5)
+
+    def test_union(self):
+        dfa = determinize(compile_ast(parse("a|b")))
+        assert dfa.accepts((Step("a"),))
+        assert dfa.accepts((Step("b"),))
+        assert not dfa.accepts((Step("c"),))
+
+    def test_inverse_steps_are_symbols(self):
+        dfa = determinize(compile_ast(parse("^a/b")))
+        assert dfa.accepts((Step("a", inverse=True), Step("b")))
+        assert not dfa.accepts((Step("a"), Step("b")))
+
+    def test_deterministic_transitions(self):
+        dfa = determinize(compile_ast(parse("(a|a/a){1,3}")))
+        for state, by_step in dfa.transitions.items():
+            assert len(set(by_step)) == len(by_step)
+            assert state < dfa.state_count
+
+    @settings(max_examples=80, deadline=None)
+    @given(rpq_asts(max_leaves=4, allow_star=True), WORDS)
+    def test_property_same_language_as_nfa(self, node, word):
+        nfa = compile_ast(node)
+        dfa = determinize(nfa)
+        assert dfa.accepts(word) == _nfa_accepts(nfa, word)
+
+
+class TestMinimize:
+    def test_never_grows(self):
+        for text in ["a", "a|b", "(a/b){1,3}", "a*/b", "(a|b|c){2,4}"]:
+            dfa = determinize(compile_ast(parse(text)))
+            assert minimize(dfa).state_count <= dfa.state_count
+
+    def test_merges_redundant_states(self):
+        # a|a/a|a/a/a determinizes with several final states that
+        # minimize to fewer.
+        dfa = determinize(compile_ast(parse("a{1,3}")))
+        minimal = minimize(dfa)
+        assert minimal.state_count <= dfa.state_count
+        assert minimal.accepts((Step("a"),))
+        assert minimal.accepts((Step("a"),) * 3)
+        assert not minimal.accepts((Step("a"),) * 4)
+
+    def test_universal_star_minimizes_to_one_state(self):
+        dfa = minimize(determinize(compile_ast(parse("(a|b|c|^a|^b|^c)*"))))
+        assert dfa.state_count == 1
+        assert dfa.accepts_empty()
+
+    @settings(max_examples=80, deadline=None)
+    @given(rpq_asts(max_leaves=4, allow_star=True), WORDS)
+    def test_property_language_preserved(self, node, word):
+        dfa = determinize(compile_ast(node))
+        assert minimize(dfa).accepts(word) == dfa.accepts(word)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rpq_asts(max_leaves=4, allow_star=True))
+    def test_property_minimize_idempotent(self, node):
+        minimal = minimize(determinize(compile_ast(node)))
+        again = minimize(minimal)
+        assert again.state_count == minimal.state_count
+
+
+class TestEvaluation:
+    def test_figure1_example(self, figure1):
+        pairs = evaluate(figure1, parse("supervisor/^worksFor"))
+        assert figure1.pairs_to_names(pairs) == {("kim", "sue")}
+
+    def test_empty_word_pairs(self, figure1):
+        pairs = evaluate(figure1, parse("knows{0,1}"))
+        for node in figure1.node_ids():
+            assert (node, node) in pairs
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=12), rpq_asts(max_leaves=3))
+    def test_property_matches_reference(self, graph, node):
+        assert evaluate(graph, node) == eval_ast(graph, node)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=8),
+           rpq_asts(max_leaves=2, allow_star=True))
+    def test_property_matches_reference_with_star(self, graph, node):
+        assert evaluate(graph, node) == eval_ast(graph, node)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10), rpq_asts(max_leaves=3))
+    def test_dfa_agrees_with_nfa_baseline(self, graph, node):
+        from repro.baselines import automaton_eval
+
+        assert evaluate(graph, node) == automaton_eval.evaluate(graph, node)
+
+
+class TestCompileDfa:
+    def test_minimized_by_default(self):
+        dfa = compile_dfa(parse("a{1,3}"))
+        unminimized = compile_dfa(parse("a{1,3}"), minimized=False)
+        assert dfa.state_count <= unminimized.state_count
+
+    def test_evaluate_from(self, figure1):
+        from repro.rpq.dfa import evaluate_from
+
+        dfa = compile_dfa(parse("knows/worksFor"))
+        kim = figure1.node_id("kim")
+        expected = {
+            b for a, b in eval_ast(figure1, parse("knows/worksFor")) if a == kim
+        }
+        assert evaluate_from(figure1, dfa, kim) == expected

@@ -1,0 +1,192 @@
+"""Tests for the page-based disk B+tree."""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyOrderError, StorageError
+from repro.storage.diskbtree import DiskBPlusTree
+from repro.storage.records import encode_key
+
+KEY_BYTES = st.binary(min_size=1, max_size=12)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    with DiskBPlusTree(tmp_path / "t.db", page_size=256, cache_pages=16) as tree:
+        yield tree
+
+
+class TestBasics:
+    def test_empty(self, tree):
+        assert len(tree) == 0
+        assert tree.get(b"missing") is None
+        assert list(tree.items()) == []
+
+    def test_insert_get(self, tree):
+        assert tree.insert(b"alpha", b"1") is True
+        assert tree.insert(b"beta", b"2") is True
+        assert tree.get(b"alpha") == b"1"
+        assert len(tree) == 2
+
+    def test_overwrite(self, tree):
+        tree.insert(b"k", b"old")
+        assert tree.insert(b"k", b"new") is False
+        assert tree.get(b"k") == b"new"
+        assert len(tree) == 1
+
+    def test_contains(self, tree):
+        tree.insert(b"k", b"")
+        assert b"k" in tree
+        assert b"other" not in tree
+
+    def test_many_inserts_cause_splits_and_stay_sorted(self, tree):
+        keys = [encode_key((i,)) for i in range(500)]
+        for key in reversed(keys):
+            tree.insert(key, b"v")
+        assert [key for key, _ in tree.items()] == keys
+        assert len(tree) == 500
+
+    def test_oversized_entry_rejected(self, tree):
+        with pytest.raises(StorageError):
+            tree.insert(b"k" * 300, b"v")
+
+    def test_non_bytes_key_rejected(self, tree):
+        with pytest.raises(StorageError):
+            tree.insert("text", b"")
+
+
+class TestDelete:
+    def test_delete_existing(self, tree):
+        for i in range(100):
+            tree.insert(encode_key((i,)), b"v")
+        assert tree.delete(encode_key((50,))) is True
+        assert encode_key((50,)) not in tree
+        assert len(tree) == 99
+
+    def test_delete_missing(self, tree):
+        assert tree.delete(b"ghost") is False
+
+    def test_delete_all_then_reuse(self, tree):
+        keys = [encode_key((i,)) for i in range(150)]
+        for key in keys:
+            tree.insert(key, b"v")
+        for key in keys:
+            assert tree.delete(key)
+        assert len(tree) == 0
+        tree.insert(b"fresh", b"x")
+        assert tree.get(b"fresh") == b"x"
+
+
+class TestScans:
+    def test_range_scan(self, tree):
+        for i in range(20):
+            tree.insert(encode_key((i,)), str(i).encode())
+        keys = [key for key, _ in tree.range_scan(encode_key((5,)), encode_key((9,)))]
+        assert keys == [encode_key((i,)) for i in range(5, 9)]
+
+    def test_prefix_scan(self, tree):
+        for path_id in range(3):
+            for src in range(4):
+                tree.insert(encode_key((path_id, src)), b"")
+        matched = [key for key, _ in tree.prefix_scan(encode_key((1,)))]
+        assert matched == [encode_key((1, src)) for src in range(4)]
+
+    def test_prefix_scan_empty(self, tree):
+        tree.insert(b"aa", b"")
+        assert list(tree.prefix_scan(b"zz")) == []
+
+
+class TestPersistence:
+    def test_reopen(self, tmp_path):
+        path = tmp_path / "t.db"
+        with DiskBPlusTree(path, page_size=256) as tree:
+            for i in range(300):
+                tree.insert(encode_key((i,)), str(i).encode())
+        with DiskBPlusTree(path, page_size=256) as tree:
+            assert len(tree) == 300
+            assert tree.get(encode_key((123,))) == b"123"
+
+    def test_reopen_after_deletes(self, tmp_path):
+        path = tmp_path / "t.db"
+        with DiskBPlusTree(path, page_size=256) as tree:
+            for i in range(100):
+                tree.insert(encode_key((i,)), b"")
+            for i in range(0, 100, 2):
+                tree.delete(encode_key((i,)))
+        with DiskBPlusTree(path, page_size=256) as tree:
+            assert len(tree) == 50
+            assert [key for key, _ in tree.items()] == [
+                encode_key((i,)) for i in range(1, 100, 2)
+            ]
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_items(self, tmp_path):
+        items = [(encode_key((i,)), str(i).encode()) for i in range(1000)]
+        with DiskBPlusTree(tmp_path / "b.db", page_size=256) as tree:
+            tree.bulk_load(items)
+            assert len(tree) == 1000
+            assert list(tree.items()) == items
+            assert tree.get(encode_key((777,))) == b"777"
+
+    def test_bulk_load_requires_empty(self, tree):
+        tree.insert(b"x", b"")
+        with pytest.raises(StorageError):
+            tree.bulk_load([(b"y", b"")])
+
+    def test_bulk_load_rejects_unsorted(self, tmp_path):
+        with DiskBPlusTree(tmp_path / "b.db", page_size=256) as tree:
+            with pytest.raises(KeyOrderError):
+                tree.bulk_load([(b"b", b""), (b"a", b"")])
+
+    def test_bulk_load_empty_iterable(self, tmp_path):
+        with DiskBPlusTree(tmp_path / "b.db", page_size=256) as tree:
+            tree.bulk_load([])
+            assert len(tree) == 0
+
+    def test_bulk_loaded_tree_supports_mutation(self, tmp_path):
+        with DiskBPlusTree(tmp_path / "b.db", page_size=256) as tree:
+            tree.bulk_load([(encode_key((i,)), b"") for i in range(200)])
+            tree.insert(encode_key((5000,)), b"late")
+            assert tree.delete(encode_key((13,)))
+            assert tree.get(encode_key((5000,))) == b"late"
+            assert len(tree) == 200
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(model=st.dictionaries(KEY_BYTES, st.binary(max_size=8), max_size=60))
+    def test_matches_dict(self, model):
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "t.db"
+            with DiskBPlusTree(path, page_size=256, cache_pages=8) as tree:
+                for key, value in model.items():
+                    tree.insert(key, value)
+                assert len(tree) == len(model)
+                assert list(tree.items()) == sorted(model.items())
+                for key, value in model.items():
+                    assert tree.get(key) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        inserts=st.lists(KEY_BYTES, unique=True, max_size=50),
+        deletes=st.lists(KEY_BYTES, max_size=25),
+    )
+    def test_insert_delete_mixture(self, inserts, deletes):
+        model: set = set()
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "t.db"
+            with DiskBPlusTree(path, page_size=256, cache_pages=8) as tree:
+                for key in inserts:
+                    tree.insert(key, b"")
+                    model.add(key)
+                for key in deletes:
+                    assert tree.delete(key) == (key in model)
+                    model.discard(key)
+                assert [key for key, _ in tree.items()] == sorted(model)

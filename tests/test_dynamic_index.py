@@ -1,0 +1,171 @@
+"""Tests for incremental k-path index maintenance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PathIndexError
+from repro.graph.examples import FIGURE1_EDGES, figure1_graph
+from repro.graph.graph import Graph, LabelPath
+from repro.indexes.dynamic import DynamicPathIndex, path_targets
+from repro.indexes.pathindex import PathIndex
+
+
+def _assert_equivalent(dynamic: DynamicPathIndex, k: int) -> None:
+    """The dynamic index must equal a fresh rebuild over its graph."""
+    fresh = PathIndex.build(dynamic.graph, k, prune_empty=False)
+    for path in fresh.paths():
+        assert dynamic.scan(path) == fresh.scan(path), path.encode()
+
+
+class TestLookups:
+    def test_matches_static_index_initially(self):
+        graph = figure1_graph()
+        dynamic = DynamicPathIndex(graph, k=2)
+        _assert_equivalent(dynamic, 2)
+
+    def test_scan_from_and_contains(self):
+        graph = figure1_graph()
+        dynamic = DynamicPathIndex(graph, k=2)
+        static = PathIndex.build(figure1_graph(), k=2)
+        path = LabelPath.of("knows", "worksFor")
+        for node in graph.node_ids():
+            assert dynamic.scan_from(path, node) == static.scan_from(path, node)
+        pairs = static.scan(path)
+        if pairs:
+            assert dynamic.contains(path, *pairs[0])
+        assert not dynamic.contains(path, 10_000, 10_000)
+
+    def test_length_check(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=1)
+        with pytest.raises(PathIndexError):
+            dynamic.scan(LabelPath.of("knows", "knows"))
+
+
+class TestInsert:
+    def test_single_insert_matches_rebuild(self):
+        graph = figure1_graph()
+        dynamic = DynamicPathIndex(graph, k=2)
+        assert dynamic.add_edge("ada", "knows", "kim")
+        _assert_equivalent(dynamic, 2)
+
+    def test_duplicate_insert_is_noop(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        before = dynamic.entry_count
+        assert not dynamic.add_edge("ada", "knows", "zoe")  # exists
+        assert dynamic.entry_count == before
+
+    def test_insert_new_node(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert dynamic.add_edge("newbie", "knows", "kim")
+        _assert_equivalent(dynamic, 2)
+
+    def test_insert_new_label_triggers_rebuild(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert dynamic.add_edge("ada", "mentors", "zoe")
+        assert "mentors" in dynamic.graph.labels()
+        _assert_equivalent(dynamic, 2)
+
+    def test_insert_self_loop(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert dynamic.add_edge("kim", "knows", "kim")
+        _assert_equivalent(dynamic, 2)
+
+    def test_sequence_of_inserts_k3(self):
+        graph = Graph.from_edges([("a", "x", "b")])
+        dynamic = DynamicPathIndex(graph, k=3)
+        for edge in [("b", "x", "c"), ("c", "y", "a"), ("a", "y", "c"),
+                     ("c", "x", "c")]:
+            dynamic.add_edge(*edge)
+            _assert_equivalent(dynamic, 3)
+
+
+class TestDelete:
+    def test_delete_matches_rebuild(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert dynamic.remove_edge("kim", "supervisor", "liz")
+        assert not dynamic.graph.has_edge("kim", "supervisor", "liz")
+        _assert_equivalent(dynamic, 2)
+
+    def test_delete_missing_edge(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert not dynamic.remove_edge("kim", "knows", "kim")
+
+    def test_delete_keeps_pairs_with_other_witnesses(self):
+        # diamond: s->l->t and s->r->t; removing one leg keeps (s, t).
+        graph = Graph.from_edges(
+            [("s", "hop", "l"), ("l", "hop", "t"),
+             ("s", "hop", "r"), ("r", "hop", "t")]
+        )
+        dynamic = DynamicPathIndex(graph, k=2)
+        path = LabelPath.of("hop", "hop")
+        s, t = graph.node_id("s"), graph.node_id("t")
+        assert dynamic.contains(path, s, t)
+        dynamic.remove_edge("s", "hop", "l")
+        assert dynamic.contains(path, s, t)  # witness via r survives
+        _assert_equivalent(dynamic, 2)
+
+    def test_insert_then_delete_roundtrip(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        baseline = {
+            path.encode(): dynamic.scan(path) for path in dynamic.paths()
+        }
+        dynamic.add_edge("sam", "worksFor", "ada")
+        dynamic.remove_edge("sam", "worksFor", "ada")
+        for path in dynamic.paths():
+            assert dynamic.scan(path) == baseline[path.encode()]
+
+
+class TestRandomizedMaintenance:
+    EDGE = st.tuples(
+        st.sampled_from([f"n{i}" for i in range(5)]),
+        st.sampled_from(["a", "b"]),
+        st.sampled_from([f"n{i}" for i in range(5)]),
+    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(EDGE, min_size=1, max_size=8),
+        st.lists(st.tuples(st.booleans(), EDGE), max_size=10),
+    )
+    def test_mutation_stream_matches_rebuild(self, initial, operations):
+        graph = Graph()
+        for name in [f"n{i}" for i in range(5)]:
+            graph.add_node(name)
+        for edge in initial:
+            graph.add_edge(*edge)
+        dynamic = DynamicPathIndex(graph, k=2)
+        for is_insert, edge in operations:
+            if is_insert:
+                dynamic.add_edge(*edge)
+            else:
+                dynamic.remove_edge(*edge)
+        _assert_equivalent(dynamic, 2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(EDGE, min_size=1, max_size=6),
+           st.lists(EDGE, min_size=1, max_size=6))
+    def test_mutation_stream_k3(self, initial, inserts):
+        graph = Graph()
+        for name in [f"n{i}" for i in range(5)]:
+            graph.add_node(name)
+        for edge in initial:
+            graph.add_edge(*edge)
+        dynamic = DynamicPathIndex(graph, k=3)
+        for edge in inserts:
+            dynamic.add_edge(*edge)
+        _assert_equivalent(dynamic, 3)
+
+
+class TestPathTargets:
+    def test_matches_reference(self):
+        from repro.rpq.semantics import eval_label_path
+
+        graph = figure1_graph()
+        path = LabelPath.of("knows", "knows-", "worksFor")
+        relation = eval_label_path(graph, path)
+        for source in graph.node_ids():
+            expected = {b for a, b in relation if a == source}
+            assert path_targets(graph, source, path) == expected

@@ -1,0 +1,75 @@
+"""Tests pinning the reconstructed example graphs to the paper's text."""
+
+from __future__ import annotations
+
+from repro.graph.examples import diamond, figure1_graph, self_loop, two_triangles
+from repro.rpq.semantics import eval_query
+
+
+class TestFigure1Reconstruction:
+    """Constraints the running text states about Gex (Section 2)."""
+
+    def test_node_set(self, figure1):
+        assert set(figure1.node_names()) == {
+            "sue", "liz", "joe", "zoe", "sam", "tim", "kim", "ada", "jan",
+        }
+
+    def test_vocabulary(self, figure1):
+        assert figure1.labels() == ("knows", "supervisor", "worksFor")
+
+    def test_label_multiset(self, figure1):
+        assert figure1.label_edge_count("knows") == 9
+        assert figure1.label_edge_count("worksFor") == 6
+        assert figure1.label_edge_count("supervisor") == 1
+
+    def test_supervisor_worksfor_inverse_example(self, figure1):
+        """supervisor ∘ worksFor⁻ (Gex) = {(kim, sue)} — Section 2.2."""
+        assert eval_query(figure1, "supervisor/^worksFor") == {("kim", "sue")}
+
+    def test_selectivity_example_numerator(self, figure1):
+        """|supervisor ∘ knows(Gex)| = 1 — the sel example's numerator."""
+        assert len(eval_query(figure1, "supervisor/knows")) == 1
+
+    def test_sam_ada_in_paths2_not_paths1(self, figure1):
+        """(sam, ada) ∈ paths_2 \\ paths_1, via the two paths through zoe."""
+        from repro.graph.stats import paths_k_from
+
+        sam = figure1.node_id("sam")
+        ada = figure1.node_id("ada")
+        assert ada not in paths_k_from(figure1, sam, 1)
+        assert ada in paths_k_from(figure1, sam, 2)
+        # the named witnesses: sam ←knows zoe →worksFor ada and
+        #                      sam ←knows zoe ←knows ada
+        assert ("sam", "ada") in eval_query(figure1, "^knows/worksFor")
+        assert ("sam", "ada") in eval_query(figure1, "^knows/^knows")
+
+    def test_no_direct_sam_ada_edge(self, figure1):
+        assert not figure1.has_edge("sam", "knows", "ada")
+        assert not figure1.has_edge("ada", "knows", "sam")
+
+
+class TestSmallGraphs:
+    def test_two_triangles_composition(self):
+        graph = two_triangles()
+        assert eval_query(graph, "red/red/red") == {
+            ("a", "a"), ("b", "b"), ("c", "c"),
+        }
+
+    def test_two_triangles_cross_label(self):
+        graph = two_triangles()
+        # blue into red through the shared node a
+        assert ("y", "b") in eval_query(graph, "blue/red")
+
+    def test_diamond_deduplicates(self):
+        graph = diamond()
+        answer = eval_query(graph, "hop/hop")
+        assert answer == {("s", "t")}
+
+    def test_self_loop_fixpoint(self):
+        graph = self_loop()
+        assert eval_query(graph, "spin*") == {("o", "o")}
+        assert eval_query(graph, "spin{2,5}") == {("o", "o")}
+
+    def test_figure1_graph_fresh_instances(self):
+        assert figure1_graph() is not figure1_graph()
+        assert list(figure1_graph().edges()) == list(figure1_graph().edges())

@@ -1,0 +1,109 @@
+"""Tests for the executor and the hybrid (fixpoint) fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.examples import figure1_graph
+from repro.graph.generators import cycle
+from repro.engine.executor import evaluate_ast, evaluate_normal_form
+from repro.engine.planner import Strategy
+from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import ExactStatistics
+from repro.rpq.parser import parse
+from repro.rpq.rewrite import normalize
+from repro.rpq.semantics import eval_ast as reference_eval
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = figure1_graph()
+    index = PathIndex.build(graph, k=2)
+    stats = ExactStatistics.from_index(index)
+    return graph, index, stats
+
+
+class TestNormalFormExecution:
+    def test_answers_match_reference(self, setup):
+        graph, index, stats = setup
+        node = parse("knows/knows/worksFor")
+        normal = normalize(node, star_bound_value=8)
+        report = evaluate_normal_form(
+            normal, index, graph, stats, Strategy.MIN_SUPPORT
+        )
+        assert set(report.pairs) == reference_eval(graph, node)
+        assert not report.used_fallback
+        assert report.plan is not None
+
+    def test_timings_populated(self, setup):
+        graph, index, stats = setup
+        normal = normalize(parse("knows/worksFor"), star_bound_value=8)
+        report = evaluate_normal_form(
+            normal, index, graph, stats, Strategy.SEMI_NAIVE
+        )
+        assert report.planning_seconds >= 0.0
+        assert report.execution_seconds >= 0.0
+        assert report.total_seconds == pytest.approx(
+            report.planning_seconds + report.execution_seconds
+        )
+
+
+class TestEvaluateAst:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_bounded_queries_avoid_fallback(self, setup, strategy):
+        graph, index, stats = setup
+        node = parse("(knows|worksFor){1,2}")
+        report = evaluate_ast(node, index, graph, stats, strategy)
+        assert not report.used_fallback
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_small_star_expands_without_fallback(self, setup):
+        """n(G)=8 here, so supervisor* expands to 9 powers — still planable."""
+        graph, index, stats = setup
+        node = parse("supervisor*")
+        report = evaluate_ast(node, index, graph, stats, Strategy.SEMI_NAIVE)
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_fallback_triggers_on_expansion_blowup(self, setup):
+        graph, index, stats = setup
+        node = parse("(knows|worksFor|supervisor)*")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.MIN_SUPPORT, max_disjuncts=50
+        )
+        assert report.used_fallback
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_fallback_star_on_cycle(self):
+        graph = cycle(6)
+        index = PathIndex.build(graph, k=2)
+        stats = ExactStatistics.from_index(index)
+        node = parse("next*")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.SEMI_NAIVE, max_disjuncts=3
+        )
+        assert report.used_fallback
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_fallback_concat_and_union_mix(self, setup):
+        graph, index, stats = setup
+        node = parse("knows*/worksFor | supervisor")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.MIN_JOIN, max_disjuncts=4
+        )
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_fallback_open_repeat(self, setup):
+        graph, index, stats = setup
+        node = parse("knows{2,}")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.SEMI_NAIVE, max_disjuncts=2
+        )
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_fallback_epsilon_and_inverse(self, setup):
+        graph, index, stats = setup
+        node = parse("^(knows*)|<eps>")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.SEMI_NAIVE, max_disjuncts=2
+        )
+        assert set(report.pairs) == reference_eval(graph, node)

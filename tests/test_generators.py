@@ -1,0 +1,120 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import generators
+from repro.graph.stats import degree_histogram, label_frequencies
+
+
+class TestAdvogatoLike:
+    def test_dimensions(self):
+        graph = generators.advogato_like(nodes=200, edges=900, seed=1)
+        assert graph.node_count == 200
+        assert graph.edge_count == 900
+
+    def test_deterministic_by_seed(self):
+        first = generators.advogato_like(nodes=100, edges=400, seed=5)
+        second = generators.advogato_like(nodes=100, edges=400, seed=5)
+        assert list(first.edges()) == list(second.edges())
+
+    def test_different_seed_differs(self):
+        first = generators.advogato_like(nodes=100, edges=400, seed=5)
+        second = generators.advogato_like(nodes=100, edges=400, seed=6)
+        assert list(first.edges()) != list(second.edges())
+
+    def test_uses_three_trust_labels(self):
+        graph = generators.advogato_like(nodes=100, edges=400, seed=5)
+        assert set(graph.labels()) == set(generators.ADVOGATO_LABELS)
+
+    def test_label_skew_follows_weights(self):
+        graph = generators.advogato_like(nodes=300, edges=3000, seed=5)
+        freq = label_frequencies(graph)
+        # journeyer carries the largest weight (0.47).
+        assert freq["journeyer"] == max(freq.values())
+
+    def test_heavy_tailed_in_degree(self):
+        graph = generators.advogato_like(nodes=300, edges=2400, seed=5)
+        histogram = degree_histogram(graph, "in")
+        max_in = max(histogram)
+        mean_in = graph.edge_count / graph.node_count
+        # Preferential attachment: some node far above the mean.
+        assert max_in > 4 * mean_in
+
+    def test_no_self_loops(self):
+        graph = generators.advogato_like(nodes=80, edges=320, seed=2)
+        for source, _, target in graph.edges():
+            assert source != target
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValidationError):
+            generators.advogato_like(nodes=0, edges=10)
+        with pytest.raises(ValidationError):
+            generators.advogato_like(nodes=10, edges=-1)
+
+
+class TestErdosRenyi:
+    def test_dimensions_and_determinism(self):
+        first = generators.erdos_renyi(30, 90, seed=4)
+        second = generators.erdos_renyi(30, 90, seed=4)
+        assert first.edge_count == 90
+        assert list(first.edges()) == list(second.edges())
+
+    def test_self_loops_controlled(self):
+        graph = generators.erdos_renyi(10, 40, seed=4, allow_self_loops=False)
+        assert all(s != t for s, _, t in graph.edges())
+
+    def test_requires_labels(self):
+        with pytest.raises(ValidationError):
+            generators.erdos_renyi(10, 5, labels=())
+
+
+class TestStructuredGraphs:
+    def test_chain(self):
+        graph = generators.chain(5, label="next")
+        assert graph.node_count == 6
+        assert graph.edge_count == 5
+        assert graph.has_edge("n0", "next", "n1")
+
+    def test_chain_validates(self):
+        with pytest.raises(ValidationError):
+            generators.chain(0)
+
+    def test_cycle_wraps(self):
+        graph = generators.cycle(4)
+        assert graph.has_edge("n3", "next", "n0")
+        assert graph.edge_count == 4
+
+    def test_star_outward_and_inward(self):
+        outward = generators.star(3)
+        inward = generators.star(3, outward=False)
+        assert outward.has_edge("hub", "to", "n1")
+        assert inward.has_edge("n1", "to", "hub")
+
+    def test_grid_counts(self):
+        graph = generators.grid(3, 2)
+        assert graph.node_count == 6
+        # rights: 2 per row * 2 rows; downs: 3 per column step
+        assert graph.label_edge_count("right") == 4
+        assert graph.label_edge_count("down") == 3
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite(2, 3)
+        assert graph.edge_count == 6
+
+    def test_balanced_tree_node_count(self):
+        graph = generators.balanced_tree(branching=2, depth=3)
+        assert graph.node_count == 2**4 - 1
+
+    def test_layered_random_is_a_dag_by_layers(self):
+        graph = generators.layered_random(3, 4, labels=("a",), density=1.0, seed=1)
+        for source, _, target in graph.edges():
+            source_layer = int(source[1:].split("_")[0])
+            target_layer = int(target[1:].split("_")[0])
+            assert target_layer == source_layer + 1
+
+    def test_layered_random_validates_density(self):
+        with pytest.raises(ValidationError):
+            generators.layered_random(3, 4, labels=("a",), density=1.5)

@@ -1,0 +1,221 @@
+"""Tests for the graph data model (Step, LabelPath, Graph)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError, UnknownNodeError, ValidationError
+from repro.graph.graph import Graph, LabelPath, Step
+
+from tests.strategies import label_paths
+
+
+class TestStep:
+    def test_forward_encode(self):
+        assert Step("knows").encode() == "knows"
+
+    def test_inverse_encode(self):
+        assert Step("knows", inverse=True).encode() == "knows-"
+
+    def test_decode_forward(self):
+        assert Step.decode("knows") == Step("knows")
+
+    def test_decode_inverse(self):
+        assert Step.decode("knows-") == Step("knows", inverse=True)
+
+    def test_inverted_flips_direction(self):
+        assert Step("a").inverted() == Step("a", inverse=True)
+        assert Step("a", inverse=True).inverted() == Step("a")
+
+    def test_str_uses_caret_for_inverse(self):
+        assert str(Step("a", inverse=True)) == "^a"
+
+    def test_rejects_invalid_label(self):
+        with pytest.raises(ValidationError):
+            Step("has space")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValidationError):
+            Step("")
+
+    def test_rejects_label_with_dot(self):
+        with pytest.raises(ValidationError):
+            Step("a.b")
+
+    def test_steps_are_hashable_and_equal_by_value(self):
+        assert {Step("a"), Step("a")} == {Step("a")}
+
+
+class TestLabelPath:
+    def test_requires_at_least_one_step(self):
+        with pytest.raises(ValidationError):
+            LabelPath([])
+
+    def test_of_constructor(self):
+        path = LabelPath.of("knows", "knows-", "worksFor")
+        assert len(path) == 3
+        assert path[1] == Step("knows", inverse=True)
+
+    def test_encode_decode_roundtrip(self):
+        path = LabelPath.of("a", "b-", "c")
+        assert LabelPath.decode(path.encode()) == path
+
+    def test_inverted_reverses_and_flips(self):
+        path = LabelPath.of("a", "b-", "c")
+        assert path.inverted() == LabelPath.of("c-", "b", "a-")
+
+    def test_double_inversion_is_identity(self):
+        path = LabelPath.of("a", "b-")
+        assert path.inverted().inverted() == path
+
+    def test_concat(self):
+        left = LabelPath.of("a")
+        right = LabelPath.of("b", "c")
+        assert left.concat(right) == LabelPath.of("a", "b", "c")
+
+    def test_prefix_and_subpath(self):
+        path = LabelPath.of("a", "b", "c", "d")
+        assert path.prefix(2) == LabelPath.of("a", "b")
+        assert path.subpath(1, 3) == LabelPath.of("b", "c")
+
+    def test_slice_returns_labelpath(self):
+        path = LabelPath.of("a", "b", "c")
+        assert path[1:] == LabelPath.of("b", "c")
+
+    def test_immutable(self):
+        path = LabelPath.of("a")
+        with pytest.raises(AttributeError):
+            path.steps = ()
+
+    def test_str_uses_slash_and_caret(self):
+        assert str(LabelPath.of("a", "b-")) == "a/^b"
+
+    @given(label_paths())
+    def test_property_roundtrip_and_involution(self, path):
+        assert LabelPath.decode(path.encode()) == path
+        assert path.inverted().inverted() == path
+        assert len(path.inverted()) == len(path)
+
+
+class TestGraph:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert graph.labels() == ()
+
+    def test_add_edge_interns_nodes(self):
+        graph = Graph()
+        assert graph.add_edge("x", "a", "y") is True
+        assert graph.node_count == 2
+        assert graph.has_node("x") and graph.has_node("y")
+
+    def test_duplicate_edge_is_noop(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        assert graph.add_edge("x", "a", "y") is False
+        assert graph.edge_count == 1
+
+    def test_same_pair_different_labels_both_kept(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        graph.add_edge("x", "b", "y")
+        assert graph.edge_count == 2
+        assert graph.labels() == ("a", "b")
+
+    def test_self_loop_allowed(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "x")
+        assert graph.has_edge("x", "a", "x")
+        assert graph.node_count == 1
+
+    def test_node_id_roundtrip(self):
+        graph = Graph()
+        graph.add_edge("x", "a", "y")
+        assert graph.node_name(graph.node_id("x")) == "x"
+
+    def test_unknown_node_raises(self):
+        graph = Graph()
+        with pytest.raises(UnknownNodeError):
+            graph.node_id("ghost")
+
+    def test_unknown_node_id_raises(self):
+        graph = Graph()
+        with pytest.raises(UnknownNodeError):
+            graph.node_name(5)
+
+    def test_bad_node_name_raises(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.add_node("")
+
+    def test_bad_label_raises(self):
+        graph = Graph()
+        with pytest.raises(ValidationError):
+            graph.add_edge("x", "9bad", "y")
+
+    def test_out_in_neighbors(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("x", "a", "z")])
+        x = graph.node_id("x")
+        y = graph.node_id("y")
+        assert set(graph.out_neighbors(x, "a")) == {y, graph.node_id("z")}
+        assert set(graph.in_neighbors(y, "a")) == {x}
+        assert graph.out_neighbors(y, "a") == ()
+
+    def test_step_neighbors_inverse(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        y = graph.node_id("y")
+        assert set(graph.step_neighbors(y, Step("a", inverse=True))) == {
+            graph.node_id("x")
+        }
+
+    def test_step_relation_inverse_swaps(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        forward = graph.step_relation(Step("a"))
+        backward = graph.step_relation(Step("a", inverse=True))
+        assert backward == {(target, source) for source, target in forward}
+
+    def test_undirected_neighbors_ignore_direction_and_label(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("z", "b", "x")])
+        x = graph.node_id("x")
+        assert graph.undirected_neighbors(x) == {
+            graph.node_id("y"),
+            graph.node_id("z"),
+        }
+
+    def test_edges_iteration_sorted(self):
+        graph = Graph.from_edges(
+            [("x", "b", "y"), ("x", "a", "y"), ("a", "a", "b")]
+        )
+        assert list(graph.edges()) == [
+            ("a", "a", "b"),
+            ("x", "a", "y"),
+            ("x", "b", "y"),
+        ]
+
+    def test_all_steps_covers_both_directions(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        assert graph.all_steps() == (Step("a"), Step("a", inverse=True))
+
+    def test_degrees(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("x", "b", "z")])
+        x = graph.node_id("x")
+        assert graph.degree_out(x) == 2
+        assert graph.degree_in(x) == 0
+
+    def test_pairs_to_names(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        ids = {(graph.node_id("x"), graph.node_id("y"))}
+        assert graph.pairs_to_names(ids) == {("x", "y")}
+
+    def test_isolated_node_counts(self):
+        graph = Graph()
+        graph.add_node("lonely")
+        assert graph.node_count == 1
+        assert list(graph.edges()) == []
+
+    def test_label_edge_count(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("y", "a", "z")])
+        assert graph.label_edge_count("a") == 2
+        assert graph.label_edge_count("nope") == 0

@@ -1,0 +1,104 @@
+"""Tests for graph loading and saving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import io
+from repro.graph.examples import figure1_graph
+from repro.graph.graph import Graph
+
+
+@pytest.fixture()
+def sample() -> Graph:
+    return Graph.from_edges(
+        [("ada", "knows", "zoe"), ("zoe", "worksFor", "ada"), ("bob", "knows", "ada")]
+    )
+
+
+class TestEdgelist:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.tsv"
+        io.save_edgelist(sample, path)
+        loaded = io.load_edgelist(path)
+        assert list(loaded.edges()) == list(sample.edges())
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# header\n\nx\ta\ty\n")
+        graph = io.load_edgelist(path)
+        assert graph.edge_count == 1
+
+    def test_two_column_requires_default_label(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("x\ty\n")
+        with pytest.raises(GraphError):
+            io.load_edgelist(path)
+        graph = io.load_edgelist(path, default_label="link")
+        assert graph.has_edge("x", "link", "y")
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("x\ta\ty\tz\textra\n")
+        with pytest.raises(GraphError, match=":1"):
+            io.load_edgelist(path)
+
+    def test_custom_separator(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("x a y\n")
+        graph = io.load_edgelist(path, separator=" ")
+        assert graph.has_edge("x", "a", "y")
+
+    def test_figure1_roundtrip(self, tmp_path):
+        graph = figure1_graph()
+        path = tmp_path / "fig1.tsv"
+        io.save_edgelist(graph, path)
+        assert list(io.load_edgelist(path).edges()) == list(graph.edges())
+
+
+class TestJson:
+    def test_roundtrip_preserves_isolated_nodes(self, sample, tmp_path):
+        sample.add_node("hermit")
+        path = tmp_path / "g.json"
+        io.save_json(sample, path)
+        loaded = io.load_json(path)
+        assert loaded.has_node("hermit")
+        assert list(loaded.edges()) == list(sample.edges())
+
+    def test_rejects_non_graph_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(GraphError):
+            io.load_json(path)
+
+    def test_rejects_malformed_edge(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nodes": [], "edges": [["x", "a"]]}')
+        with pytest.raises(GraphError):
+            io.load_json(path)
+
+
+class TestCsv:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "g.csv"
+        io.save_csv(sample, path)
+        loaded = io.load_csv(path)
+        assert list(loaded.edges()) == list(sample.edges())
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("x,a,y\n")
+        graph = io.load_csv(path, has_header=False)
+        assert graph.has_edge("x", "a", "y")
+
+    def test_wrong_arity_raises(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("source,label\nx,a\n")
+        with pytest.raises(GraphError):
+            io.load_csv(path)
+
+
+def test_from_triples_matches_graph_from_edges(sample):
+    rebuilt = io.from_triples(sample.edges())
+    assert list(rebuilt.edges()) == list(sample.edges())

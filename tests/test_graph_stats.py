@@ -1,0 +1,101 @@
+"""Tests for graph statistics, including the paths_k machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import stats
+from repro.graph.examples import figure1_graph
+from repro.graph.generators import chain, cycle
+from repro.graph.graph import Graph
+
+
+class TestPathsK:
+    def test_paths_0_is_identity(self):
+        graph = chain(3)
+        assert stats.count_paths_k(graph, 0) == graph.node_count
+
+    def test_paths_k_includes_both_directions(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        # (x,x),(y,y) 0-paths; (x,y),(y,x) 1-paths (either direction).
+        assert stats.count_paths_k(graph, 1) == 4
+
+    def test_paths_k_chain(self):
+        graph = chain(3)  # n0-n1-n2-n3 undirected line
+        # k=1: 4 self + 3 edges * 2 directions = 10
+        assert stats.count_paths_k(graph, 1) == 10
+        # k=2: additionally (n0,n2),(n1,n3) both directions -> 14
+        assert stats.count_paths_k(graph, 2) == 14
+        # k=3: all 16 ordered pairs reachable
+        assert stats.count_paths_k(graph, 3) == 16
+
+    def test_paths_k_monotone_in_k(self):
+        graph = figure1_graph()
+        counts = [stats.count_paths_k(graph, k) for k in range(4)]
+        assert counts == sorted(counts)
+
+    def test_paths_k_from_is_bfs_ball(self):
+        graph = chain(4)
+        source = graph.node_id("n0")
+        ball = stats.paths_k_from(graph, source, 2)
+        names = {graph.node_name(node) for node in ball}
+        assert names == {"n0", "n1", "n2"}
+
+    def test_paths_k_pairs_matches_count(self):
+        graph = figure1_graph()
+        pairs = list(stats.paths_k_pairs(graph, 2))
+        assert len(pairs) == stats.count_paths_k(graph, 2)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_negative_k_rejected(self):
+        graph = chain(2)
+        with pytest.raises(ValidationError):
+            stats.paths_k_from(graph, 0, -1)
+
+
+class TestStarBound:
+    def test_empty_graph(self):
+        assert stats.star_bound(Graph()) == 0
+
+    def test_matches_node_count_minus_one(self):
+        assert stats.star_bound(chain(4)) == 4
+
+    def test_star_bound_is_sufficient_on_cycle(self):
+        """R* == R^{0,n(G)} — Section 2.2's observation, checked directly."""
+        from repro.rpq.parser import parse
+        from repro.rpq.semantics import eval_ast
+
+        graph = cycle(5)
+        bound = stats.star_bound(graph)
+        star_answer = eval_ast(graph, parse("next*"))
+        bounded_answer = eval_ast(graph, parse(f"next{{0,{bound}}}"))
+        assert star_answer == bounded_answer
+
+
+class TestSummaries:
+    def test_label_frequencies(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("y", "a", "z"), ("x", "b", "z")])
+        assert stats.label_frequencies(graph) == {"a": 2, "b": 1}
+
+    def test_degree_summary(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("x", "a", "z")])
+        summary = stats.out_degree_summary(graph)
+        assert summary.maximum == 2
+        assert summary.minimum == 0
+        assert summary.mean == pytest.approx(2 / 3)
+
+    def test_degree_summary_empty_graph(self):
+        summary = stats.out_degree_summary(Graph())
+        assert (summary.minimum, summary.maximum, summary.mean) == (0, 0, 0.0)
+
+    def test_degree_histogram_direction_validation(self):
+        with pytest.raises(ValidationError):
+            stats.degree_histogram(Graph(), "sideways")
+
+    def test_summarize_format_mentions_everything(self):
+        graph = figure1_graph()
+        text = stats.summarize(graph).format()
+        assert "nodes:  9" in text
+        assert "knows" in text
+        assert "out-degree" in text

@@ -1,0 +1,222 @@
+"""Tests for the in-memory B+tree, including property-based checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyOrderError, StorageError
+from repro.storage.memtree import BPlusTree
+
+KEYS = st.tuples(st.integers(min_value=0, max_value=50),
+                 st.integers(min_value=0, max_value=50))
+
+
+def build(pairs, order=4):
+    tree = BPlusTree(order=order)
+    for key, value in pairs:
+        tree.insert(key, value)
+    return tree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(("x",)) is None
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = build([((1,), "one"), ((2,), "two")])
+        assert tree.get((1,)) == "one"
+        assert tree.get((2,)) == "two"
+        assert len(tree) == 2
+
+    def test_overwrite_does_not_grow(self):
+        tree = build([((1,), "a")])
+        assert tree.insert((1,), "b") is False
+        assert len(tree) == 1
+        assert tree.get((1,)) == "b"
+
+    def test_contains(self):
+        tree = build([((1,), None)])
+        assert (1,) in tree
+        assert (2,) not in tree
+
+    def test_contains_distinguishes_none_value(self):
+        tree = build([((1,), None)])
+        assert (1,) in tree  # stored value is None but the key exists
+
+    def test_rejects_non_tuple_keys(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            tree.insert([1], "x")
+
+    def test_order_validation(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+    def test_many_inserts_sorted_iteration(self):
+        keys = [(i,) for i in range(500)]
+        tree = BPlusTree(order=4)
+        for key in reversed(keys):
+            tree.insert(key)
+        assert list(tree.keys()) == keys
+        tree.check_invariants()
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([((i,), i) for i in range(100)], order=4)
+        assert tree.delete((50,)) is True
+        assert (50,) not in tree
+        assert len(tree) == 99
+        tree.check_invariants()
+
+    def test_delete_missing(self):
+        tree = build([((1,), 1)])
+        assert tree.delete((9,)) is False
+        assert len(tree) == 1
+
+    def test_delete_everything(self):
+        keys = [(i,) for i in range(200)]
+        tree = build([(key, None) for key in keys], order=4)
+        for key in keys:
+            assert tree.delete(key)
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_delete_then_reinsert(self):
+        tree = build([((i,), i) for i in range(50)], order=4)
+        for i in range(0, 50, 2):
+            tree.delete((i,))
+        for i in range(0, 50, 2):
+            tree.insert((i,), -i)
+        assert len(tree) == 50
+        assert tree.get((4,)) == -4
+        tree.check_invariants()
+
+
+class TestScans:
+    def test_range_scan_half_open(self):
+        tree = build([((i,), i) for i in range(10)])
+        keys = [key for key, _ in tree.range_scan((3,), (7,))]
+        assert keys == [(3,), (4,), (5,), (6,)]
+
+    def test_range_scan_unbounded(self):
+        tree = build([((i,), i) for i in range(5)])
+        assert len(list(tree.range_scan())) == 5
+        assert [k for k, _ in tree.range_scan(low=(3,))] == [(3,), (4,)]
+        assert [k for k, _ in tree.range_scan(high=(2,))] == [(0,), (1,)]
+
+    def test_prefix_scan_contiguous(self):
+        entries = [((path, s, t), None)
+                   for path in ("a", "ab", "b")
+                   for s in range(3) for t in range(3)]
+        tree = build(entries, order=4)
+        scanned = [key for key, _ in tree.prefix_scan(("a",))]
+        assert scanned == [("a", s, t) for s in range(3) for t in range(3)]
+
+    def test_prefix_scan_two_components(self):
+        tree = build([((1, s, t), None) for s in range(3) for t in range(3)])
+        assert [k for k, _ in tree.prefix_scan((1, 2))] == [
+            (1, 2, 0), (1, 2, 1), (1, 2, 2)
+        ]
+
+    def test_prefix_scan_no_match(self):
+        tree = build([((1, 1), None)])
+        assert list(tree.prefix_scan((9,))) == []
+
+    def test_count_prefix(self):
+        tree = build([((1, i), None) for i in range(7)] + [((2, 0), None)])
+        assert tree.count_prefix((1,)) == 7
+        assert tree.count_prefix((2,)) == 1
+
+    def test_prefix_requires_tuple(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            list(tree.prefix_scan([1]))
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self):
+        items = [((i,), str(i)) for i in range(1000)]
+        tree = BPlusTree.bulk_load(items, order=8)
+        assert len(tree) == 1000
+        assert list(tree.items()) == items
+        tree.check_invariants()
+
+    def test_bulk_load_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        tree.check_invariants()
+
+    def test_bulk_load_single(self):
+        tree = BPlusTree.bulk_load([((1,), "x")])
+        assert tree.get((1,)) == "x"
+        tree.check_invariants()
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(KeyOrderError):
+            BPlusTree.bulk_load([((2,), None), ((1,), None)])
+
+    def test_bulk_load_rejects_duplicates(self):
+        with pytest.raises(KeyOrderError):
+            BPlusTree.bulk_load([((1,), None), ((1,), None)])
+
+    def test_bulk_loaded_tree_supports_mutation(self):
+        tree = BPlusTree.bulk_load([((i,), None) for i in range(100)], order=4)
+        tree.insert((1000,))
+        assert tree.delete((50,))
+        tree.check_invariants()
+
+    @pytest.mark.parametrize("count", [0, 1, 3, 4, 5, 63, 64, 65, 300])
+    def test_bulk_load_boundary_sizes(self, count):
+        items = [((i,), None) for i in range(count)]
+        tree = BPlusTree.bulk_load(items, order=4)
+        assert list(tree.keys()) == [key for key, _ in items]
+        tree.check_invariants()
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(KEYS, st.integers())))
+    def test_matches_dict_semantics(self, operations):
+        tree = BPlusTree(order=4)
+        model: dict = {}
+        for key, value in operations:
+            tree.insert(key, value)
+            model[key] = value
+        assert len(tree) == len(model)
+        assert list(tree.items()) == sorted(model.items())
+        tree.check_invariants()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(KEYS, unique=True),
+        st.lists(KEYS),
+    )
+    def test_insert_delete_mixture(self, inserts, deletes):
+        tree = BPlusTree(order=4)
+        model: set = set()
+        for key in inserts:
+            tree.insert(key)
+            model.add(key)
+        for key in deletes:
+            assert tree.delete(key) == (key in model)
+            model.discard(key)
+        assert list(tree.keys()) == sorted(model)
+        tree.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(KEYS, unique=True, min_size=1), KEYS, KEYS)
+    def test_range_scan_matches_filter(self, keys, low, high):
+        if low > high:
+            low, high = high, low
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key)
+        expected = sorted(k for k in keys if low <= k < high)
+        assert [k for k, _ in tree.range_scan(low, high)] == expected

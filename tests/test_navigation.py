@@ -1,0 +1,156 @@
+"""Tests for single-source and boolean query evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.navigation import (
+    breadth_first_targets,
+    evaluate_from,
+    evaluate_pair,
+    targets_of_path,
+)
+from repro.graph.examples import figure1_graph
+from repro.graph.graph import LabelPath
+from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import ExactStatistics
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast
+
+from tests.strategies import graphs, rpq_asts
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = figure1_graph()
+    index = PathIndex.build(graph, k=2)
+    stats = ExactStatistics.from_index(index)
+    return graph, index, stats
+
+
+class TestTargetsOfPath:
+    def test_short_path(self, setup):
+        graph, index, _ = setup
+        path = LabelPath.of("knows", "worksFor")
+        for source in graph.node_ids():
+            expected = {
+                b for a, b in eval_ast(graph, parse("knows/worksFor"))
+                if a == source
+            }
+            assert targets_of_path(index, path, source) == expected
+
+    def test_long_path_chunked(self, setup):
+        graph, index, _ = setup
+        path = LabelPath.of("knows", "knows", "worksFor", "knows")
+        relation = eval_ast(graph, parse("knows/knows/worksFor/knows"))
+        for source in graph.node_ids():
+            expected = {b for a, b in relation if a == source}
+            assert targets_of_path(index, path, source) == expected
+
+
+class TestEvaluateFrom:
+    QUERIES = [
+        "knows",
+        "knows/knows/worksFor",
+        "supervisor/^worksFor",
+        "(knows|worksFor){1,2}",
+        "knows{0,2}",
+        "knows*",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_matches_reference_restriction(self, setup, text):
+        graph, index, stats = setup
+        node = parse(text)
+        relation = eval_ast(graph, node)
+        for source in graph.node_ids():
+            expected = {b for a, b in relation if a == source}
+            assert evaluate_from(node, source, index, graph, stats) == expected
+
+    def test_epsilon_includes_source(self, setup):
+        graph, index, stats = setup
+        node = parse("<eps>")
+        source = graph.node_id("kim")
+        assert evaluate_from(node, source, index, graph, stats) == {source}
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=10), rpq_asts(max_leaves=3))
+    def test_property_matches_reference(self, graph, node):
+        index = PathIndex.build(graph, k=2)
+        stats = ExactStatistics.from_index(index)
+        relation = eval_ast(graph, node)
+        for source in graph.node_ids():
+            expected = {b for a, b in relation if a == source}
+            assert evaluate_from(node, source, index, graph, stats) == expected
+
+
+class TestEvaluatePair:
+    def test_short_disjunct_membership(self, setup):
+        graph, index, stats = setup
+        node = parse("supervisor/^worksFor")
+        kim, sue = graph.node_id("kim"), graph.node_id("sue")
+        assert evaluate_pair(node, kim, sue, index, graph, stats)
+        assert not evaluate_pair(node, sue, kim, index, graph, stats)
+
+    def test_epsilon_pair(self, setup):
+        graph, index, stats = setup
+        node = parse("knows{0,1}")
+        kim = graph.node_id("kim")
+        assert evaluate_pair(node, kim, kim, index, graph, stats)
+
+    def test_long_disjunct_frontier(self, setup):
+        graph, index, stats = setup
+        node = parse("knows/knows/worksFor/knows")
+        relation = eval_ast(graph, node)
+        some_pair = next(iter(relation))
+        assert evaluate_pair(node, *some_pair, index, graph, stats)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=10), rpq_asts(max_leaves=3))
+    def test_property_matches_reference(self, graph, node):
+        index = PathIndex.build(graph, k=2)
+        stats = ExactStatistics.from_index(index)
+        relation = eval_ast(graph, node)
+        nodes = list(graph.node_ids())
+        for source in nodes[:3]:
+            for target in nodes[:3]:
+                expected = (source, target) in relation
+                assert (
+                    evaluate_pair(node, source, target, index, graph, stats)
+                    == expected
+                )
+
+
+class TestBfsTargets:
+    def test_simple(self):
+        from repro.graph.generators import chain
+
+        graph = chain(3)
+        base = {(0, 1), (1, 2), (2, 3)}
+        assert breadth_first_targets(graph, base, 0, reflexive=False) == {1, 2, 3}
+        assert breadth_first_targets(graph, base, 0, reflexive=True) == {0, 1, 2, 3}
+
+
+class TestApiSurface:
+    def test_query_from(self, figure1_db):
+        targets = figure1_db.query_from("kim", "knows/worksFor")
+        relation = figure1_db.query("knows/worksFor").pairs
+        assert targets == frozenset(
+            b for a, b in relation if a == "kim"
+        )
+
+    def test_query_from_star(self, figure1_db):
+        targets = figure1_db.query_from("ada", "knows*")
+        relation = figure1_db.query("knows*", method="reference").pairs
+        assert targets == frozenset(b for a, b in relation if a == "ada")
+
+    def test_query_pair(self, figure1_db):
+        assert figure1_db.query_pair("kim", "sue", "supervisor/^worksFor")
+        assert not figure1_db.query_pair("sue", "kim", "supervisor/^worksFor")
+
+    def test_unknown_source_raises(self, figure1_db):
+        from repro.errors import UnknownNodeError
+
+        with pytest.raises(UnknownNodeError):
+            figure1_db.query_from("ghost", "knows")

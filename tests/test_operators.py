@@ -1,0 +1,144 @@
+"""Tests for the physical join operators and plan execution."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.graph.examples import figure1_graph
+from repro.graph.graph import LabelPath
+from repro.engine.operators import execute, hash_join, merge_join
+from repro.engine.plan import IdentityPlan, IndexScanPlan, JoinPlan, UnionPlan
+from repro.indexes.pathindex import PathIndex
+from repro.rpq.semantics import compose
+
+PAIRS = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)), max_size=20
+).map(lambda pairs: sorted(set(pairs)))
+
+
+def _compose_sets(left, right):
+    return compose(set(left), set(right))
+
+
+class TestJoins:
+    def test_merge_join_basic(self):
+        # left sorted by target, right sorted by source
+        left = [(1, 5), (2, 5), (3, 7)]
+        right = [(5, 10), (7, 11), (7, 12)]
+        assert set(merge_join(left, right)) == {
+            (1, 10), (2, 10), (3, 11), (3, 12),
+        }
+
+    def test_merge_join_empty(self):
+        assert merge_join([], [(1, 2)]) == []
+        assert merge_join([(1, 2)], []) == []
+
+    def test_hash_join_basic(self):
+        left = [(1, 5), (3, 7)]
+        right = [(5, 10), (7, 11)]
+        assert set(hash_join(left, right)) == {(1, 10), (3, 11)}
+
+    def test_hash_join_builds_smaller_side_consistently(self):
+        small = [(1, 5)]
+        large = [(5, i) for i in range(10)]
+        assert set(hash_join(small, large)) == {(1, i) for i in range(10)}
+        swapped = [(i, 1) for i in range(10)]
+        assert set(hash_join(swapped, [(1, 9)])) == {(i, 9) for i in range(10)}
+
+    def test_joins_deduplicate(self):
+        # two mid values both connect (1, *) to (*, 9)
+        left = [(1, 5), (1, 6)]
+        right = [(5, 9), (6, 9)]
+        assert merge_join(sorted(left, key=lambda p: p[1]), right) == [(1, 9)]
+        assert hash_join(left, right) == [(1, 9)]
+
+    @settings(max_examples=100, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_hash_join_matches_composition(self, left, right):
+        assert set(hash_join(left, right)) == _compose_sets(left, right)
+
+    @settings(max_examples=100, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_merge_join_matches_composition(self, left, right):
+        target_sorted = sorted(left, key=lambda pair: (pair[1], pair[0]))
+        assert set(merge_join(target_sorted, right)) == _compose_sets(
+            left, right
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_merge_equals_hash(self, left, right):
+        target_sorted = sorted(left, key=lambda pair: (pair[1], pair[0]))
+        assert set(merge_join(target_sorted, right)) == set(
+            hash_join(left, right)
+        )
+
+
+class TestExecute:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        graph = figure1_graph()
+        index = PathIndex.build(graph, k=2)
+        return graph, index
+
+    def test_scan_execution(self, setup):
+        graph, index = setup
+        plan = IndexScanPlan(LabelPath.of("knows"))
+        assert set(execute(plan, index, graph)) == graph.step_relation(
+            LabelPath.of("knows")[0]
+        )
+
+    def test_inverse_scan_execution_same_relation(self, setup):
+        graph, index = setup
+        path = LabelPath.of("knows", "worksFor")
+        direct = execute(IndexScanPlan(path), index, graph)
+        swapped = execute(IndexScanPlan(path, via_inverse=True), index, graph)
+        assert set(direct) == set(swapped)
+
+    def test_identity_execution(self, setup):
+        graph, index = setup
+        pairs = execute(IdentityPlan(), index, graph)
+        assert pairs == [(node, node) for node in graph.node_ids()]
+
+    def test_merge_join_plan(self, setup):
+        graph, index = setup
+        plan = JoinPlan(
+            IndexScanPlan(LabelPath.of("knows"), via_inverse=True),
+            IndexScanPlan(LabelPath.of("worksFor")),
+            "merge",
+        )
+        from repro.rpq.parser import parse
+        from repro.rpq.semantics import eval_ast
+
+        assert set(execute(plan, index, graph)) == eval_ast(
+            graph, parse("knows/worksFor")
+        )
+
+    def test_merge_join_with_bad_orders_rejected(self, setup):
+        graph, index = setup
+        plan = JoinPlan(
+            IndexScanPlan(LabelPath.of("knows")),  # BY_SRC on the left
+            IndexScanPlan(LabelPath.of("worksFor")),
+            "merge",
+        )
+        with pytest.raises(ExecutionError):
+            execute(plan, index, graph)
+
+    def test_union_deduplicates(self, setup):
+        graph, index = setup
+        scan = IndexScanPlan(LabelPath.of("knows"))
+        plan = UnionPlan((scan, scan))
+        pairs = execute(plan, index, graph)
+        assert len(pairs) == len(set(pairs)) == index.count(LabelPath.of("knows"))
+
+    def test_unknown_plan_type_rejected(self, setup):
+        graph, index = setup
+
+        class Bogus:
+            pass
+
+        with pytest.raises(ExecutionError):
+            execute(Bogus(), index, graph)  # type: ignore[arg-type]

@@ -1,0 +1,137 @@
+"""Tests for the page file and buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import METADATA_SLOTS, Pager
+
+
+@pytest.fixture()
+def pager(tmp_path):
+    with Pager(tmp_path / "file.db", page_size=256, cache_pages=4) as pager:
+        yield pager
+
+
+class TestBasics:
+    def test_new_file_has_header_page(self, pager):
+        assert pager.page_count == 1  # page 0 is the header
+
+    def test_allocate_and_rw(self, pager):
+        page_no = pager.allocate_page()
+        pager.write_page(page_no, b"hello")
+        data = pager.read_page(page_no)
+        assert bytes(data[:5]) == b"hello"
+        assert len(data) == 256
+
+    def test_write_overflow_rejected(self, pager):
+        page_no = pager.allocate_page()
+        with pytest.raises(StorageError):
+            pager.write_page(page_no, b"x" * 257)
+
+    def test_page_bounds_checked(self, pager):
+        with pytest.raises(StorageError):
+            pager.read_page(0)  # header page is not client-accessible
+        with pytest.raises(StorageError):
+            pager.read_page(99)
+
+    def test_geometry_validation(self, tmp_path):
+        with pytest.raises(StorageError):
+            Pager(tmp_path / "x.db", page_size=64)
+        with pytest.raises(StorageError):
+            Pager(tmp_path / "y.db", cache_pages=1)
+
+
+class TestPersistence:
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = tmp_path / "file.db"
+        with Pager(path, page_size=256) as pager:
+            page_no = pager.allocate_page()
+            pager.write_page(page_no, b"persisted")
+        with Pager(path, page_size=256) as pager:
+            assert bytes(pager.read_page(page_no)[:9]) == b"persisted"
+
+    def test_reopen_wrong_page_size_rejected(self, tmp_path):
+        path = tmp_path / "file.db"
+        Pager(path, page_size=256).close()
+        with pytest.raises(StorageError):
+            Pager(path, page_size=512)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 300)
+        with pytest.raises(StorageError):
+            Pager(path, page_size=256)
+
+    def test_metadata_slots_persist(self, tmp_path):
+        path = tmp_path / "file.db"
+        with Pager(path, page_size=256) as pager:
+            pager.set_metadata(3, 12345)
+        with Pager(path, page_size=256) as pager:
+            assert pager.get_metadata(3) == 12345
+
+    def test_metadata_slot_bounds(self, pager):
+        with pytest.raises(StorageError):
+            pager.get_metadata(METADATA_SLOTS)
+        with pytest.raises(StorageError):
+            pager.set_metadata(0, -1)
+
+
+class TestFreeList:
+    def test_freed_page_reused(self, pager):
+        first = pager.allocate_page()
+        second = pager.allocate_page()
+        pager.free_page(first)
+        reused = pager.allocate_page()
+        assert reused == first
+        assert second != reused
+
+    def test_free_list_chains(self, pager):
+        pages = [pager.allocate_page() for _ in range(3)]
+        for page in pages:
+            pager.free_page(page)
+        reallocated = {pager.allocate_page() for _ in range(3)}
+        assert reallocated == set(pages)
+
+    def test_freelist_survives_reopen(self, tmp_path):
+        path = tmp_path / "file.db"
+        with Pager(path, page_size=256) as pager:
+            page = pager.allocate_page()
+            pager.free_page(page)
+            count_before = pager.page_count
+        with Pager(path, page_size=256) as pager:
+            assert pager.allocate_page() == page
+            assert pager.page_count == count_before
+
+
+class TestBufferPool:
+    def test_eviction_writes_back_dirty_pages(self, tmp_path):
+        path = tmp_path / "file.db"
+        with Pager(path, page_size=256, cache_pages=4) as pager:
+            pages = [pager.allocate_page() for _ in range(10)]
+            for position, page_no in enumerate(pages):
+                pager.write_page(page_no, bytes([position]) * 10)
+            assert pager.stats.evictions > 0
+            for position, page_no in enumerate(pages):
+                assert pager.read_page(page_no)[0] == position
+
+    def test_hit_ratio_counts(self, pager):
+        page_no = pager.allocate_page()
+        pager.flush()
+        pager.read_page(page_no)
+        pager.read_page(page_no)
+        assert pager.stats.hits >= 1
+        assert 0.0 <= pager.stats.hit_ratio() <= 1.0
+
+    def test_closed_pager_rejects_access(self, tmp_path):
+        pager = Pager(tmp_path / "file.db", page_size=256)
+        page = pager.allocate_page()
+        pager.close()
+        with pytest.raises(StorageError):
+            pager.read_page(page)
+
+    def test_close_idempotent(self, tmp_path):
+        pager = Pager(tmp_path / "file.db", page_size=256)
+        pager.close()
+        pager.close()

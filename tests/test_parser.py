@@ -1,0 +1,167 @@
+"""Tests for the RPQ text parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rpq import ast
+from repro.rpq.parser import MAX_REPEAT_BOUND, parse, tokenize
+
+
+class TestAtoms:
+    def test_label(self):
+        assert parse("knows") == ast.label("knows")
+
+    def test_inverse_label(self):
+        assert parse("^knows") == ast.Inverse(ast.label("knows"))
+
+    def test_epsilon(self):
+        assert parse("<eps>") == ast.Epsilon()
+
+    def test_epsilon_unicode(self):
+        assert parse("ε") == ast.Epsilon()
+
+    def test_parentheses(self):
+        assert parse("(knows)") == ast.label("knows")
+
+
+class TestOperators:
+    def test_concat(self):
+        assert parse("a/b/c") == ast.concat(
+            ast.label("a"), ast.label("b"), ast.label("c")
+        )
+
+    def test_union(self):
+        assert parse("a|b|c") == ast.union(
+            ast.label("a"), ast.label("b"), ast.label("c")
+        )
+
+    def test_union_binds_weaker_than_concat(self):
+        assert parse("a/b|c") == ast.union(
+            ast.concat(ast.label("a"), ast.label("b")), ast.label("c")
+        )
+
+    def test_parens_override_precedence(self):
+        assert parse("a/(b|c)") == ast.concat(
+            ast.label("a"), ast.union(ast.label("b"), ast.label("c"))
+        )
+
+    def test_postfix_binds_tighter_than_concat(self):
+        assert parse("a/b*") == ast.concat(ast.label("a"), ast.star(ast.label("b")))
+
+    def test_inverse_binds_tighter_than_concat(self):
+        assert parse("^a/b") == ast.concat(
+            ast.Inverse(ast.label("a")), ast.label("b")
+        )
+
+    def test_inverse_of_group(self):
+        assert parse("^(a/b)") == ast.Inverse(
+            ast.concat(ast.label("a"), ast.label("b"))
+        )
+
+    def test_double_inverse(self):
+        assert parse("^^a") == ast.Inverse(ast.Inverse(ast.label("a")))
+
+
+class TestRepetition:
+    def test_star_plus_optional(self):
+        assert parse("a*") == ast.star(ast.label("a"))
+        assert parse("a+") == ast.repeat(ast.label("a"), 1, None)
+        assert parse("a?") == ast.repeat(ast.label("a"), 0, 1)
+
+    def test_bounds(self):
+        assert parse("a{2,4}") == ast.repeat(ast.label("a"), 2, 4)
+
+    def test_exact_bound(self):
+        assert parse("a{3}") == ast.repeat(ast.label("a"), 3, 3)
+
+    def test_open_bound(self):
+        assert parse("a{2,}") == ast.repeat(ast.label("a"), 2, None)
+
+    def test_stacked_postfix(self):
+        assert parse("a{1,2}?") == ast.repeat(
+            ast.repeat(ast.label("a"), 1, 2), 0, 1
+        )
+
+    def test_bound_on_group(self):
+        assert parse("(a/b){2,3}") == ast.repeat(
+            ast.concat(ast.label("a"), ast.label("b")), 2, 3
+        )
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a{4,2}")
+
+    def test_absurd_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse(f"a{{1,{MAX_REPEAT_BOUND + 1}}}")
+
+
+class TestPaperQueries:
+    """The queries appearing verbatim in the paper."""
+
+    def test_supervisor_worksfor_inverse(self):
+        assert parse("supervisor/^worksFor") == ast.concat(
+            ast.label("supervisor"), ast.Inverse(ast.label("worksFor"))
+        )
+
+    def test_union_recursion(self):
+        node = parse("(supervisor|worksFor|^worksFor){4,5}")
+        assert node == ast.repeat(
+            ast.union(
+                ast.label("supervisor"),
+                ast.label("worksFor"),
+                ast.Inverse(ast.label("worksFor")),
+            ),
+            4,
+            5,
+        )
+
+    def test_section4_example(self):
+        """R = k ∘ (k ∘ w)^{2,4} ∘ w from Section 4."""
+        node = parse("knows/(knows/worksFor){2,4}/worksFor")
+        assert isinstance(node, ast.Concat)
+        assert node.parts[0] == ast.label("knows")
+        assert node.parts[1] == ast.repeat(
+            ast.concat(ast.label("knows"), ast.label("worksFor")), 2, 4
+        )
+        assert node.parts[2] == ast.label("worksFor")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "   ", "/a", "a/", "a||b", "(a", "a)", "a{", "a{1", "a{,2}",
+         "a b", "^", "a{x}", "a$"],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("a/$b")
+        assert info.value.position == 2
+
+    def test_trailing_junk_reported(self):
+        with pytest.raises(ParseError, match="after end of query"):
+            parse("a b")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ParseError):
+            parse(None)  # type: ignore[arg-type]
+
+
+class TestTokenizer:
+    def test_whitespace_ignored(self):
+        assert parse("a / b") == parse("a/b")
+
+    def test_token_positions(self):
+        tokens = tokenize("ab|c")
+        assert [(t.kind, t.position) for t in tokens] == [
+            ("ident", 0), ("|", 2), ("ident", 3),
+        ]
+
+    def test_identifiers_with_digits_and_underscores(self):
+        assert parse("label_2") == ast.label("label_2")

@@ -1,0 +1,95 @@
+"""Tests for physical plan nodes and rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import LabelPath
+from repro.engine.plan import (
+    IdentityPlan,
+    IndexScanPlan,
+    JoinPlan,
+    Order,
+    UnionPlan,
+    render,
+)
+
+
+class TestOrders:
+    def test_direct_scan_is_source_sorted(self):
+        plan = IndexScanPlan(LabelPath.of("a"))
+        assert plan.order is Order.BY_SRC
+
+    def test_inverse_scan_is_target_sorted(self):
+        plan = IndexScanPlan(LabelPath.of("a"), via_inverse=True)
+        assert plan.order is Order.BY_TGT
+
+    def test_join_output_unordered(self):
+        left = IndexScanPlan(LabelPath.of("a"), via_inverse=True)
+        right = IndexScanPlan(LabelPath.of("b"))
+        assert JoinPlan(left, right, "merge").order is Order.NONE
+
+    def test_identity_source_sorted(self):
+        assert IdentityPlan().order is Order.BY_SRC
+
+    def test_union_unordered(self):
+        assert UnionPlan((IdentityPlan(),)).order is Order.NONE
+
+
+class TestCounts:
+    def _example(self):
+        scan_a = IndexScanPlan(LabelPath.of("a"), via_inverse=True)
+        scan_b = IndexScanPlan(LabelPath.of("b"))
+        scan_c = IndexScanPlan(LabelPath.of("c"))
+        return JoinPlan(JoinPlan(scan_a, scan_b, "merge"), scan_c, "hash")
+
+    def test_scan_count(self):
+        assert self._example().scan_count() == 3
+
+    def test_join_count(self):
+        assert self._example().join_count() == 2
+
+    def test_merge_join_count(self):
+        assert self._example().merge_join_count() == 1
+
+    def test_algorithm_validated(self):
+        with pytest.raises(ValueError):
+            JoinPlan(IdentityPlan(), IdentityPlan(), "nested-loop")
+
+
+class TestRender:
+    def test_scan_line(self):
+        assert render(IndexScanPlan(LabelPath.of("a"))) == "IndexScan[a]"
+
+    def test_inverse_scan_mentions_swap(self):
+        text = render(IndexScanPlan(LabelPath.of("a", "b"), via_inverse=True))
+        assert "swapped" in text
+        assert "^b/^a" in text
+
+    def test_tree_shape(self):
+        plan = JoinPlan(
+            IndexScanPlan(LabelPath.of("a"), via_inverse=True),
+            IndexScanPlan(LabelPath.of("b")),
+            "merge",
+        )
+        text = render(plan)
+        lines = text.split("\n")
+        assert lines[0] == "merge-join"
+        assert lines[1].startswith("├─ ")
+        assert lines[2].startswith("└─ ")
+
+    def test_nested_tree_render(self):
+        plan = UnionPlan(
+            (
+                JoinPlan(
+                    IndexScanPlan(LabelPath.of("a"), via_inverse=True),
+                    IndexScanPlan(LabelPath.of("b")),
+                    "merge",
+                ),
+                IdentityPlan(),
+            )
+        )
+        text = render(plan)
+        assert text.count("IndexScan") == 2
+        assert "Union[2]" in text
+        assert "Identity" in text

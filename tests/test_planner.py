@@ -1,0 +1,235 @@
+"""Tests for the four planning strategies (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.graph.examples import figure1_graph
+from repro.graph.graph import LabelPath
+from repro.engine.cost import CostModel
+from repro.engine.operators import execute
+from repro.engine.plan import IndexScanPlan, JoinPlan, UnionPlan
+from repro.engine.planner import Planner, Strategy, _compositions
+from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import ExactStatistics
+from repro.rpq.parser import parse
+from repro.rpq.rewrite import normalize
+from repro.rpq.semantics import eval_ast
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = figure1_graph()
+    index = PathIndex.build(graph, k=3)
+    stats = ExactStatistics.from_index(index)
+    return graph, index, stats
+
+
+def _planner(setup, strategy, k=3):
+    graph, index, stats = setup
+    return Planner(k, stats, graph, strategy)
+
+
+class TestStrategyParsing:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("naive", Strategy.NAIVE),
+            ("semi-naive", Strategy.SEMI_NAIVE),
+            ("semi_naive", Strategy.SEMI_NAIVE),
+            ("minsupport", Strategy.MIN_SUPPORT),
+            ("MIN_SUPPORT", Strategy.MIN_SUPPORT),
+            ("minjoin", Strategy.MIN_JOIN),
+        ],
+    )
+    def test_parse(self, name, expected):
+        assert Strategy.parse(name) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(PlanningError):
+            Strategy.parse("quantum")
+
+
+class TestShortPaths:
+    def test_path_within_k_is_single_scan(self, setup):
+        for strategy in Strategy:
+            planner = _planner(setup, strategy)
+            costed = planner.plan_path(LabelPath.of("knows", "worksFor"))
+            if strategy is Strategy.NAIVE:
+                continue  # naive always splits into steps
+            assert isinstance(costed.plan, IndexScanPlan)
+            assert costed.plan.path == LabelPath.of("knows", "worksFor")
+
+    def test_naive_splits_into_single_steps(self, setup):
+        planner = _planner(setup, Strategy.NAIVE)
+        costed = planner.plan_path(LabelPath.of("knows", "worksFor", "knows"))
+        assert costed.plan.scan_count() == 3
+        for scan_path in _scan_paths(costed.plan):
+            assert len(scan_path) == 1
+
+
+class TestSemiNaive:
+    def test_paper_example_first_disjunct(self, setup):
+        """kkwkww at k=3: merge(inv(kkw), kww) — Section 4's plan."""
+        planner = _planner(setup, Strategy.SEMI_NAIVE)
+        path = LabelPath.of("knows", "knows", "worksFor",
+                            "knows", "worksFor", "worksFor")
+        costed = planner.plan_path(path)
+        plan = costed.plan
+        assert isinstance(plan, JoinPlan)
+        assert plan.algorithm == "merge"
+        assert isinstance(plan.left, IndexScanPlan)
+        assert plan.left.via_inverse  # scanned as w-k-k-
+        assert plan.left.path == LabelPath.of("knows", "knows", "worksFor")
+        assert plan.right == IndexScanPlan(
+            LabelPath.of("knows", "worksFor", "worksFor")
+        )
+
+    def test_paper_example_second_disjunct(self, setup):
+        """kkwkwkww at k=3: merge then one hash join."""
+        planner = _planner(setup, Strategy.SEMI_NAIVE)
+        path = LabelPath.of(*(["knows", "knows", "worksFor", "knows",
+                               "worksFor", "knows", "worksFor", "worksFor"]))
+        costed = planner.plan_path(path)
+        assert costed.plan.join_count() == 2
+        assert costed.plan.merge_join_count() == 1
+        # outer join is hash, inner is merge (left-deep)
+        assert costed.plan.algorithm == "hash"
+        assert costed.plan.left.algorithm == "merge"
+
+    def test_chunk_sizes_are_k_greedy(self, setup):
+        planner = _planner(setup, Strategy.SEMI_NAIVE)
+        path = LabelPath.of(*["knows"] * 7)
+        costed = planner.plan_path(path)
+        sizes = sorted(len(p) for p in _scan_paths(costed.plan))
+        assert sizes == [1, 3, 3]
+
+
+class TestMinSupport:
+    def test_short_path_is_scan(self, setup):
+        planner = _planner(setup, Strategy.MIN_SUPPORT)
+        costed = planner.plan_path(LabelPath.of("knows"))
+        assert isinstance(costed.plan, IndexScanPlan)
+
+    def test_pivot_is_most_selective_window(self, setup):
+        graph, index, stats = setup
+        planner = _planner(setup, Strategy.MIN_SUPPORT)
+        # supervisor is rare: windows containing it are most selective
+        path = LabelPath.of("knows", "knows", "supervisor", "knows", "knows")
+        costed = planner.plan_path(path)
+        scans = list(_scan_paths(costed.plan))
+        assert any("supervisor" in p.encode() for p in scans)
+        # the pivot window (offset 0..2 of length 3) with the smallest
+        # count must appear as one scanned piece
+        best = min(
+            (path.subpath(i, i + 3) for i in range(3)),
+            key=lambda window: index.count(window),
+        )
+        assert any(p in (best, best.inverted()) or p == best for p in scans)
+
+    def test_plans_are_correct(self, setup):
+        graph, index, _ = setup
+        planner = _planner(setup, Strategy.MIN_SUPPORT)
+        for text in [
+            "knows/knows/worksFor/knows",
+            "knows/worksFor/^knows/^worksFor/knows",
+            "supervisor/knows/knows/worksFor",
+        ]:
+            normal = normalize(parse(text), star_bound_value=8)
+            costed = planner.plan(normal)
+            assert set(execute(costed.plan, index, graph)) == eval_ast(
+                graph, parse(text)
+            )
+
+
+class TestMinJoin:
+    def test_minimal_chunk_count(self, setup):
+        planner = _planner(setup, Strategy.MIN_JOIN)
+        path = LabelPath.of(*["knows"] * 7)  # n=7, k=3 -> 3 chunks, 2 joins
+        costed = planner.plan_path(path)
+        assert costed.plan.join_count() == 2
+        assert costed.plan.scan_count() == 3
+
+    def test_minjoin_never_uses_more_scans_than_seminaive(self, setup):
+        semi = _planner(setup, Strategy.SEMI_NAIVE)
+        minjoin = _planner(setup, Strategy.MIN_JOIN)
+        for length in range(1, 9):
+            path = LabelPath.of(*["knows"] * length)
+            assert (
+                minjoin.plan_path(path).plan.scan_count()
+                <= semi.plan_path(path).plan.scan_count()
+            )
+
+    def test_plans_are_correct(self, setup):
+        graph, index, _ = setup
+        planner = _planner(setup, Strategy.MIN_JOIN)
+        for text in [
+            "knows/knows/worksFor/knows/worksFor",
+            "^worksFor/knows/knows/knows",
+        ]:
+            normal = normalize(parse(text), star_bound_value=8)
+            costed = planner.plan(normal)
+            assert set(execute(costed.plan, index, graph)) == eval_ast(
+                graph, parse(text)
+            )
+
+    def test_compositions_enumeration(self):
+        assert sorted(tuple(c) for c in _compositions(5, 2, 3)) == [
+            (2, 3), (3, 2),
+        ]
+        assert list(_compositions(3, 1, 3)) == [[3]]
+        assert list(_compositions(9, 3, 3)) == [[3, 3, 3]]
+        assert list(_compositions(4, 1, 3)) == []
+
+
+class TestWholeQueries:
+    def test_union_of_disjuncts(self, setup):
+        graph, index, _ = setup
+        planner = _planner(setup, Strategy.MIN_SUPPORT)
+        normal = normalize(parse("(knows|worksFor)/knows"), star_bound_value=8)
+        costed = planner.plan(normal)
+        assert isinstance(costed.plan, UnionPlan)
+        assert len(costed.plan.parts) == 2
+
+    def test_epsilon_included(self, setup):
+        planner = _planner(setup, Strategy.SEMI_NAIVE)
+        normal = normalize(parse("knows{0,1}"), star_bound_value=8)
+        costed = planner.plan(normal)
+        assert isinstance(costed.plan, UnionPlan)
+
+    def test_empty_query_rejected(self, setup):
+        from repro.rpq.rewrite import NormalForm
+
+        planner = _planner(setup, Strategy.SEMI_NAIVE)
+        with pytest.raises(PlanningError):
+            planner.plan(NormalForm(has_epsilon=False, paths=()))
+
+    def test_k_validated(self, setup):
+        graph, _, stats = setup
+        with pytest.raises(PlanningError):
+            Planner(0, stats, graph, Strategy.NAIVE)
+
+    def test_all_strategies_agree_on_answers(self, setup):
+        graph, index, stats = setup
+        for text in [
+            "knows/knows/worksFor",
+            "supervisor/^worksFor",
+            "(knows|worksFor){1,2}",
+            "knows{2,4}",
+            "^knows/worksFor/knows",
+        ]:
+            normal = normalize(parse(text), star_bound_value=8)
+            expected = eval_ast(graph, parse(text))
+            for strategy in Strategy:
+                planner = Planner(index.k, stats, graph, strategy)
+                costed = planner.plan(normal)
+                answer = set(execute(costed.plan, index, graph))
+                assert answer == expected, (text, strategy)
+
+
+def _scan_paths(plan):
+    if isinstance(plan, IndexScanPlan):
+        yield plan.path
+    for child in plan.children():
+        yield from _scan_paths(child)

@@ -1,0 +1,154 @@
+"""Tests for the SCC-based reachability index (approach 3 substrate)."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import reachability_eval
+from repro.errors import UnsupportedQueryError
+from repro.graph.generators import chain, cycle
+from repro.graph.graph import Graph, Step
+from repro.indexes.reachability import (
+    LabelReachabilityIndex,
+    strongly_connected_components,
+)
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast
+
+from tests.strategies import graphs
+
+
+def _bfs_reachable(edges: set[tuple[int, int]], source: int) -> set[int]:
+    adjacency: dict[int, list[int]] = {}
+    for a, b in edges:
+        adjacency.setdefault(a, []).append(b)
+    seen: set[int] = set()
+    queue = deque(adjacency.get(source, ()))
+    while queue:
+        node = queue.popleft()
+        if node not in seen:
+            seen.add(node)
+            queue.extend(adjacency.get(node, ()))
+    return seen
+
+
+class TestScc:
+    def test_chain_is_all_singletons(self):
+        components = strongly_connected_components(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(set(components)) == 4
+
+    def test_cycle_is_one_component(self):
+        components = strongly_connected_components(3, [(0, 1), (1, 2), (2, 0)])
+        assert len(set(components)) == 1
+
+    def test_two_cycles_bridge(self):
+        edges = [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]
+        components = strongly_connected_components(4, edges)
+        assert components[0] == components[1]
+        assert components[2] == components[3]
+        assert components[0] != components[2]
+        # Tarjan ids are reverse topological: the downstream component
+        # (2,3) gets the smaller id.
+        assert components[2] < components[0]
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(0, []) == []
+
+    def test_isolated_nodes(self):
+        components = strongly_connected_components(3, [])
+        assert len(set(components)) == 3
+
+
+class TestReachability:
+    def test_chain_reachability(self):
+        graph = chain(4)
+        index = LabelReachabilityIndex(graph, Step("next"))
+        assert index.reachable(0, 4, reflexive=False)
+        assert not index.reachable(4, 0, reflexive=False)
+        assert index.reachable(2, 2, reflexive=True)
+        assert not index.reachable(2, 2, reflexive=False)
+
+    def test_cycle_reaches_itself_without_reflexivity(self):
+        graph = cycle(3)
+        index = LabelReachabilityIndex(graph, Step("next"))
+        assert index.reachable(0, 0, reflexive=False)
+
+    def test_self_loop(self):
+        graph = Graph.from_edges([("o", "spin", "o")])
+        index = LabelReachabilityIndex(graph, Step("spin"))
+        assert index.reachable(0, 0, reflexive=False)
+
+    def test_inverse_step(self):
+        graph = chain(3)
+        index = LabelReachabilityIndex(graph, Step("next", inverse=True))
+        assert index.reachable(3, 0, reflexive=False)
+        assert not index.reachable(0, 3, reflexive=False)
+
+    def test_all_pairs_equals_star_semantics(self):
+        graph = cycle(4)
+        index = LabelReachabilityIndex(graph, Step("next"))
+        assert set(index.all_pairs(reflexive=True)) == eval_ast(
+            graph, parse("next*")
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graphs(max_nodes=8, max_edges=16, labels=("a",)))
+    def test_matches_bfs_brute_force(self, graph):
+        step = Step("a")
+        edges = graph.step_relation(step)
+        index = LabelReachabilityIndex(graph, step)
+        for source in graph.node_ids():
+            expected = _bfs_reachable(edges, source)
+            assert index.reachable_set(source, reflexive=False) == expected
+            assert index.reachable_set(source, reflexive=True) == (
+                expected | {source}
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_nodes=7, max_edges=14, labels=("a",)))
+    def test_matches_star_and_plus_semantics(self, graph):
+        index = LabelReachabilityIndex(graph, Step("a"))
+        assert set(index.all_pairs(reflexive=True)) == eval_ast(
+            graph, parse("a*")
+        )
+        assert set(index.all_pairs(reflexive=False)) == eval_ast(
+            graph, parse("a+")
+        )
+
+
+class TestBaselineFrontend:
+    def test_supported_star(self):
+        graph = chain(3)
+        assert reachability_eval.evaluate(graph, parse("next*")) == eval_ast(
+            graph, parse("next*")
+        )
+
+    def test_supported_plus(self):
+        graph = chain(3)
+        assert reachability_eval.evaluate(graph, parse("next+")) == eval_ast(
+            graph, parse("next+")
+        )
+
+    def test_supported_inverse_star(self):
+        graph = chain(3)
+        assert reachability_eval.evaluate(graph, parse("(^next)*")) == eval_ast(
+            graph, parse("(^next)*")
+        )
+
+    @pytest.mark.parametrize(
+        "query",
+        ["a/b", "(a/b)*", "a{2,}", "a{1,3}", "a|b", "a*/b"],
+    )
+    def test_unsupported_shapes_raise(self, query):
+        """The restriction the paper contrasts against (approach 3)."""
+        graph = chain(3)
+        with pytest.raises(UnsupportedQueryError):
+            reachability_eval.evaluate(graph, parse(query))
+
+    def test_shape_detection(self):
+        assert reachability_eval.supported_shape(parse("a*")) == (Step("a"), True)
+        assert reachability_eval.supported_shape(parse("a+")) == (Step("a"), False)
+        assert reachability_eval.supported_shape(parse("a/b")) is None

@@ -1,0 +1,122 @@
+"""Tests for the memcomparable record codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.records import decode_key, encode_key, encode_many
+
+SCALARS = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.text(max_size=12),
+    st.binary(max_size=12),
+)
+
+TUPLES = st.lists(SCALARS, max_size=4).map(tuple)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            (),
+            (0,),
+            (-1, 1),
+            ("",),
+            ("hello", 42),
+            (b"\x00\x01", "x"),
+            ("null\x00byte",),
+            (2**63 - 1, -(2**63)),
+            (3.5, -2.25, 0.0),
+        ],
+    )
+    def test_examples(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    @settings(max_examples=200, deadline=None)
+    @given(TUPLES)
+    def test_property_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+
+class TestOrderPreservation:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                 min_size=1, max_size=3).map(tuple),
+        st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1),
+                 min_size=1, max_size=3).map(tuple),
+    )
+    def test_int_tuples(self, left, right):
+        assert (encode_key(left) < encode_key(right)) == (left < right)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=8), st.text(max_size=8))
+    def test_strings(self, left, right):
+        # Compare as UTF-8 byte sequences (the index compares bytes).
+        left_bytes, right_bytes = left.encode(), right.encode()
+        assert (encode_key((left,)) < encode_key((right,))) == (
+            left_bytes < right_bytes
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.floats(allow_nan=False, allow_infinity=True),
+        st.floats(allow_nan=False, allow_infinity=True),
+    )
+    def test_floats(self, left, right):
+        if left < right:
+            assert encode_key((left,)) < encode_key((right,))
+        elif left > right:
+            assert encode_key((left,)) > encode_key((right,))
+
+    def test_prefix_tuples_encode_to_byte_prefixes(self):
+        full = encode_key((7, "x", 3))
+        prefix = encode_key((7, "x"))
+        assert full.startswith(prefix)
+
+    @settings(max_examples=100, deadline=None)
+    @given(TUPLES, SCALARS)
+    def test_property_prefix(self, prefix, extra):
+        assert encode_key(prefix + (extra,)).startswith(encode_key(prefix))
+
+    def test_string_escaping_preserves_order_around_nul(self):
+        values = ["a", "a\x00", "a\x00b", "ab"]
+        encoded = sorted(encode_key((value,)) for value in values)
+        decoded = [decode_key(enc)[0] for enc in encoded]
+        assert decoded == sorted(values, key=lambda s: s.encode())
+
+
+class TestErrors:
+    def test_rejects_bool(self):
+        with pytest.raises(StorageError):
+            encode_key((True,))
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(StorageError):
+            encode_key(([1],))
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(StorageError):
+            encode_key((2**63,))
+
+    def test_rejects_corrupt_tag(self):
+        with pytest.raises(StorageError):
+            decode_key(b"\x7f")
+
+    def test_rejects_unterminated_string(self):
+        encoded = bytearray(encode_key(("abc",)))
+        with pytest.raises(StorageError):
+            decode_key(bytes(encoded[:-2]))
+
+    def test_rejects_bad_escape(self):
+        with pytest.raises(StorageError):
+            decode_key(b"\x03a\x00\x01")
+
+
+def test_encode_many():
+    rows = [(1, "a"), (2, "b")]
+    assert encode_many(rows) == [encode_key(row) for row in rows]

@@ -1,0 +1,127 @@
+"""Tests for the RPQ AST nodes and constructor helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.graph.graph import LabelPath, Step
+from repro.rpq import ast
+
+from tests.strategies import rpq_asts
+
+
+class TestConstructors:
+    def test_label(self):
+        node = ast.label("knows")
+        assert node.step == Step("knows")
+
+    def test_inv_label(self):
+        node = ast.inv_label("knows")
+        assert node.step == Step("knows", inverse=True)
+
+    def test_concat_flattens(self):
+        node = ast.concat(ast.label("a"), ast.concat(ast.label("b"), ast.label("c")))
+        assert isinstance(node, ast.Concat)
+        assert len(node.parts) == 3
+
+    def test_concat_singleton_collapses(self):
+        assert ast.concat(ast.label("a")) == ast.label("a")
+
+    def test_concat_empty_is_epsilon(self):
+        assert ast.concat() == ast.Epsilon()
+
+    def test_union_flattens(self):
+        node = ast.union(ast.label("a"), ast.union(ast.label("b"), ast.label("c")))
+        assert isinstance(node, ast.Union)
+        assert len(node.parts) == 3
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ast.union()
+
+    def test_repeat_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            ast.repeat(ast.label("a"), 3, 2)
+        with pytest.raises(ValidationError):
+            ast.repeat(ast.label("a"), -1, 2)
+
+    def test_plus_optional_star_sugar(self):
+        assert ast.plus(ast.label("a")) == ast.Repeat(ast.label("a"), 1, None)
+        assert ast.optional(ast.label("a")) == ast.Repeat(ast.label("a"), 0, 1)
+        assert ast.star(ast.label("a")) == ast.Star(ast.label("a"))
+
+    def test_from_label_path(self):
+        path = LabelPath.of("a", "b-")
+        node = ast.from_label_path(path)
+        assert isinstance(node, ast.Concat)
+        assert node.parts == (ast.label("a"), ast.inv_label("b"))
+
+    def test_from_singleton_label_path(self):
+        assert ast.from_label_path(LabelPath.of("a")) == ast.label("a")
+
+
+class TestNodeProtocol:
+    def test_size(self):
+        node = ast.concat(ast.label("a"), ast.union(ast.label("b"), ast.Epsilon()))
+        assert node.size() == 5
+
+    def test_labels_used(self):
+        node = ast.concat(
+            ast.label("a"), ast.repeat(ast.inv_label("b"), 0, 2)
+        )
+        assert node.labels_used() == frozenset({"a", "b"})
+
+    def test_walk_preorder(self):
+        inner = ast.label("a")
+        node = ast.repeat(inner, 1, 2)
+        assert list(node.walk()) == [node, inner]
+
+    def test_nodes_hashable(self):
+        first = ast.concat(ast.label("a"), ast.label("b"))
+        second = ast.concat(ast.label("a"), ast.label("b"))
+        assert first == second
+        assert {first} == {second}
+
+
+class TestUnparse:
+    @pytest.mark.parametrize(
+        "node, expected",
+        [
+            (ast.label("a"), "a"),
+            (ast.inv_label("a"), "^a"),
+            (ast.Epsilon(), "<eps>"),
+            (ast.concat(ast.label("a"), ast.label("b")), "a/b"),
+            (ast.union(ast.label("a"), ast.label("b")), "a|b"),
+            (
+                ast.concat(ast.union(ast.label("a"), ast.label("b")), ast.label("c")),
+                "(a|b)/c",
+            ),
+            (ast.repeat(ast.label("a"), 1, 3), "a{1,3}"),
+            (ast.repeat(ast.label("a"), 1, None), "a{1,}"),
+            (ast.star(ast.concat(ast.label("a"), ast.label("b"))), "(a/b)*"),
+            (ast.Inverse(ast.union(ast.label("a"), ast.label("b"))), "^(a|b)"),
+            (
+                ast.repeat(ast.union(ast.label("a"), ast.label("b")), 4, 5),
+                "(a|b){4,5}",
+            ),
+        ],
+    )
+    def test_examples(self, node, expected):
+        assert str(node) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(rpq_asts(allow_star=True))
+    def test_unparse_reparses_to_same_ast(self, node):
+        """str() output is valid syntax describing an equivalent query."""
+        from repro.graph.examples import two_triangles
+        from repro.rpq.parser import parse
+        from repro.rpq.semantics import eval_ast
+
+        reparsed = parse(str(node))
+        graph = two_triangles()
+        # Semantic equivalence (syntactic trees may differ by grouping):
+        # both ASTs must denote the same relation.  The tiny fixed graph
+        # has no 'c'-labeled edges, which is fine — both sides agree.
+        assert eval_ast(graph, reparsed) == eval_ast(graph, node)

@@ -1,0 +1,203 @@
+"""Tests for the reference set-semantics evaluator."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.graph.examples import figure1_graph, two_triangles
+from repro.graph.generators import chain, cycle, grid
+from repro.graph.graph import Graph, LabelPath
+from repro.rpq import ast
+from repro.rpq.parser import parse
+from repro.rpq.semantics import (
+    compose,
+    eval_ast,
+    eval_label_path,
+    eval_query,
+    identity_relation,
+    relation_power,
+    transitive_fixpoint,
+)
+
+from tests.strategies import graphs, rpq_asts
+
+
+class TestPrimitives:
+    def test_identity_relation(self):
+        graph = chain(2)
+        assert identity_relation(graph) == {(0, 0), (1, 1), (2, 2)}
+
+    def test_compose(self):
+        assert compose({(1, 2), (3, 4)}, {(2, 5), (2, 6)}) == {(1, 5), (1, 6)}
+
+    def test_compose_empty(self):
+        assert compose(set(), {(1, 2)}) == set()
+        assert compose({(1, 2)}, set()) == set()
+
+    def test_relation_power_zero_is_identity(self):
+        graph = chain(3)
+        base = {(0, 1)}
+        assert relation_power(graph, base, 0) == identity_relation(graph)
+
+    def test_relation_power(self):
+        graph = chain(3)
+        base = {(0, 1), (1, 2), (2, 3)}
+        assert relation_power(graph, base, 2) == {(0, 2), (1, 3)}
+        assert relation_power(graph, base, 4) == set()
+
+    def test_transitive_fixpoint_on_cycle_terminates(self):
+        graph = cycle(4)
+        base = {(i, (i + 1) % 4) for i in range(4)}
+        closure = transitive_fixpoint(graph, base, low=1)
+        assert closure == {(i, j) for i in range(4) for j in range(4)}
+
+    def test_transitive_fixpoint_low_zero_includes_identity(self):
+        graph = chain(2)
+        closure = transitive_fixpoint(graph, {(0, 1)}, low=0)
+        assert (2, 2) in closure
+        assert (0, 1) in closure
+
+    def test_transitive_fixpoint_low_two(self):
+        graph = chain(4)
+        base = {(i, i + 1) for i in range(4)}
+        closure = transitive_fixpoint(graph, base, low=2)
+        assert (0, 1) not in closure
+        assert (0, 2) in closure and (0, 4) in closure
+
+
+class TestOperators:
+    def test_epsilon(self):
+        graph = chain(1)
+        assert eval_ast(graph, ast.Epsilon()) == identity_relation(graph)
+
+    def test_label_forward_and_inverse(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        x, y = graph.node_id("x"), graph.node_id("y")
+        assert eval_ast(graph, parse("a")) == {(x, y)}
+        assert eval_ast(graph, parse("^a")) == {(y, x)}
+
+    def test_missing_label_is_empty(self):
+        graph = chain(2)
+        assert eval_ast(graph, parse("ghost")) == set()
+
+    def test_concat(self):
+        graph = chain(2)
+        assert eval_ast(graph, parse("next/next")) == {(0, 2)}
+
+    def test_union(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("x", "b", "z")])
+        answer = eval_query(graph, "a|b")
+        assert answer == {("x", "y"), ("x", "z")}
+
+    def test_repeat_range(self):
+        graph = chain(4)
+        answer = eval_ast(graph, parse("next{2,3}"))
+        assert answer == {(0, 2), (1, 3), (2, 4), (0, 3), (1, 4)}
+
+    def test_repeat_zero_includes_identity(self):
+        graph = chain(2)
+        assert identity_relation(graph) <= eval_ast(graph, parse("next{0,1}"))
+
+    def test_star_on_dag(self):
+        graph = chain(3)
+        answer = eval_ast(graph, parse("next*"))
+        assert answer == {(i, j) for i in range(4) for j in range(4) if i <= j}
+
+    def test_plus_excludes_identity_on_dag(self):
+        graph = chain(3)
+        answer = eval_ast(graph, parse("next+"))
+        assert (0, 0) not in answer
+        assert (0, 3) in answer
+
+    def test_star_on_cycle_is_total(self):
+        graph = cycle(3)
+        answer = eval_ast(graph, parse("next*"))
+        assert answer == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_inverse_expression(self):
+        graph = chain(2)
+        assert eval_ast(graph, parse("^(next/next)")) == {(2, 0)}
+
+    def test_grid_monotone_paths(self):
+        graph = grid(3, 3)
+        answer = eval_query(graph, "right/down")
+        assert ("c0_0", "c1_1") in answer
+        # right then down commutes with down then right as a set
+        assert answer == eval_query(graph, "down/right")
+
+
+class TestPaperExamples:
+    def test_supervisor_worksfor(self):
+        assert eval_query(figure1_graph(), "supervisor/^worksFor") == {
+            ("kim", "sue")
+        }
+
+    def test_label_path_evaluation_matches_ast(self):
+        graph = figure1_graph()
+        path = LabelPath.of("knows", "knows", "worksFor")
+        assert eval_label_path(graph, path) == eval_ast(
+            graph, parse("knows/knows/worksFor")
+        )
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=3), rpq_asts(max_leaves=3))
+    def test_union_commutes(self, graph, left, right):
+        assert eval_ast(graph, ast.union(left, right)) == eval_ast(
+            graph, ast.union(right, left)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=3))
+    def test_epsilon_is_concat_identity(self, graph, node):
+        assert eval_ast(graph, ast.concat(node, ast.Epsilon())) == eval_ast(
+            graph, node
+        )
+        assert eval_ast(graph, ast.concat(ast.Epsilon(), node)) == eval_ast(
+            graph, node
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=2), rpq_asts(max_leaves=2),
+           rpq_asts(max_leaves=2))
+    def test_concat_associates(self, graph, a, b, c):
+        left = ast.concat(ast.concat(a, b), c)
+        right = ast.concat(a, ast.concat(b, c))
+        assert eval_ast(graph, left) == eval_ast(graph, right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=2), rpq_asts(max_leaves=2),
+           rpq_asts(max_leaves=2))
+    def test_concat_distributes_over_union(self, graph, a, b, c):
+        left = ast.concat(a, ast.union(b, c))
+        right = ast.union(ast.concat(a, b), ast.concat(a, c))
+        assert eval_ast(graph, left) == eval_ast(graph, right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=3))
+    def test_double_inverse_is_identity(self, graph, node):
+        assert eval_ast(graph, ast.Inverse(ast.Inverse(node))) == eval_ast(
+            graph, node
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=2))
+    def test_repeat_splits(self, graph, node):
+        """R{0,2} == R{0,1} ∪ R{2,2}."""
+        whole = eval_ast(graph, ast.repeat(node, 0, 2))
+        split = eval_ast(graph, ast.repeat(node, 0, 1)) | eval_ast(
+            graph, ast.repeat(node, 2, 2)
+        )
+        assert whole == split
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=8), rpq_asts(max_leaves=2))
+    def test_star_is_bounded_recursion_at_n(self, graph, node):
+        """Section 2.2: R*(G) == R^{0,n(G)}(G)."""
+        from repro.graph.stats import star_bound
+
+        bound = star_bound(graph)
+        star_answer = eval_ast(graph, ast.star(node))
+        bounded_answer = eval_ast(graph, ast.repeat(node, 0, bound))
+        assert star_answer == bounded_answer

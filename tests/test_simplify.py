@@ -1,0 +1,121 @@
+"""Tests for the algebraic RPQ simplifier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rpq import ast
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast
+from repro.rpq.simplify import nullable, simplify
+
+from tests.strategies import graphs, rpq_asts
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("<eps>", True),
+            ("a", False),
+            ("a*", True),
+            ("a+", False),
+            ("a?", True),
+            ("a{0,3}", True),
+            ("a{1,3}", False),
+            ("a/b", False),
+            ("a?/b?", True),
+            ("a|b*", True),
+            ("^a", False),
+            ("^(a?)", True),
+        ],
+    )
+    def test_examples(self, text, expected):
+        assert nullable(parse(text)) is expected
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "before, after",
+        [
+            ("<eps>/a", "a"),
+            ("a/<eps>/b", "a/b"),
+            ("<eps>/<eps>", "<eps>"),
+            ("a|a", "a"),
+            ("a|a|b", "a|b"),
+            ("<eps>|a*", "a*"),
+            ("<eps>|a?", "a?"),
+            ("a{1,1}", "a"),
+            ("a{0,0}", "<eps>"),
+            ("<eps>{2,5}", "<eps>"),
+            ("(a*)*", "a*"),
+            ("(a*){3,7}", "a*"),
+            ("(a{0,4})*", "a*"),
+            ("(a{1,2})*", "a*"),
+            ("(a{1,2}){1,2}", "a{1,4}"),
+            ("(a{1,1}){2,3}", "a{2,3}"),
+            ("(a?)?", "a?"),
+            ("(a{2,}){1,3}", "a{2,}"),
+            ("<eps>*", "<eps>"),
+        ],
+    )
+    def test_rewrites(self, before, after):
+        assert simplify(parse(before)) == parse(after)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a/b",
+            "a|b",
+            "a{2,4}",
+            "(a{2,2}){1,2}",  # exponents {2,4} minus gap 3 -> no merge
+            "<eps>|a",        # a is not nullable: eps must stay
+            "(a{2,3})*",      # gap at 1: exponent 1 unreachable... see below
+        ],
+    )
+    def test_non_rewrites_stay_semantically_put(self, text):
+        node = parse(text)
+        simplified = simplify(node)
+        from repro.graph.examples import two_triangles
+
+        graph = two_triangles()
+        assert eval_ast(graph, simplified) == eval_ast(graph, node)
+
+    def test_gap_case_not_merged(self):
+        """(a{2,2}){1,2} reaches exponents {2,4}, not {2,3,4}."""
+        node = simplify(parse("(a{2,2}){1,2}"))
+        assert node != parse("a{2,4}")
+
+    def test_simplifier_never_grows(self):
+        for text in ["(a{1,2}){1,3}", "<eps>/a/<eps>", "a|a|a|a", "(a*)*{2,9}"]:
+            node = parse(text)
+            assert simplify(node).size() <= node.size()
+
+
+class TestSoundness:
+    @settings(max_examples=120, deadline=None)
+    @given(graphs(), rpq_asts(max_leaves=4, allow_star=True))
+    def test_simplify_preserves_semantics(self, graph, node):
+        assert eval_ast(graph, simplify(node)) == eval_ast(graph, node)
+
+    @settings(max_examples=80, deadline=None)
+    @given(rpq_asts(max_leaves=4, allow_star=True))
+    def test_simplify_idempotent(self, node):
+        once = simplify(node)
+        assert simplify(once) == once
+
+    @settings(max_examples=80, deadline=None)
+    @given(rpq_asts(max_leaves=4, allow_star=True))
+    def test_simplify_never_grows(self, node):
+        assert simplify(node).size() <= node.size()
+
+    @settings(max_examples=80, deadline=None)
+    @given(graphs(max_nodes=5), rpq_asts(max_leaves=3, allow_star=True))
+    def test_nullable_matches_identity_containment(self, graph, node):
+        """nullable => the identity relation is contained in the answer."""
+        from repro.rpq.semantics import identity_relation
+
+        if nullable(node):
+            assert identity_relation(graph) <= eval_ast(graph, node)

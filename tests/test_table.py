@@ -1,0 +1,116 @@
+"""Tests for the minimal typed relation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError, ValidationError
+from repro.storage.table import Column, Table
+
+
+@pytest.fixture()
+def paths_table() -> Table:
+    table = Table(
+        "paths",
+        [Column("path", "str"), Column("k", "int"), Column("count", "int")],
+        key_width=2,
+    )
+    table.insert(("knows", 1, 9))
+    table.insert(("knows", 2, 31))
+    table.insert(("worksFor", 1, 6))
+    return table
+
+
+class TestSchema:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValidationError):
+            Column("x", "blob")
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(ValidationError):
+            Table("t", [], key_width=1)
+
+    def test_rejects_bad_key_width(self):
+        with pytest.raises(ValidationError):
+            Table("t", [Column("a", "int")], key_width=2)
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValidationError):
+            Table("t", [Column("a", "int"), Column("a", "str")], key_width=1)
+
+    def test_type_checking(self, paths_table):
+        with pytest.raises(ValidationError):
+            paths_table.insert(("x", "not-an-int", 3))
+
+    def test_bool_is_not_int(self, paths_table):
+        with pytest.raises(ValidationError):
+            paths_table.insert(("x", True, 3))
+
+    def test_int_promotes_to_float(self):
+        table = Table("t", [Column("a", "str"), Column("v", "float")], key_width=1)
+        table.insert(("x", 3))
+        assert table.get(("x",)) == ("x", 3.0)
+
+    def test_row_arity_checked(self, paths_table):
+        with pytest.raises(ValidationError):
+            paths_table.insert(("too", 1))
+
+
+class TestCrud:
+    def test_get_full_key(self, paths_table):
+        assert paths_table.get(("knows", 2)) == ("knows", 2, 31)
+        assert paths_table.get(("knows", 9)) is None
+
+    def test_lookup_prefix(self, paths_table):
+        rows = paths_table.lookup(("knows",))
+        assert rows == [("knows", 1, 9), ("knows", 2, 31)]
+
+    def test_lookup_prefix_too_wide(self, paths_table):
+        with pytest.raises(ValidationError):
+            paths_table.lookup(("knows", 1, 9))
+
+    def test_duplicate_key_rejected(self, paths_table):
+        with pytest.raises(StorageError):
+            paths_table.insert(("knows", 1, 99))
+
+    def test_upsert_overwrites(self, paths_table):
+        paths_table.upsert(("knows", 1, 99))
+        assert paths_table.get(("knows", 1)) == ("knows", 1, 99)
+        assert len(paths_table) == 3
+
+    def test_delete(self, paths_table):
+        assert paths_table.delete(("knows", 1)) is True
+        assert paths_table.delete(("knows", 1)) is False
+        assert len(paths_table) == 2
+
+    def test_scan_order(self, paths_table):
+        assert [row[0] for row in paths_table.scan()] == [
+            "knows", "knows", "worksFor",
+        ]
+
+    def test_where(self, paths_table):
+        big = list(paths_table.where(lambda row: row[2] > 10))
+        assert big == [("knows", 2, 31)]
+
+    def test_column_index(self, paths_table):
+        assert paths_table.column_index("count") == 2
+        with pytest.raises(ValidationError):
+            paths_table.column_index("missing")
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, paths_table, tmp_path):
+        path = tmp_path / "t.json"
+        paths_table.save_json(path)
+        loaded = Table.load_json(path)
+        assert list(loaded.scan()) == list(paths_table.scan())
+        assert loaded.key_width == paths_table.key_width
+        assert [c.name for c in loaded.columns] == [
+            c.name for c in paths_table.columns
+        ]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": []}')
+        with pytest.raises(StorageError):
+            Table.load_json(path)

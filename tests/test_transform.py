@@ -1,0 +1,168 @@
+"""Tests for graph transformations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ValidationError
+from repro.graph import transform
+from repro.graph.examples import figure1_graph
+from repro.graph.generators import chain
+from repro.graph.graph import Graph
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast, eval_query
+
+from tests.strategies import graphs, rpq_asts
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self, figure1):
+        sub = transform.induced_subgraph(figure1, ["kim", "sue", "liz"])
+        assert set(sub.node_names()) == {"kim", "sue", "liz"}
+        assert sub.has_edge("kim", "supervisor", "liz")
+        assert sub.has_edge("sue", "worksFor", "liz")
+        assert not sub.has_edge("kim", "knows", "sue") or figure1.has_edge(
+            "kim", "knows", "sue"
+        )
+
+    def test_unknown_node_rejected(self, figure1):
+        with pytest.raises(ValidationError):
+            transform.induced_subgraph(figure1, ["kim", "ghost"])
+
+    def test_preserves_isolated_members(self, figure1):
+        sub = transform.induced_subgraph(figure1, ["kim", "ada"])
+        assert sub.node_count == 2
+        # No edges between kim and ada in figure 1.
+        assert sub.edge_count == 0
+
+
+class TestNeighborhood:
+    def test_radius_zero_is_just_center(self, figure1):
+        sub = transform.neighborhood(figure1, "kim", 0)
+        assert set(sub.node_names()) == {"kim"}
+
+    def test_radius_grows_monotonically(self, figure1):
+        sizes = [
+            transform.neighborhood(figure1, "kim", r).node_count
+            for r in range(4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_radius_covers_undirected_ball(self, figure1):
+        from repro.graph.stats import paths_k_from
+
+        sub = transform.neighborhood(figure1, "zoe", 2)
+        expected = {
+            figure1.node_name(n)
+            for n in paths_k_from(figure1, figure1.node_id("zoe"), 2)
+        }
+        assert set(sub.node_names()) == expected
+
+    def test_negative_radius_rejected(self, figure1):
+        with pytest.raises(ValidationError):
+            transform.neighborhood(figure1, "kim", -1)
+
+    def test_local_queries_survive(self, figure1):
+        """Queries whose answers stay inside the ball agree with the full graph."""
+        sub = transform.neighborhood(figure1, "liz", 3)
+        inside = eval_query(sub, "supervisor/^worksFor")
+        assert inside == {("kim", "sue")}
+
+
+class TestReverse:
+    def test_edges_flipped(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        reversed_graph = transform.reverse(graph)
+        assert reversed_graph.has_edge("y", "a", "x")
+        assert not reversed_graph.has_edge("x", "a", "y")
+
+    def test_involution(self, figure1):
+        double = transform.reverse(transform.reverse(figure1))
+        assert list(double.edges()) == list(figure1.edges())
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10))
+    def test_single_steps_swap(self, graph):
+        """Every step relation in reverse(G) is the swapped original."""
+        reversed_graph = transform.reverse(graph)
+        # reverse() interns names in the same order, so ids coincide.
+        for step in graph.all_steps():
+            assert reversed_graph.step_relation(step) == {
+                (b, a) for a, b in graph.step_relation(step)
+            }
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10), rpq_asts(max_leaves=3))
+    def test_inverse_is_relation_swap(self, graph, node):
+        """^R(G) == swap(R(G)) — the semantics identity behind reverse()."""
+        from repro.rpq.ast import Inverse
+
+        assert eval_ast(graph, Inverse(node)) == {
+            (b, a) for a, b in eval_ast(graph, node)
+        }
+
+
+class TestRelabel:
+    def test_dict_mapping(self):
+        graph = Graph.from_edges([("x", "a", "y"), ("y", "b", "z")])
+        renamed = transform.relabel(graph, {"a": "alpha", "b": "beta"})
+        assert renamed.labels() == ("alpha", "beta")
+
+    def test_merging_labels(self, figure1):
+        merged = transform.relabel(
+            figure1,
+            {"knows": "link", "worksFor": "link", "supervisor": "link"},
+        )
+        assert merged.labels() == ("link",)
+        assert merged.edge_count == figure1.edge_count
+
+    def test_callable_mapping(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        upper = transform.relabel(graph, str.upper)
+        assert upper.labels() == ("A",)
+
+    def test_missing_mapping_rejected(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        with pytest.raises(ValidationError):
+            transform.relabel(graph, {"b": "c"})
+
+
+class TestMergeAndDrop:
+    def test_merge_identifies_shared_nodes(self):
+        first = Graph.from_edges([("x", "a", "y")])
+        second = Graph.from_edges([("y", "b", "z")])
+        merged = transform.merge(first, second)
+        assert merged.node_count == 3
+        assert merged.edge_count == 2
+
+    def test_merge_deduplicates_edges(self):
+        graph = Graph.from_edges([("x", "a", "y")])
+        merged = transform.merge(graph, graph)
+        assert merged.edge_count == 1
+
+    def test_drop_labels(self, figure1):
+        dropped = transform.drop_labels(figure1, ["knows"])
+        assert "knows" not in dropped.labels()
+        assert dropped.edge_count == 7
+        assert dropped.node_count == figure1.node_count
+
+
+class TestLargestComponent:
+    def test_single_component(self):
+        graph = chain(3)
+        component = transform.largest_connected_component(graph)
+        assert component.node_count == 4
+
+    def test_picks_larger_island(self):
+        graph = Graph.from_edges(
+            [("a", "x", "b"), ("c", "x", "d"), ("d", "x", "e"), ("e", "x", "c")]
+        )
+        component = transform.largest_connected_component(graph)
+        assert set(component.node_names()) == {"c", "d", "e"}
+
+    def test_isolated_nodes_are_components(self):
+        graph = Graph()
+        graph.add_node("alone")
+        component = transform.largest_connected_component(graph)
+        assert component.node_count == 1

@@ -1,0 +1,118 @@
+"""Tests for witness-path extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.examples import diamond, figure1_graph
+from repro.graph.generators import chain
+from repro.graph.graph import Step
+from repro.rpq.parser import parse
+from repro.rpq.semantics import eval_ast
+from repro.rpq.witness import Witness, all_witness_words, find_witness
+
+from tests.strategies import graphs, rpq_asts
+
+
+class TestFindWitness:
+    def test_single_edge(self):
+        graph = figure1_graph()
+        witness = find_witness(graph, parse("supervisor"), "kim", "liz")
+        assert witness is not None
+        assert witness.hops == (("kim", Step("supervisor"), "liz"),)
+
+    def test_no_witness(self):
+        graph = figure1_graph()
+        assert find_witness(graph, parse("supervisor"), "liz", "kim") is None
+
+    def test_empty_word_witness(self):
+        graph = figure1_graph()
+        witness = find_witness(graph, parse("knows*"), "kim", "kim")
+        assert witness is not None
+        assert witness.hops == ()
+        assert "empty word" in str(witness)
+
+    def test_inverse_steps_in_witness(self):
+        graph = figure1_graph()
+        witness = find_witness(graph, parse("supervisor/^worksFor"), "kim", "sue")
+        assert witness is not None
+        assert witness.word() == (
+            Step("supervisor"), Step("worksFor", inverse=True),
+        )
+        assert witness.hops[1] == ("liz", Step("worksFor", inverse=True), "sue")
+
+    def test_witness_is_shortest(self):
+        graph = chain(6)
+        witness = find_witness(graph, parse("next{2,5}"), "n0", "n2")
+        assert witness is not None
+        assert witness.length == 2
+
+    def test_diamond_any_route(self):
+        graph = diamond()
+        witness = find_witness(graph, parse("hop/hop"), "s", "t")
+        assert witness is not None
+        assert witness.length == 2
+        assert witness.hops[0][0] == "s"
+        assert witness.hops[1][2] == "t"
+
+    def test_str_rendering(self):
+        graph = figure1_graph()
+        witness = find_witness(graph, parse("knows/worksFor"), "ada", "sam")
+        if witness is not None:
+            text = str(witness)
+            assert text.startswith("ada")
+            assert "->" in text
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=12), rpq_asts(max_leaves=3))
+    def test_witness_exists_iff_pair_in_answer(self, graph, node):
+        answer = eval_ast(graph, node)
+        names = graph.node_names()
+        for source_id in list(graph.node_ids())[:3]:
+            for target_id in list(graph.node_ids())[:3]:
+                witness = find_witness(
+                    graph, node, names[source_id], names[target_id]
+                )
+                expected = (source_id, target_id) in answer
+                assert (witness is not None) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=10), rpq_asts(max_leaves=3))
+    def test_witness_hops_are_real_edges(self, graph, node):
+        names = graph.node_names()
+        answer = eval_ast(graph, node)
+        for source_id, target_id in list(answer)[:5]:
+            witness = find_witness(graph, node, names[source_id], names[target_id])
+            assert witness is not None
+            for from_name, step, to_name in witness.hops:
+                if step.inverse:
+                    assert graph.has_edge(to_name, step.label, from_name)
+                else:
+                    assert graph.has_edge(from_name, step.label, to_name)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(max_nodes=5, max_edges=8), rpq_asts(max_leaves=2))
+    def test_witness_is_minimal_length(self, graph, node):
+        names = graph.node_names()
+        answer = eval_ast(graph, node)
+        for source_id, target_id in list(answer)[:3]:
+            witness = find_witness(graph, node, names[source_id], names[target_id])
+            assert witness is not None
+            words = all_witness_words(
+                graph, node, names[source_id], names[target_id], max_length=6
+            )
+            if words:
+                assert witness.length <= min(len(word) for word in words)
+
+
+class TestWitnessValue:
+    def test_word_and_length(self):
+        witness = Witness(
+            source="a",
+            target="c",
+            hops=(("a", Step("x"), "b"), ("b", Step("y", inverse=True), "c")),
+        )
+        assert witness.length == 2
+        assert witness.word() == (Step("x"), Step("y", inverse=True))
+        assert str(witness) == "a -x-> b -^y-> c"
