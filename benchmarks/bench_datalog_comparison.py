@@ -27,7 +27,7 @@ def test_path_index_minsupport(benchmark, prepared_small, query):
     database = prepared_small.database(3)
     benchmark.group = f"datalog-comparison-{query.name}"
     result = benchmark.pedantic(
-        lambda: database.query(query.text, method="minsupport"),
+        lambda: database.query(query.text, method="minsupport", use_cache=False),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     benchmark.extra_info["answer_size"] = len(result.pairs)

@@ -28,7 +28,7 @@ def test_figure2_cell(benchmark, prepared_small, query, method, k):
     benchmark.group = f"figure2-k{k}"
 
     def run():
-        return database.query(query.text, method=method)
+        return database.query(query.text, method=method, use_cache=False)
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     benchmark.extra_info["answer_size"] = len(result.pairs)

@@ -60,7 +60,8 @@ def test_minsupport_under_histogram(benchmark, prepared_bench, buckets):
 
     def run_workload():
         return [
-            database.query(query.text, method="minsupport") for query in queries
+            database.query(query.text, method="minsupport", use_cache=False)
+            for query in queries
         ]
 
     benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)

@@ -3,31 +3,20 @@
 The paper's planner prefers merge joins "to make the best use of the
 physical sort order of the index".  This bench isolates that design
 choice: the same composition executed by (a) a merge join over the
-sorted index streams and (b) a hash join, across input sizes.
+sorted index streams and (b) a hash join, across input sizes — plus
+the frozen v1.0 tuple-set merge join (``repro.bench.legacy``) in the
+same groups, so the columnar speedup is visible in one report.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
+from repro.bench.legacy import tuple_merge_join
+from repro.bench.workloads import synthetic_join_inputs as _relations
 from repro.engine.operators import hash_join, merge_join
 
 SIZES = (1_000, 10_000, 50_000)
-
-
-def _relations(size: int, seed: int = 7):
-    rng = random.Random(seed)
-    domain = size // 2 + 1
-    left = sorted(
-        {(rng.randrange(domain), rng.randrange(domain)) for _ in range(size)},
-        key=lambda pair: (pair[1], pair[0]),  # target-major (inverse scan)
-    )
-    right = sorted(
-        {(rng.randrange(domain), rng.randrange(domain)) for _ in range(size)}
-    )
-    return left, right
 
 
 @pytest.mark.parametrize("size", SIZES, ids=lambda s: f"n{s}")
@@ -51,9 +40,21 @@ def test_hash_join(benchmark, size):
     benchmark.extra_info["output"] = len(result)
 
 
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"n{s}")
+def test_seed_tuple_merge_join(benchmark, size):
+    """The pre-columnar kernel, for the speedup column in reports."""
+    left, right = _relations(size)
+    benchmark.group = f"join-{size}"
+    result = benchmark.pedantic(
+        lambda: tuple_merge_join(left, right), rounds=3, iterations=1
+    )
+    benchmark.extra_info["output"] = len(result)
+
+
 def test_joins_agree():
     left, right = _relations(5_000)
     assert set(merge_join(left, right)) == set(hash_join(sorted(left), right))
+    assert set(tuple_merge_join(left, right)) == merge_join(left, right).to_set()
 
 
 def test_plan_level_ablation(prepared_bench):

@@ -27,7 +27,7 @@ def test_all_pairs(benchmark, setup):
     database, _ = setup
     benchmark.group = "navigation"
     result = benchmark.pedantic(
-        lambda: database.query(QUERY, method="minsupport"),
+        lambda: database.query(QUERY, method="minsupport", use_cache=False),
         rounds=3, iterations=1, warmup_rounds=1,
     )
     benchmark.extra_info["answer_size"] = len(result.pairs)

@@ -20,14 +20,17 @@ Quickstart::
 from repro.api import GraphDatabase, QueryResult
 from repro.engine.planner import Strategy
 from repro.graph.graph import Graph, LabelPath, Step
+from repro.relation import Order, Relation
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
     "GraphDatabase",
     "LabelPath",
+    "Order",
     "QueryResult",
+    "Relation",
     "Step",
     "Strategy",
     "__version__",

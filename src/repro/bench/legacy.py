@@ -1,0 +1,76 @@
+"""Frozen copies of the v1.0 tuple-set join kernels.
+
+The engine's joins are columnar now (:mod:`repro.relation`); these are
+the exact pre-columnar implementations, kept verbatim so the relation
+micro-benchmarks (``benchmarks/bench_relation_ops.py``) and the join
+ablation (``benchmarks/bench_join_strategies.py``) can keep measuring
+the speedup against a stable baseline.  Never import these from engine
+code.
+"""
+
+from __future__ import annotations
+
+Pair = tuple[int, int]
+
+
+def tuple_merge_join(left: list[Pair], right: list[Pair]) -> list[Pair]:
+    """The seed merge join: two-pointer group join into a tuple set."""
+    result: set[Pair] = set()
+    i = j = 0
+    left_len, right_len = len(left), len(right)
+    while i < left_len and j < right_len:
+        key_left = left[i][1]
+        key_right = right[j][0]
+        if key_left < key_right:
+            i += 1
+        elif key_left > key_right:
+            j += 1
+        else:
+            i_end = i
+            while i_end < left_len and left[i_end][1] == key_left:
+                i_end += 1
+            j_end = j
+            while j_end < right_len and right[j_end][0] == key_right:
+                j_end += 1
+            for source, _ in left[i:i_end]:
+                for _, target in right[j:j_end]:
+                    result.add((source, target))
+            i, j = i_end, j_end
+    return list(result)
+
+
+def tuple_hash_join(left: list[Pair], right: list[Pair]) -> list[Pair]:
+    """The seed hash join: dict build on the smaller tuple list."""
+    result: set[Pair] = set()
+    if len(left) <= len(right):
+        by_target: dict[int, list[int]] = {}
+        for source, target in left:
+            by_target.setdefault(target, []).append(source)
+        for mid, target in right:
+            sources = by_target.get(mid)
+            if sources:
+                for source in sources:
+                    result.add((source, target))
+    else:
+        by_source: dict[int, list[int]] = {}
+        for source, target in right:
+            by_source.setdefault(source, []).append(target)
+        for source, mid in left:
+            targets = by_source.get(mid)
+            if targets:
+                for target in targets:
+                    result.add((source, target))
+    return list(result)
+
+
+def tuple_union(parts: list[list[Pair]]) -> list[Pair]:
+    """The seed union: accumulate tuple sets."""
+    result: set[Pair] = set()
+    for part in parts:
+        result.update(part)
+    return list(result)
+
+
+def tuple_dedup_sort(pairs: list[Pair]) -> list[Pair]:
+    """The seed sort+dedup: set then sorted()."""
+    return sorted(set(pairs))

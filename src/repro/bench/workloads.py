@@ -10,6 +10,7 @@ degree skew and the label skew, both preserved by the generator.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.api import GraphDatabase
@@ -64,3 +65,26 @@ def advogato_workload(
     for k in ks:
         prepared.database(k)
     return prepared
+
+
+def synthetic_join_inputs(
+    size: int, seed: int = 7
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+    """The join-ablation workload: two random duplicate-free relations.
+
+    ``left`` comes back target-major sorted (the shape an inverse-path
+    scan delivers), ``right`` (src, tgt)-sorted.  Shared by
+    ``benchmarks/bench_join_strategies.py`` and
+    ``benchmarks/bench_relation_ops.py`` so the two reports stay
+    directly comparable.
+    """
+    rng = random.Random(seed)
+    domain = size // 2 + 1
+    left = sorted(
+        {(rng.randrange(domain), rng.randrange(domain)) for _ in range(size)},
+        key=lambda pair: (pair[1], pair[0]),
+    )
+    right = sorted(
+        {(rng.randrange(domain), rng.randrange(domain)) for _ in range(size)}
+    )
+    return left, right

@@ -16,8 +16,9 @@ evaluation, the fallback never triggers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import relation as rel
 from repro.errors import RewriteError
 from repro.engine.cost import CostedPlan
 from repro.engine.operators import execute
@@ -25,27 +26,42 @@ from repro.engine.planner import Planner, Strategy
 from repro.graph.graph import Graph
 from repro.graph.stats import star_bound
 from repro.indexes.pathindex import PathIndex
+from repro.relation import Relation
 from repro.rpq.ast import Concat, Epsilon, Inverse, Label, Node, Repeat, Star, Union
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, normalize, push_inverse
-from repro.rpq.semantics import (
-    Relation,
-    bounded_powers,
-    compose,
-    identity_relation,
-    transitive_fixpoint,
-)
 
 
 @dataclass(frozen=True, slots=True)
 class ExecutionReport:
-    """What happened while answering one query."""
+    """What happened while answering one query.
+
+    The answer stays columnar (:attr:`relation`); :attr:`pairs`
+    materializes tuples on demand for callers that want a set.
+    """
 
     strategy: Strategy
     plan: CostedPlan | None  # None when the hybrid fallback ran top-level
-    pairs: frozenset[tuple[int, int]]
+    # hash=False: Relation is unhashable by design; keep reports usable
+    # as set members / dict keys (they were in 1.0) by hashing the
+    # scalar fields only.
+    relation: Relation = field(hash=False)
     planning_seconds: float
     execution_seconds: float
     used_fallback: bool
+    _pairs: frozenset | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def pairs(self) -> frozenset:
+        """The answer as a frozenset of ``(src, tgt)`` id tuples.
+
+        Materialized from the columnar relation on first access and
+        memoized, so repeated reads stay O(1).
+        """
+        if self._pairs is None:
+            object.__setattr__(self, "_pairs", self.relation.to_frozenset())
+        return self._pairs  # type: ignore[return-value]
 
     @property
     def total_seconds(self) -> float:
@@ -69,7 +85,7 @@ def evaluate_normal_form(
     return ExecutionReport(
         strategy=strategy,
         plan=costed,
-        pairs=frozenset(pairs),
+        relation=pairs,
         planning_seconds=planned - started,
         execution_seconds=finished - planned,
         used_fallback=False,
@@ -95,7 +111,7 @@ def evaluate_ast(
         return ExecutionReport(
             strategy=report.strategy,
             plan=report.plan,
-            pairs=report.pairs,
+            relation=report.relation,
             planning_seconds=report.planning_seconds + max(rewrite_seconds, 0.0),
             execution_seconds=report.execution_seconds,
             used_fallback=False,
@@ -105,7 +121,7 @@ def evaluate_ast(
     return ExecutionReport(
         strategy=strategy,
         plan=None,
-        pairs=frozenset(pairs),
+        relation=pairs,
         planning_seconds=0.0,
         execution_seconds=finished - started,
         used_fallback=True,
@@ -127,16 +143,21 @@ def _hybrid(
     strategy: Strategy,
     max_disjuncts: int,
 ) -> Relation:
-    """Structural evaluation with planner acceleration on bounded parts."""
+    """Structural evaluation with planner acceleration on bounded parts.
+
+    Recursion is closed with columnar delta iteration
+    (:func:`repro.relation.transitive_fixpoint`); every intermediate is
+    an array-backed :class:`~repro.relation.Relation`.
+    """
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
         report = evaluate_normal_form(normal_form, index, graph, statistics, strategy)
-        return set(report.pairs)
+        return report.relation
 
     if isinstance(node, Epsilon):
-        return identity_relation(graph)
+        return rel.identity(graph.node_ids())
     if isinstance(node, Label):
-        return set(index.scan(_single_step_path(node)))
+        return index.scan(_single_step_path(node))
     if isinstance(node, Inverse):
         return _hybrid(
             push_inverse(node), index, graph, statistics, strategy, max_disjuncts
@@ -147,25 +168,25 @@ def _hybrid(
         )
         for part in node.parts[1:]:
             if not result:
-                return set()
-            result = compose(
+                return Relation.empty()
+            result = rel.compose(
                 result,
                 _hybrid(part, index, graph, statistics, strategy, max_disjuncts),
             )
         return result
     if isinstance(node, Union):
-        result: Relation = set()
-        for part in node.parts:
-            result |= _hybrid(part, index, graph, statistics, strategy, max_disjuncts)
-        return result
+        return rel.union(
+            _hybrid(part, index, graph, statistics, strategy, max_disjuncts)
+            for part in node.parts
+        )
     if isinstance(node, Star):
         base = _hybrid(node.child, index, graph, statistics, strategy, max_disjuncts)
-        return transitive_fixpoint(graph, base, low=0)
+        return rel.transitive_fixpoint(graph.node_ids(), base, low=0)
     if isinstance(node, Repeat):
         base = _hybrid(node.child, index, graph, statistics, strategy, max_disjuncts)
         if node.high is None:
-            return transitive_fixpoint(graph, base, low=node.low)
-        return bounded_powers(graph, base, node.low, node.high)
+            return rel.transitive_fixpoint(graph.node_ids(), base, low=node.low)
+        return rel.bounded_powers(graph.node_ids(), base, node.low, node.high)
     raise RewriteError(f"unknown AST node {type(node).__name__}")
 
 

@@ -1,113 +1,90 @@
 """Physical operators: executing plan trees against the k-path index.
 
-Relations are materialized lists of ``(source, target)`` id pairs.
-Index scans are duplicate-free and sorted by the B+tree; joins
-deduplicate their output (RPQ answers are sets — a pair may have many
-witness paths, e.g. both routes through a diamond).
+Relations are columnar :class:`repro.relation.Relation` values — twin
+int64 arrays plus a tracked sort order.  Index scans come back
+duplicate-free and sorted by the B+tree (``BY_SRC`` direct, ``BY_TGT``
+via an inverse scan); joins deduplicate their output through packed
+integer keys (RPQ answers are sets — a pair may have many witness
+paths, e.g. both routes through a diamond).
 
 The merge join is the classic two-pointer group join over the sorted
 inputs; the hash join builds on its smaller input.  Both produce the
 *composition* ``left ∘ right``, matching ``left.target = right.source``.
+Sort orders are validated twice: statically against the plan's declared
+:class:`~repro.relation.Order` and dynamically against the order each
+child relation actually carries, so a mis-planned merge join fails loud
+instead of returning garbage.
 """
 
 from __future__ import annotations
 
+from repro import relation as rel
 from repro.errors import ExecutionError
 from repro.engine.plan import (
     IdentityPlan,
     IndexScanPlan,
     JoinPlan,
+    Order,
     PlanNode,
     UnionPlan,
 )
 from repro.graph.graph import Graph
 from repro.indexes.pathindex import PathIndex
+from repro.relation import Relation
 
-Pair = tuple[int, int]
 
-
-def merge_join(left: list[Pair], right: list[Pair]) -> list[Pair]:
+def merge_join(left, right) -> Relation:
     """Compose ``left`` (sorted by target) with ``right`` (sorted by source).
 
     Preconditions are the paper's physical sort orders: the left input
     comes from an inverse-path scan (target-major), the right from a
-    direct scan (source-major).  Output is deduplicated, unordered.
+    direct scan (source-major).  Plain pair sequences are accepted for
+    convenience and trusted to satisfy those orders.  Output is
+    deduplicated, unordered.
     """
-    result: set[Pair] = set()
-    i = j = 0
-    left_len, right_len = len(left), len(right)
-    while i < left_len and j < right_len:
-        key_left = left[i][1]
-        key_right = right[j][0]
-        if key_left < key_right:
-            i += 1
-        elif key_left > key_right:
-            j += 1
-        else:
-            i_end = i
-            while i_end < left_len and left[i_end][1] == key_left:
-                i_end += 1
-            j_end = j
-            while j_end < right_len and right[j_end][0] == key_right:
-                j_end += 1
-            for source, _ in left[i:i_end]:
-                for _, target in right[j:j_end]:
-                    result.add((source, target))
-            i, j = i_end, j_end
-    return list(result)
+    left = Relation.coerce(left, Order.BY_TGT)
+    right = Relation.coerce(right, Order.BY_SRC)
+    return rel.merge_join(left, right)
 
 
-def hash_join(left: list[Pair], right: list[Pair]) -> list[Pair]:
+def hash_join(left, right) -> Relation:
     """Compose ``left ∘ right`` with a hash table on the smaller input."""
-    result: set[Pair] = set()
-    if len(left) <= len(right):
-        by_target: dict[int, list[int]] = {}
-        for source, target in left:
-            by_target.setdefault(target, []).append(source)
-        for mid, target in right:
-            sources = by_target.get(mid)
-            if sources:
-                for source in sources:
-                    result.add((source, target))
-    else:
-        by_source: dict[int, list[int]] = {}
-        for source, target in right:
-            by_source.setdefault(source, []).append(target)
-        for source, mid in left:
-            targets = by_source.get(mid)
-            if targets:
-                for target in targets:
-                    result.add((source, target))
-    return list(result)
+    return rel.hash_join(Relation.coerce(left), Relation.coerce(right))
 
 
-def execute(plan: PlanNode, index: PathIndex, graph: Graph) -> list[Pair]:
-    """Run a plan tree, returning the (deduplicated) result pairs."""
+def execute(plan: PlanNode, index: PathIndex, graph: Graph) -> Relation:
+    """Run a plan tree, returning the (deduplicated) result relation."""
     if isinstance(plan, IndexScanPlan):
         if plan.via_inverse:
-            return index.scan_swapped(plan.path)
-        return index.scan(plan.path)
+            return _checked(plan, index.scan_swapped(plan.path))
+        return _checked(plan, index.scan(plan.path))
     if isinstance(plan, IdentityPlan):
-        return [(node, node) for node in graph.node_ids()]
+        return _checked(plan, rel.identity(graph.node_ids()))
     if isinstance(plan, JoinPlan):
         left = execute(plan.left, index, graph)
         right = execute(plan.right, index, graph)
         if plan.algorithm == "merge":
             _check_merge_inputs(plan)
-            return merge_join(left, right)
-        return hash_join(left, right)
+            return rel.merge_join(left, right)
+        return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
-        result: set[Pair] = set()
-        for part in plan.parts:
-            result.update(execute(part, index, graph))
-        return list(result)
+        return rel.union(execute(part, index, graph) for part in plan.parts)
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
+
+
+def _checked(plan: PlanNode, produced: Relation) -> Relation:
+    """Validate that a leaf delivered the sort order its plan declares."""
+    declared = plan.order
+    if declared is not Order.NONE and produced.order is not declared:
+        raise ExecutionError(
+            f"{plan} declared {declared.value} but produced a relation "
+            f"ordered {produced.order.value}"
+        )
+    return produced
 
 
 def _check_merge_inputs(plan: JoinPlan) -> None:
     """Defensive check: a merge join requires compatible sort orders."""
-    from repro.engine.plan import Order
-
     if plan.left.order is not Order.BY_TGT or plan.right.order is not Order.BY_SRC:
         raise ExecutionError(
             "merge join requires left sorted by target and right by source; "

@@ -19,18 +19,20 @@ the physical sort order of the B+tree index.
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from repro.graph.graph import LabelPath
+from repro.relation import Order
 
-
-class Order(enum.Enum):
-    """The sort order of a plan's output stream."""
-
-    BY_SRC = "by_src"
-    BY_TGT = "by_tgt"
-    NONE = "none"
+__all__ = [
+    "IdentityPlan",
+    "IndexScanPlan",
+    "JoinPlan",
+    "Order",
+    "PlanNode",
+    "UnionPlan",
+    "render",
+]
 
 
 class PlanNode:

@@ -15,6 +15,7 @@ sequence of steps; these are the search keys of the k-path index.
 
 from __future__ import annotations
 
+import bisect
 import re
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
@@ -194,17 +195,23 @@ class Graph:
     (2, 2)
     """
 
-    __slots__ = ("_name_to_id", "_id_to_name", "_edges", "_out", "_in", "_edge_count")
+    __slots__ = (
+        "_name_to_id", "_id_to_name", "_edges", "_out", "_in",
+        "_edge_count", "_version",
+    )
 
     def __init__(self) -> None:
         self._name_to_id: dict[str, int] = {}
         self._id_to_name: list[str] = []
         # label -> set of (src, tgt) id pairs
         self._edges: dict[str, set[tuple[int, int]]] = {}
-        # label -> src id -> sorted tuple of tgt ids (built lazily)
+        # label -> src id -> ascending list of tgt ids (kept sorted on
+        # every insert, so neighbor lookups stream in id order)
         self._out: dict[str, dict[int, list[int]]] = {}
         self._in: dict[str, dict[int, list[int]]] = {}
         self._edge_count = 0
+        # Monotone mutation counter; caches key on it to detect staleness.
+        self._version = 0
 
     # -- construction ----------------------------------------------------
 
@@ -229,6 +236,7 @@ class Graph:
             node_id = len(self._id_to_name)
             self._name_to_id[name] = node_id
             self._id_to_name.append(name)
+            self._version += 1
         return node_id
 
     def add_edge(self, src: str, label: str, tgt: str) -> bool:
@@ -241,9 +249,37 @@ class Graph:
         if pair in relation:
             return False
         relation.add(pair)
-        self._out.setdefault(label, {}).setdefault(src_id, []).append(tgt_id)
-        self._in.setdefault(label, {}).setdefault(tgt_id, []).append(src_id)
+        bisect.insort(
+            self._out.setdefault(label, {}).setdefault(src_id, []), tgt_id
+        )
+        bisect.insort(
+            self._in.setdefault(label, {}).setdefault(tgt_id, []), src_id
+        )
         self._edge_count += 1
+        self._version += 1
+        return True
+
+    def remove_edge(self, src: str, label: str, tgt: str) -> bool:
+        """Remove the edge ``src -label-> tgt``; return ``False`` if absent.
+
+        Owns the mutation invariants: adjacency lists stay sorted (a
+        positional remove preserves order) and :attr:`version` is
+        bumped, so version-keyed caches can never serve pre-deletion
+        answers.
+        """
+        relation = self._edges.get(label)
+        src_id = self._name_to_id.get(src)
+        tgt_id = self._name_to_id.get(tgt)
+        if relation is None or src_id is None or tgt_id is None:
+            return False
+        pair = (src_id, tgt_id)
+        if pair not in relation:
+            return False
+        relation.discard(pair)
+        self._out[label][src_id].remove(tgt_id)
+        self._in[label][tgt_id].remove(src_id)
+        self._edge_count -= 1
+        self._version += 1
         return True
 
     # -- inspection --------------------------------------------------------
@@ -257,6 +293,15 @@ class Graph:
     def edge_count(self) -> int:
         """Total number of labeled edges."""
         return self._edge_count
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped by every mutation (node or edge add).
+
+        Cache layers key on it: a cached result tagged with an older
+        version can never be served against the mutated graph.
+        """
+        return self._version
 
     def labels(self) -> tuple[str, ...]:
         """The vocabulary of the graph, sorted."""
@@ -315,11 +360,11 @@ class Graph:
     # -- navigation (id level) ---------------------------------------------
 
     def out_neighbors(self, node_id: int, label: str) -> Sequence[int]:
-        """Targets of ``label`` edges leaving ``node_id`` (unsorted)."""
+        """Targets of ``label`` edges leaving ``node_id``, ascending by id."""
         return self._out.get(label, {}).get(node_id, ())
 
     def in_neighbors(self, node_id: int, label: str) -> Sequence[int]:
-        """Sources of ``label`` edges entering ``node_id`` (unsorted)."""
+        """Sources of ``label`` edges entering ``node_id``, ascending by id."""
         return self._in.get(label, {}).get(node_id, ())
 
     def step_neighbors(self, node_id: int, step: Step) -> Sequence[int]:

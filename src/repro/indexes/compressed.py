@@ -19,6 +19,7 @@ runs of shared sources) compress to a fraction of the raw
 from __future__ import annotations
 
 import bisect
+from array import array
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
@@ -115,6 +116,30 @@ class PostingList:
                 target += step
                 yield source, target
 
+    def columns(self) -> tuple[array, array]:
+        """Decompress straight into (src, tgt) int64 columns.
+
+        The columnar twin of :meth:`pairs`: no per-pair tuple objects
+        are created, and the columns come back (src, tgt)-sorted — the
+        encoding order — ready to wrap in a BY_SRC ``Relation``.
+        """
+        sources = array("q")
+        targets = array("q")
+        data = self.data
+        offset = 0
+        source = 0
+        while offset < len(data):
+            delta, offset = decode_varint(data, offset)
+            source += delta
+            count, offset = decode_varint(data, offset)
+            target = 0
+            for _ in range(count):
+                step, offset = decode_varint(data, offset)
+                target += step
+                sources.append(source)
+                targets.append(target)
+        return sources, targets
+
     def targets_of(self, wanted: int) -> list[int]:
         """Decode only the targets of one source (skip-list assisted)."""
         if not self.skips:
@@ -189,6 +214,13 @@ class CompressedBackend:
                 yield path_id, prefix[1], target
         else:
             raise StorageError(f"prefix too wide: {prefix!r}")
+
+    def scan_columns(self, path_id: int) -> tuple[array, array]:
+        """One path's full relation as (src, tgt)-sorted int64 columns."""
+        postings = self._postings.get(path_id)
+        if postings is None:
+            return array("q"), array("q")
+        return postings.columns()
 
     def contains(self, key: tuple[int, int, int]) -> bool:
         path_id, source, target = key

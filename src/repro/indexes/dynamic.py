@@ -31,6 +31,7 @@ from typing import Iterator
 from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath, Step
 from repro.indexes.builder import enumerate_label_paths, path_relations
+from repro.relation import Order, Relation, swap
 
 Pair = tuple[int, int]
 
@@ -75,10 +76,20 @@ class DynamicPathIndex:
 
     # -- lookups (PathIndex-compatible) -----------------------------------
 
-    def scan(self, path: LabelPath) -> list[Pair]:
-        """The relation of ``path``, sorted by (src, tgt)."""
+    def scan(self, path: LabelPath) -> Relation:
+        """The relation of ``path`` as a columnar ``Relation``.
+
+        Sorted by (src, tgt), matching :meth:`PathIndex.scan` so a
+        dynamic index can stand in wherever a static one is accepted.
+        """
         self._check(path)
-        return list(self._relations.get(path.encode(), ()))
+        return Relation.from_pairs(
+            self._relations.get(path.encode(), ()), Order.BY_SRC
+        )
+
+    def scan_swapped(self, path: LabelPath) -> Relation:
+        """The relation of ``path`` sorted by (tgt, src) (``Order.BY_TGT``)."""
+        return swap(self.scan(path.inverted()))
 
     def scan_from(self, path: LabelPath, source: int) -> list[int]:
         """Sorted targets of ``path`` from ``source``."""
@@ -147,7 +158,7 @@ class DynamicPathIndex:
             delta = self._edge_delta(path, label, source, target)
             if delta:
                 candidates[path.encode()] = delta
-        _remove_graph_edge(self.graph, source, label, target)
+        self.graph.remove_edge(source_name, label, target_name)
         for encoded, pairs in candidates.items():
             path = LabelPath.decode(encoded)
             dead = {
@@ -216,18 +227,3 @@ class DynamicPathIndex:
         )
 
 
-def _remove_graph_edge(graph: Graph, source: int, label: str, target: int) -> None:
-    """Remove one edge from a Graph's internal structures.
-
-    :class:`Graph` is append-only by design (indexes assume immutable
-    graphs); the dynamic index owns its graph, so it reaches into the
-    adjacency here rather than widening the public Graph API.
-    """
-    graph._edges[label].discard((source, target))
-    out_list = graph._out[label].get(source)
-    if out_list and target in out_list:
-        out_list.remove(target)
-    in_list = graph._in[label].get(target)
-    if in_list and source in in_list:
-        in_list.remove(source)
-    graph._edge_count -= 1

@@ -19,12 +19,14 @@ derived.
 from __future__ import annotations
 
 import json
+from array import array
 from pathlib import Path as FilePath
 from typing import Iterator
 
 from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath
 from repro.indexes.builder import path_relations
+from repro.relation import Order, Relation, swap
 from repro.storage.diskbtree import DiskBPlusTree
 from repro.storage.memtree import BPlusTree
 from repro.storage.records import decode_key, encode_key
@@ -48,6 +50,10 @@ class _MemoryBackend:
     def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
         for key, _ in self._tree.prefix_scan(prefix):
             yield key
+
+    def scan_columns(self, path_id: int) -> tuple[array, array]:
+        """One path's relation as (src, tgt)-sorted int64 columns."""
+        return self._tree.prefix_scan_columns((path_id,))
 
     def contains(self, key: tuple[int, int, int]) -> bool:
         return key in self._tree
@@ -78,6 +84,19 @@ class _DiskBackend:
         encoded = encode_key(prefix)
         for key, _ in self._tree.prefix_scan(encoded):
             yield decode_key(key)  # type: ignore[misc]
+
+    def scan_columns(self, path_id: int) -> tuple[array, array]:
+        """One path's relation as (src, tgt)-sorted int64 columns.
+
+        No tuple-free fast path exists here — ``decode_key`` builds the
+        key tuple either way — so this just reshapes :meth:`prefix`.
+        """
+        sources = array("q")
+        targets = array("q")
+        for _, source, target in self.prefix((path_id,)):
+            sources.append(source)
+            targets.append(target)
+        return sources, targets
 
     def contains(self, key: tuple[int, int, int]) -> bool:
         return encode_key(key) in self._tree
@@ -164,21 +183,28 @@ class PathIndex:
 
     # -- lookups ------------------------------------------------------------------
 
-    def scan(self, path: LabelPath) -> list[Pair]:
-        """``I_{G,k}(p)``: the relation of ``p``, sorted by (src, tgt)."""
+    def scan(self, path: LabelPath) -> Relation:
+        """``I_{G,k}(p)``: the relation of ``p`` as a columnar ``Relation``.
+
+        Sorted by (src, tgt) — the B+tree's key order — so the returned
+        relation carries ``Order.BY_SRC`` and merge joins can consume it
+        without re-sorting.
+        """
         path_id = self._path_id(path)
         if path_id is None:
-            return []
-        return [(src, tgt) for _, src, tgt in self._backend.prefix((path_id,))]
+            return Relation.empty(Order.BY_SRC)
+        sources, targets = self._backend.scan_columns(path_id)
+        return Relation(sources, targets, Order.BY_SRC)
 
-    def scan_swapped(self, path: LabelPath) -> list[Pair]:
-        """The relation of ``p`` sorted by (tgt, src).
+    def scan_swapped(self, path: LabelPath) -> Relation:
+        """The relation of ``p`` sorted by (tgt, src), as ``Order.BY_TGT``.
 
         Implemented exactly as the paper does: scan the index on the
         *inverse* path (which is itself indexed, because inverse steps
-        are alphabet symbols) and swap each pair.
+        are alphabet symbols) and exchange the columns — a zero-copy
+        swap in the columnar representation.
         """
-        return [(tgt, src) for src, tgt in self.scan(path.inverted())]
+        return swap(self.scan(path.inverted()))
 
     def scan_from(self, path: LabelPath, source: int) -> list[int]:
         """``I_{G,k}(p, a)``: sorted targets reachable from ``source``."""

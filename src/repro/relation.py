@@ -1,0 +1,658 @@
+"""Columnar ``(source, target)`` relations — the engine's common currency.
+
+Every layer of the pipeline — index scans, merge/hash joins, unions,
+fixpoints — manipulates binary relations over dense integer node ids.
+Materializing each intermediate as a Python ``set``/``list`` of tuple
+objects pays a per-pair allocation plus a tuple hash on the hot path;
+this module replaces that with a single *columnar* representation:
+
+* :class:`Relation` — twin ``array('q')`` columns (``src``, ``tgt``)
+  plus a tracked sort :class:`Order` (``BY_SRC`` / ``BY_TGT`` /
+  ``NONE``).  No per-pair tuples exist until the API boundary converts
+  ids back to names (:meth:`Relation.to_frozenset`, iteration).
+* columnar kernels — :func:`merge_join`, :func:`hash_join`,
+  :func:`union`, :func:`dedup_sort`, :func:`swap`, :func:`compose` —
+  that deduplicate through *packed* 64-bit ``src << 32 | tgt`` integer
+  keys (cheap int hashing, no tuple allocation) and exploit tracked
+  sort orders instead of re-sorting.
+* columnar recursion — :func:`transitive_fixpoint`,
+  :func:`bounded_powers`, :func:`relation_power` — delta iteration over
+  packed pair sets, used by the executor's hybrid fallback.
+
+Representation contract
+-----------------------
+Node ids are the dense non-negative integers produced by
+:class:`repro.graph.graph.Graph` interning; packing assumes
+``0 <= id < 2**32`` (4 billion nodes).  A :class:`Relation` whose
+``order`` is ``BY_SRC`` is sorted lexicographically by ``(src, tgt)``
+and duplicate-free; ``BY_TGT`` likewise by ``(tgt, src)``; ``NONE``
+makes no promise (it may still contain duplicates only if a kernel's
+docstring says so — every kernel in this module emits duplicate-free
+output).  The reference set semantics in :mod:`repro.rpq.semantics`
+stays tuple-set based on purpose: it is the independent correctness
+oracle the columnar kernels are property-tested against.
+"""
+
+from __future__ import annotations
+
+import enum
+from array import array
+from typing import Iterable, Iterator
+
+from repro.errors import ExecutionError, ValidationError
+
+try:  # numpy is optional: every kernel has a pure-Python fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _FORCE_PURE_PYTHON
+    _np = None
+
+Pair = tuple[int, int]
+
+#: Bits reserved for the target id in a packed pair.
+_SHIFT = 32
+_MASK = (1 << _SHIFT) - 1
+
+#: Below this many input rows the vectorized kernels lose to plain
+#: Python on fixed per-call overhead; stay scalar.
+_VECTOR_MIN = 64
+
+#: Test hook: set True to route every kernel through the scalar path.
+_FORCE_PURE_PYTHON = False
+
+
+def _vectorize(*lengths: int) -> bool:
+    return (
+        _np is not None
+        and not _FORCE_PURE_PYTHON
+        and sum(lengths) >= _VECTOR_MIN
+    )
+
+
+class Order(enum.Enum):
+    """The sort order of a relation (and of a plan's output stream)."""
+
+    BY_SRC = "by_src"
+    BY_TGT = "by_tgt"
+    NONE = "none"
+
+
+class Relation:
+    """An immutable-by-convention columnar binary relation.
+
+    ``src[i], tgt[i]`` is the i-th pair.  ``order`` records the sort
+    order the columns are *known* to satisfy; kernels trust it, so
+    constructors declaring ``BY_SRC``/``BY_TGT`` must hand over columns
+    that really are sorted and duplicate-free (index scans and the
+    kernels in this module do; :meth:`from_pairs` checks nothing).
+
+    The sequence protocol (``len``, indexing, iteration yielding
+    ``(src, tgt)`` tuples, equality against any pair sequence) is
+    provided for tests and API-boundary code; hot paths should touch
+    the columns directly.
+    """
+
+    __slots__ = ("src", "tgt", "order")
+
+    def __init__(
+        self,
+        src: array | None = None,
+        tgt: array | None = None,
+        order: Order = Order.NONE,
+    ) -> None:
+        self.src = src if src is not None else array("q")
+        self.tgt = tgt if tgt is not None else array("q")
+        if len(self.src) != len(self.tgt):
+            raise ValidationError(
+                f"column length mismatch: {len(self.src)} src vs "
+                f"{len(self.tgt)} tgt"
+            )
+        self.order = order
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls, order: Order = Order.BY_SRC) -> "Relation":
+        """The empty relation (vacuously sorted any way you like)."""
+        return cls(array("q"), array("q"), order)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Pair], order: Order = Order.NONE
+    ) -> "Relation":
+        """Build from ``(src, tgt)`` pairs, trusting the declared order.
+
+        Ids outside ``[0, 2**32)`` are rejected: the join kernels pack
+        pairs into 64-bit keys, and out-of-range ids would corrupt
+        results silently instead of failing loudly here.
+        """
+        src = array("q")
+        tgt = array("q")
+        for a, b in pairs:
+            src.append(a)
+            tgt.append(b)
+        if src:
+            low = min(min(src), min(tgt))
+            high = max(max(src), max(tgt))
+            if low < 0 or high > _MASK:
+                raise ValidationError(
+                    f"node ids must be in [0, 2**32) for packed-key "
+                    f"kernels; got values in [{low}, {high}]"
+                )
+        return cls(src, tgt, order)
+
+    @classmethod
+    def coerce(cls, value, order: Order = Order.NONE) -> "Relation":
+        """``value`` as a Relation: pass through, or convert a pair sequence."""
+        if isinstance(value, cls):
+            return value
+        return cls.from_pairs(value, order)
+
+    # -- sequence protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __bool__(self) -> bool:
+        return len(self.src) > 0
+
+    def __iter__(self) -> Iterator[Pair]:
+        return zip(self.src, self.tgt)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return list(zip(self.src[item], self.tgt[item]))
+        return (self.src[item], self.tgt[item])
+
+    def __contains__(self, pair: object) -> bool:
+        try:
+            a, b = pair  # type: ignore[misc]
+        except (TypeError, ValueError):
+            return False
+        for i in range(len(self.src)):
+            if self.src[i] == a and self.tgt[i] == b:
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Relation):
+            return self.src == other.src and self.tgt == other.tgt
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self.src) and all(
+                pair == expected for pair, expected in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(pair) for pair in self[:4])
+        suffix = ", ..." if len(self) > 4 else ""
+        return (
+            f"Relation(len={len(self)}, order={self.order.value}, "
+            f"[{preview}{suffix}])"
+        )
+
+    # -- conversions -----------------------------------------------------
+
+    def pairs(self) -> list[Pair]:
+        """Materialize the relation as a list of tuples (API boundary)."""
+        return list(zip(self.src, self.tgt))
+
+    def to_set(self) -> set[Pair]:
+        return set(zip(self.src, self.tgt))
+
+    def to_frozenset(self) -> frozenset:
+        return frozenset(zip(self.src, self.tgt))
+
+    def packed(self) -> Iterator[int]:
+        """The pairs as packed ``src << 32 | tgt`` integers."""
+        shift = _SHIFT
+        for i, a in enumerate(self.src):
+            yield (a << shift) | self.tgt[i]
+
+    # -- order-aware views ------------------------------------------------
+
+    def sorted_by(self, order: Order) -> "Relation":
+        """This relation sorted (and deduplicated) by the given order."""
+        if order is Order.NONE or self.order is order:
+            return self
+        return dedup_sort(self, order)
+
+
+def _from_packed_sorted(packed: list[int], order: Order) -> Relation:
+    """Unpack an already-sorted, duplicate-free packed list.
+
+    For ``BY_TGT`` the packed keys are ``tgt << 32 | src``.
+    """
+    src = array("q")
+    tgt = array("q")
+    if order is Order.BY_TGT:
+        for key in packed:
+            tgt.append(key >> _SHIFT)
+            src.append(key & _MASK)
+    else:
+        for key in packed:
+            src.append(key >> _SHIFT)
+            tgt.append(key & _MASK)
+    return Relation(src, tgt, order)
+
+
+# -- numpy bridge --------------------------------------------------------------
+#
+# array('q') is buffer-compatible with numpy, so the vectorized kernels
+# operate on zero-copy int64 views of the columns and only pay one C
+# memcpy to hand columns back.  Pairs are packed into uint64 keys
+# (``high << 32 | low``) so ``np.unique`` gives sort + dedup in one C
+# pass, in exactly the lexicographic order the engine tracks.
+
+
+def _view(column: array):
+    """Zero-copy int64 view of one column."""
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+def _column(values) -> array:
+    """A numpy integer vector as a fresh ``array('q')`` column."""
+    out = array("q")
+    out.frombytes(values.astype(_np.int64, copy=False).tobytes())
+    return out
+
+
+def _pack_np(high, low):
+    return (high.astype(_np.uint64) << _SHIFT) | low.astype(_np.uint64)
+
+
+def _unpack_np(packed, order: Order) -> Relation:
+    high = (packed >> _SHIFT).astype(_np.int64)
+    low = (packed & _MASK).astype(_np.int64)
+    if order is Order.BY_TGT:
+        return Relation(_column(low), _column(high), order)
+    return Relation(_column(high), _column(low), order)
+
+
+def _np_compose(left: Relation, right: Relation) -> Relation:
+    """Vectorized composition; output sorted BY_SRC and duplicate-free.
+
+    One side must act as the sorted "build" side for ``searchsorted``:
+    ``right`` when it is BY_SRC, ``left`` when it is BY_TGT, otherwise
+    ``right`` is sorted on the spot (the vectorized analogue of a hash
+    build).
+    """
+    left_src, left_tgt = _view(left.src), _view(left.tgt)
+    right_src, right_tgt = _view(right.src), _view(right.tgt)
+    if right.order is Order.BY_SRC:
+        probe_mid, build_mid = left_tgt, right_src
+        probe_out, build_out = left_src, right_tgt
+        probe_is_left = True
+    elif left.order is Order.BY_TGT:
+        probe_mid, build_mid = right_src, left_tgt
+        probe_out, build_out = right_tgt, left_src
+        probe_is_left = False
+    else:
+        sorting = _np.argsort(right_src, kind="stable")
+        probe_mid, build_mid = left_tgt, right_src[sorting]
+        probe_out, build_out = left_src, right_tgt[sorting]
+        probe_is_left = True
+    starts = _np.searchsorted(build_mid, probe_mid, side="left")
+    ends = _np.searchsorted(build_mid, probe_mid, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return Relation.empty(Order.BY_SRC)
+    probe_emitted = _np.repeat(probe_out, counts)
+    offsets = _np.cumsum(counts) - counts
+    positions = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(offsets, counts)
+        + _np.repeat(starts, counts)
+    )
+    build_emitted = build_out[positions]
+    if probe_is_left:
+        packed = _pack_np(probe_emitted, build_emitted)
+    else:
+        packed = _pack_np(build_emitted, probe_emitted)
+    return _unpack_np(_np.unique(packed), Order.BY_SRC)
+
+
+def _np_membership(sorted_keys, candidates):
+    """Boolean mask of which ``candidates`` occur in ``sorted_keys``."""
+    if len(sorted_keys) == 0:
+        return _np.zeros(len(candidates), dtype=bool)
+    positions = _np.searchsorted(sorted_keys, candidates)
+    positions[positions == len(sorted_keys)] = len(sorted_keys) - 1
+    return sorted_keys[positions] == candidates
+
+
+def _np_expand(delta_packed, base_src, base_tgt):
+    """One delta step: packed pairs composed with the sorted base columns."""
+    mids = (delta_packed & _MASK).astype(_np.int64)
+    starts = _np.searchsorted(base_src, mids, side="left")
+    ends = _np.searchsorted(base_src, mids, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return delta_packed[:0]
+    heads = _np.repeat(delta_packed & ~_np.uint64(_MASK), counts)
+    offsets = _np.cumsum(counts) - counts
+    positions = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(offsets, counts)
+        + _np.repeat(starts, counts)
+    )
+    produced = heads | base_tgt[positions].astype(_np.uint64)
+    return _np.unique(produced)
+
+
+def _np_base_columns(base: Relation):
+    """(src-sorted packed base as column views) for delta iteration."""
+    sorted_base = base if base.order is Order.BY_SRC else dedup_sort(base)
+    return _view(sorted_base.src), _view(sorted_base.tgt)
+
+
+# -- kernels -------------------------------------------------------------------
+
+
+def dedup_sort(relation: Relation, order: Order = Order.BY_SRC) -> Relation:
+    """Sort by ``order`` and drop duplicate pairs (one packed-int sort)."""
+    if order is Order.NONE:
+        raise ValidationError("dedup_sort needs a concrete order")
+    if _vectorize(len(relation)):
+        src, tgt = _view(relation.src), _view(relation.tgt)
+        if order is Order.BY_TGT:
+            packed = _pack_np(tgt, src)
+        else:
+            packed = _pack_np(src, tgt)
+        return _unpack_np(_np.unique(packed), order)
+    if order is Order.BY_TGT:
+        keys = {
+            (relation.tgt[i] << _SHIFT) | relation.src[i]
+            for i in range(len(relation))
+        }
+    else:
+        keys = set(relation.packed())
+    return _from_packed_sorted(sorted(keys), order)
+
+
+def swap(relation: Relation) -> Relation:
+    """Exchange source and target columns (zero-copy; order flips)."""
+    if relation.order is Order.BY_SRC:
+        flipped = Order.BY_TGT
+    elif relation.order is Order.BY_TGT:
+        flipped = Order.BY_SRC
+    else:
+        flipped = Order.NONE
+    return Relation(relation.tgt, relation.src, flipped)
+
+
+def identity(node_ids: Iterable[int]) -> Relation:
+    """``{(n, n)}`` over ``node_ids`` (ascending ids → sorted both ways)."""
+    src = array("q", node_ids)
+    return Relation(src, array("q", src), Order.BY_SRC)
+
+
+def merge_join(left: Relation, right: Relation) -> Relation:
+    """Composition ``left ∘ right`` by a two-pointer group merge.
+
+    Preconditions (validated): ``left`` sorted by target, ``right``
+    sorted by source — the physical orders an inverse-path scan and a
+    direct scan deliver for free.  Output is duplicate-free, unordered.
+    """
+    if left.order is not Order.BY_TGT or right.order is not Order.BY_SRC:
+        raise ExecutionError(
+            "merge join requires left sorted by target and right by source; "
+            f"got {left.order.value} / {right.order.value}"
+        )
+    if _vectorize(len(left), len(right)):
+        return _np_compose(left, right)
+    left_src, left_tgt = left.src, left.tgt
+    right_src, right_tgt = right.src, right.tgt
+    left_len, right_len = len(left_src), len(right_src)
+    out: set[int] = set()
+    add = out.add
+    i = j = 0
+    while i < left_len and j < right_len:
+        key_left = left_tgt[i]
+        key_right = right_src[j]
+        if key_left < key_right:
+            i += 1
+        elif key_left > key_right:
+            j += 1
+        else:
+            i_end = i
+            while i_end < left_len and left_tgt[i_end] == key_left:
+                i_end += 1
+            j_end = j
+            while j_end < right_len and right_src[j_end] == key_right:
+                j_end += 1
+            targets = right_tgt[j:j_end]
+            for source in left_src[i:i_end]:
+                base = source << _SHIFT
+                for target in targets:
+                    add(base | target)
+            i, j = i_end, j_end
+    return _from_packed_unordered(out)
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Composition ``left ∘ right`` building a hash table on the smaller side.
+
+    Vectorized, this becomes a binary-search probe against whichever
+    side is already sorted on the join key (sorting the right side if
+    neither is) — the columnar analogue of the hash build.
+    """
+    if _vectorize(len(left), len(right)):
+        return _np_compose(left, right)
+    out: set[int] = set()
+    add = out.add
+    if len(left) <= len(right):
+        by_target: dict[int, list[int]] = {}
+        left_src, left_tgt = left.src, left.tgt
+        for i, target in enumerate(left_tgt):
+            by_target.setdefault(target, []).append(left_src[i])
+        get = by_target.get
+        right_src, right_tgt = right.src, right.tgt
+        for j, mid in enumerate(right_src):
+            sources = get(mid)
+            if sources:
+                target = right_tgt[j]
+                for source in sources:
+                    add((source << _SHIFT) | target)
+    else:
+        by_source: dict[int, list[int]] = {}
+        right_src, right_tgt = right.src, right.tgt
+        for j, mid in enumerate(right_src):
+            by_source.setdefault(mid, []).append(right_tgt[j])
+        get = by_source.get
+        left_src, left_tgt = left.src, left.tgt
+        for i, mid in enumerate(left_tgt):
+            targets = get(mid)
+            if targets:
+                base = left_src[i] << _SHIFT
+                for target in targets:
+                    add(base | target)
+    return _from_packed_unordered(out)
+
+
+def compose(left: Relation, right: Relation) -> Relation:
+    """``left ∘ right`` picking the physical algorithm from tracked orders."""
+    if not left or not right:
+        return Relation.empty()
+    if left.order is Order.BY_TGT and right.order is Order.BY_SRC:
+        return merge_join(left, right)
+    return hash_join(left, right)
+
+
+def union(parts: Iterable[Relation]) -> Relation:
+    """Duplicate-eliminating union, emitted sorted by source."""
+    parts = [part for part in parts if len(part)]
+    if not parts:
+        return Relation.empty(Order.BY_SRC)
+    if _vectorize(sum(len(part) for part in parts)):
+        packed = _np.concatenate(
+            [_pack_np(_view(part.src), _view(part.tgt)) for part in parts]
+        )
+        return _unpack_np(_np.unique(packed), Order.BY_SRC)
+    keys: set[int] = set()
+    for part in parts:
+        keys.update(part.packed())
+    return _from_packed_sorted(sorted(keys), Order.BY_SRC)
+
+
+def _from_packed_unordered(keys: set[int]) -> Relation:
+    src = array("q")
+    tgt = array("q")
+    for key in keys:
+        src.append(key >> _SHIFT)
+        tgt.append(key & _MASK)
+    return Relation(src, tgt, Order.NONE)
+
+
+# -- recursion (delta iteration over packed pair sets) -------------------------
+
+
+def _adjacency(base: Relation) -> dict[int, list[int]]:
+    by_source: dict[int, list[int]] = {}
+    base_src, base_tgt = base.src, base.tgt
+    for i, source in enumerate(base_src):
+        by_source.setdefault(source, []).append(base_tgt[i])
+    return by_source
+
+
+def _expand(
+    delta: Iterable[int], by_source: dict[int, list[int]], seen: set[int]
+) -> list[int]:
+    """One delta step: compose packed ``delta`` with ``by_source``, minus ``seen``."""
+    fresh: list[int] = []
+    get = by_source.get
+    add = seen.add
+    for key in delta:
+        targets = get(key & _MASK)
+        if targets:
+            base = key & ~_MASK
+            for target in targets:
+                packed = base | target
+                if packed not in seen:
+                    add(packed)
+                    fresh.append(packed)
+    return fresh
+
+
+def transitive_fixpoint(
+    node_ids: Iterable[int], base: Relation, low: int
+) -> Relation:
+    """``base^low ∪ base^{low+1} ∪ ...`` by packed delta iteration.
+
+    Only newly discovered pairs are re-expanded, so cyclic graphs
+    terminate; ``low == 0`` seeds the accumulator with the identity.
+    """
+    if _vectorize(len(base)):
+        return _np_transitive_fixpoint(node_ids, base, low)
+    by_source = _adjacency(base)
+    if low <= 1:
+        delta = list(base.packed())
+        if low == 0:
+            accumulated = {(n << _SHIFT) | n for n in node_ids}
+            accumulated.update(delta)
+        else:
+            accumulated = set(delta)
+    else:
+        power = relation_power(node_ids, base, low)
+        accumulated = set(power.packed())
+        delta = list(accumulated)
+    while delta:
+        delta = _expand(delta, by_source, accumulated)
+    return _from_packed_sorted(sorted(accumulated), Order.BY_SRC)
+
+
+def relation_power(
+    node_ids: Iterable[int], base: Relation, exponent: int
+) -> Relation:
+    """``base^exponent`` under composition (power 0 is the identity)."""
+    if exponent == 0:
+        return identity(node_ids)
+    result = base
+    for _ in range(exponent - 1):
+        result = hash_join(result, base)
+        if not result:
+            break
+    return result
+
+
+def bounded_powers(
+    node_ids: Iterable[int], base: Relation, low: int, high: int
+) -> Relation:
+    """``base^low ∪ ... ∪ base^high`` with early saturation.
+
+    Powers of a relation over a finite node set are eventually periodic;
+    once a power repeats, the remaining union is already accumulated.
+    """
+    if _vectorize(len(base)):
+        return _np_bounded_powers(node_ids, base, low, high)
+    by_source = _adjacency(base)
+    power = set(relation_power(node_ids, base, low).packed())
+    accumulated = set(power)
+    seen_powers: set[frozenset] = {frozenset(power)}
+    for _ in range(low, high):
+        if not power:
+            break
+        next_power: set[int] = set()
+        get = by_source.get
+        for key in power:
+            targets = get(key & _MASK)
+            if targets:
+                head = key & ~_MASK
+                for target in targets:
+                    next_power.add(head | target)
+        power = next_power
+        accumulated |= power
+        fingerprint = frozenset(power)
+        if fingerprint in seen_powers:
+            break
+        seen_powers.add(fingerprint)
+    return _from_packed_sorted(sorted(accumulated), Order.BY_SRC)
+
+
+def _np_transitive_fixpoint(
+    node_ids: Iterable[int], base: Relation, low: int
+) -> Relation:
+    base_src, base_tgt = _np_base_columns(base)
+    base_packed = _pack_np(base_src, base_tgt)
+    if low == 0:
+        ids = _np.fromiter(node_ids, dtype=_np.int64)
+        accumulated = _np.union1d(_pack_np(ids, ids), base_packed)
+        delta = base_packed
+    elif low == 1:
+        accumulated = base_packed
+        delta = base_packed
+    else:
+        power = relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
+        accumulated = _pack_np(_view(power.src), _view(power.tgt))
+        delta = accumulated
+    while len(delta):
+        produced = _np_expand(delta, base_src, base_tgt)
+        fresh = produced[~_np_membership(accumulated, produced)]
+        if not len(fresh):
+            break
+        accumulated = _np.union1d(accumulated, fresh)
+        delta = fresh
+    return _unpack_np(accumulated, Order.BY_SRC)
+
+
+def _np_bounded_powers(
+    node_ids: Iterable[int], base: Relation, low: int, high: int
+) -> Relation:
+    base_src, base_tgt = _np_base_columns(base)
+    start = relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
+    power = _pack_np(_view(start.src), _view(start.tgt))
+    accumulated = power
+    seen_powers = {power.tobytes()}
+    for _ in range(low, high):
+        if not len(power):
+            break
+        power = _np_expand(power, base_src, base_tgt)
+        accumulated = _np.union1d(accumulated, power)
+        fingerprint = power.tobytes()
+        if fingerprint in seen_powers:
+            break
+        seen_powers.add(fingerprint)
+    return _unpack_np(accumulated, Order.BY_SRC)

@@ -5,6 +5,13 @@ structural-recursion evaluator with no indexes, no planner, and no
 cleverness.  Every other evaluation path (the four index strategies, the
 automaton baseline, the Datalog baseline) is tested for equality
 against :func:`eval_ast` on randomized inputs.
+
+It deliberately stays tuple-set based: the engine's hot paths use the
+columnar array-backed twins in :mod:`repro.relation`
+(``compose``/``bounded_powers``/``transitive_fixpoint`` over packed
+int64 pairs), and those kernels are property-tested against the set
+implementations here.  Keep the two in sync semantically, never share
+code between them.
 """
 
 from __future__ import annotations

@@ -19,6 +19,7 @@ occupancy invariants under any workload; the invariants are checked by
 from __future__ import annotations
 
 import bisect
+from array import array
 from typing import Any, Iterable, Iterator
 
 from repro.errors import KeyOrderError, StorageError
@@ -162,6 +163,38 @@ class BPlusTree:
     def count_prefix(self, prefix: Key) -> int:
         """Number of keys matching ``prefix`` (linear in the answer)."""
         return sum(1 for _ in self.prefix_scan(prefix))
+
+    def prefix_scan_columns(
+        self, prefix: Key, first: int = 1, second: int = 2
+    ) -> tuple[array, array]:
+        """Two key components of every prefix match, as ``array('q')`` columns.
+
+        The columnar fast path behind ``PathIndex.scan``: walks the leaf
+        chain and bulk-extends ``key[first]``/``key[second]`` into twin
+        int64 arrays one leaf at a time, so no per-match tuple or
+        generator frame is created.  Matches arrive in key order, i.e.
+        the columns come back sorted lexicographically.  The prefix's
+        components must be integers (they are bisected against with an
+        exclusive upper bound of ``prefix[-1] + 1``).
+        """
+        if not isinstance(prefix, tuple) or not prefix:
+            raise StorageError("prefix must be a non-empty tuple")
+        upper = prefix[:-1] + (prefix[-1] + 1,)
+        column_a = array("q")
+        column_b = array("q")
+        leaf: _Leaf | None = self._find_leaf(prefix)
+        index = bisect.bisect_left(leaf.keys, prefix)
+        while leaf is not None:
+            keys = leaf.keys
+            end = bisect.bisect_left(keys, upper, index)
+            run = keys[index:end]
+            column_a.extend([key[first] for key in run])
+            column_b.extend([key[second] for key in run])
+            if end < len(keys):
+                break
+            leaf = leaf.next
+            index = 0
+        return column_a, column_b
 
     # -- bulk load -------------------------------------------------------------
 

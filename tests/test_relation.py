@@ -1,0 +1,257 @@
+"""Tests for the columnar relation core (:mod:`repro.relation`).
+
+Every kernel is property-tested against the tuple-set reference
+implementations in :mod:`repro.rpq.semantics` — the library's
+correctness oracle — on both the vectorized (numpy) and pure-Python
+fallback paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import relation as rel
+from repro.errors import ExecutionError, ValidationError
+from repro.graph.graph import LabelPath
+from repro.indexes.pathindex import PathIndex
+from repro.relation import Order, Relation
+from repro.rpq.semantics import (
+    bounded_powers as set_bounded_powers,
+    compose as set_compose,
+    eval_ast,
+    eval_label_path,
+    transitive_fixpoint as set_transitive_fixpoint,
+)
+
+from tests.strategies import graphs, label_paths, rpq_asts
+
+PAIRS = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=30
+).map(lambda pairs: sorted(set(pairs)))
+
+#: Exercise both the numpy fast path and the scalar fallback.
+BOTH_PATHS = pytest.mark.parametrize("pure_python", [False, True],
+                                     ids=["vectorized", "scalar"])
+
+
+@contextmanager
+def forced_path(pure_python: bool):
+    """Route kernels through one implementation path for the duration."""
+    old_flag, old_min = rel._FORCE_PURE_PYTHON, rel._VECTOR_MIN
+    rel._FORCE_PURE_PYTHON = pure_python
+    if not pure_python:
+        rel._VECTOR_MIN = 0  # let tiny inputs hit the vectorized kernels
+    try:
+        yield
+    finally:
+        rel._FORCE_PURE_PYTHON, rel._VECTOR_MIN = old_flag, old_min
+
+
+def by_src(pairs) -> Relation:
+    return Relation.from_pairs(sorted(pairs), Order.BY_SRC)
+
+
+def by_tgt(pairs) -> Relation:
+    return Relation.from_pairs(
+        sorted(pairs, key=lambda pair: (pair[1], pair[0])), Order.BY_TGT
+    )
+
+
+class TestRelationType:
+    def test_sequence_protocol(self):
+        relation = Relation.from_pairs([(1, 2), (3, 4)])
+        assert len(relation) == 2
+        assert relation[0] == (1, 2)
+        assert relation[0:2] == [(1, 2), (3, 4)]
+        assert list(relation) == [(1, 2), (3, 4)]
+        assert (3, 4) in relation
+        assert (9, 9) not in relation
+        assert relation == [(1, 2), (3, 4)]
+        assert relation == Relation.from_pairs([(1, 2), (3, 4)])
+        assert relation != [(1, 2)]
+
+    def test_empty(self):
+        empty = Relation.empty()
+        assert len(empty) == 0 and not empty
+        assert empty == []
+
+    def test_column_length_mismatch_rejected(self):
+        from array import array
+
+        with pytest.raises(ValidationError):
+            Relation(array("q", [1]), array("q"))
+
+    def test_coerce_passthrough(self):
+        relation = Relation.from_pairs([(1, 2)])
+        assert Relation.coerce(relation) is relation
+        assert Relation.coerce([(1, 2)]) == relation
+
+    def test_out_of_range_ids_rejected(self):
+        """Packed-key kernels would corrupt silently; fail loudly instead."""
+        with pytest.raises(ValidationError):
+            Relation.from_pairs([(2**32 + 1, 5)])
+        with pytest.raises(ValidationError):
+            Relation.from_pairs([(1, -2)])
+        # The boundary values themselves are fine.
+        edge = Relation.from_pairs([(0, 2**32 - 1)])
+        assert edge.pairs() == [(0, 2**32 - 1)]
+
+    def test_swap_flips_columns_and_order(self):
+        relation = by_src([(1, 5), (2, 3)])
+        swapped = rel.swap(relation)
+        assert swapped.order is Order.BY_TGT
+        assert set(swapped) == {(5, 1), (3, 2)}
+        assert rel.swap(swapped).order is Order.BY_SRC
+
+    def test_to_frozenset(self):
+        assert Relation.from_pairs([(1, 2), (1, 2)]).to_frozenset() == {(1, 2)}
+
+
+@BOTH_PATHS
+class TestKernelsMatchOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_merge_join_matches_compose(self, pure_python, left, right):
+        with forced_path(pure_python):
+            result = rel.merge_join(by_tgt(left), by_src(right))
+        assert result.to_set() == set_compose(set(left), set(right))
+
+    @settings(max_examples=60, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_hash_join_matches_compose(self, pure_python, left, right):
+        with forced_path(pure_python):
+            result = rel.hash_join(
+                Relation.from_pairs(left), Relation.from_pairs(right)
+            )
+        assert result.to_set() == set_compose(set(left), set(right))
+
+    @settings(max_examples=60, deadline=None)
+    @given(PAIRS, PAIRS)
+    def test_compose_picks_algorithm_by_order(self, pure_python, left, right):
+        with forced_path(pure_python):
+            merged = rel.compose(by_tgt(left), by_src(right))
+            hashed = rel.compose(
+                Relation.from_pairs(left), Relation.from_pairs(right)
+            )
+        assert merged.to_set() == hashed.to_set() == set_compose(
+            set(left), set(right)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(PAIRS, PAIRS, PAIRS)
+    def test_union_dedups_and_sorts(self, pure_python, a, b, c):
+        with forced_path(pure_python):
+            result = rel.union([Relation.from_pairs(p) for p in (a, b, c)])
+        assert result.order is Order.BY_SRC
+        assert result.to_set() == set(a) | set(b) | set(c)
+        assert result.pairs() == sorted(result.to_set())
+
+    @settings(max_examples=60, deadline=None)
+    @given(PAIRS)
+    def test_dedup_sort_both_orders(self, pure_python, pairs):
+        doubled = Relation.from_pairs(pairs + pairs)
+        with forced_path(pure_python):
+            sorted_src = rel.dedup_sort(doubled, Order.BY_SRC)
+            sorted_tgt = rel.dedup_sort(doubled, Order.BY_TGT)
+        assert sorted_src.pairs() == sorted(set(pairs))
+        assert sorted_tgt.pairs() == sorted(
+            set(pairs), key=lambda pair: (pair[1], pair[0])
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(), PAIRS, st.integers(0, 2))
+    def test_transitive_fixpoint_matches_oracle(
+        self, pure_python, graph, pairs, low
+    ):
+        pairs = [
+            (a, b) for a, b in pairs
+            if a < graph.node_count and b < graph.node_count
+        ]
+        with forced_path(pure_python):
+            result = rel.transitive_fixpoint(
+                graph.node_ids(), Relation.from_pairs(pairs), low
+            )
+        assert result.to_set() == set_transitive_fixpoint(
+            graph, set(pairs), low
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(graphs(), PAIRS, st.integers(0, 2), st.integers(0, 3))
+    def test_bounded_powers_matches_oracle(
+        self, pure_python, graph, pairs, low, extra
+    ):
+        pairs = [
+            (a, b) for a, b in pairs
+            if a < graph.node_count and b < graph.node_count
+        ]
+        with forced_path(pure_python):
+            result = rel.bounded_powers(
+                graph.node_ids(), Relation.from_pairs(pairs), low, low + extra
+            )
+        assert result.to_set() == set_bounded_powers(
+            graph, set(pairs), low, low + extra
+        )
+
+    def test_merge_join_validates_orders(self, pure_python):
+        with forced_path(pure_python), pytest.raises(ExecutionError):
+            rel.merge_join(by_src([(1, 2)]), by_src([(2, 3)]))
+
+    def test_dedup_sort_rejects_none(self, pure_python):
+        with forced_path(pure_python), pytest.raises(ValidationError):
+            rel.dedup_sort(Relation.from_pairs([(1, 2)]), Order.NONE)
+
+
+class TestIndexScanRelations:
+    @settings(max_examples=25, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10), label_paths(max_length=2))
+    def test_scan_agrees_with_reference(self, graph, path):
+        index = PathIndex.build(graph, k=2)
+        scanned = index.scan(path)
+        assert scanned.order is Order.BY_SRC
+        assert scanned.pairs() == sorted(eval_label_path(graph, path))
+        swapped = index.scan_swapped(path)
+        assert swapped.order is Order.BY_TGT
+        assert swapped.to_set() == scanned.to_set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=10))
+    def test_compressed_backend_scan_columns(self, graph):
+        memory = PathIndex.build(graph, k=2)
+        compressed = PathIndex.build(graph, k=2, backend="compressed")
+        for path in memory.paths():
+            assert compressed.scan(path) == memory.scan(path)
+
+
+class TestEndToEndAgainstOracle:
+    """Acceptance: every planner strategy equals the reference evaluator."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(graphs(max_nodes=6, max_edges=12), rpq_asts(max_leaves=4))
+    def test_all_strategies_match_eval_ast(self, graph, query):
+        from repro.api import GraphDatabase
+
+        expected = graph.pairs_to_names(eval_ast(graph, query))
+        database = GraphDatabase(graph, k=2)
+        for method in ("naive", "semi-naive", "minsupport", "minjoin"):
+            result = database.query(query, method=method, use_cache=False)
+            assert result.pairs == expected, method
+
+
+def test_scan_columns_on_memory_tree():
+    """The B+tree columnar prefix scan equals the tuple prefix scan."""
+    from repro.storage.memtree import BPlusTree
+
+    tree = BPlusTree(order=4)
+    keys = [(p, s, t) for p in range(3) for s in range(5) for t in range(3)]
+    for key in keys:
+        tree.insert(key)
+    for path_id in range(3):
+        sources, targets = tree.prefix_scan_columns((path_id,))
+        expected = [key for key, _ in tree.prefix_scan((path_id,))]
+        assert list(zip(sources, targets)) == [(s, t) for _, s, t in expected]
+    empty_a, empty_b = tree.prefix_scan_columns((99,))
+    assert len(empty_a) == len(empty_b) == 0
