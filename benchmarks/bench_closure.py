@@ -1,0 +1,213 @@
+"""Kleene-closure ablation: seed vs PR-1 delta iteration vs CSR frontier.
+
+Measures the recursion kernels behind ``Star`` / ``Repeat`` in all
+three generations of the engine:
+
+* **seed** — the v1.0 tuple-set delta iteration, frozen in
+  :mod:`repro.bench.legacy`;
+* **delta** — the PR-1 packed-pair delta iteration over columnar
+  relations (``repro.relation.delta_*``), which re-deduplicates against
+  the whole accumulator every round;
+* **csr** — the frontier-based closure over compressed sparse rows with
+  per-source visited bitsets (:mod:`repro.csr`), the path the executor
+  routes through now.
+
+Workloads come from :func:`repro.bench.workloads.closure_base_pairs`:
+disjoint cycles (the delta worst case), a chain (bounded powers), and a
+scale-free graph (deep overlapping ancestor sets).
+
+Run directly to print a table and export ``BENCH_closure.json``::
+
+    PYTHONPATH=src python benchmarks/bench_closure.py          # full
+    PYTHONPATH=src python benchmarks/bench_closure.py --smoke  # small sizes
+
+or under pytest (the smoke rows plus the >= 3x acceptance gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_closure.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro import csr
+from repro import relation as rel
+from repro.bench.export import write_json
+from repro.bench.legacy import (
+    tuple_bounded_powers,
+    tuple_transitive_fixpoint,
+)
+from repro.bench.workloads import closure_base_pairs
+from repro.relation import Relation
+
+#: (workload kind, operation, edge count) per exported row.  The
+#: operation is the closure shape that makes sense on the graph shape:
+#: a full fixpoint of a chain would be quadratic, so the chain rows
+#: measure bounded powers instead.
+FULL_SPECS: tuple[tuple[str, str, int], ...] = (
+    ("cyclic", "fixpoint", 5_000),
+    ("cyclic", "fixpoint", 50_000),
+    ("chain", "powers{1,8}", 5_000),
+    ("chain", "powers{1,8}", 50_000),
+    ("scale_free", "fixpoint", 5_000),
+    ("scale_free", "fixpoint", 20_000),
+)
+SMOKE_SPECS: tuple[tuple[str, str, int], ...] = tuple(
+    spec for spec in FULL_SPECS if spec[2] <= 5_000
+)
+#: The acceptance-gate workload named by the roadmap: 50k-edge cyclic.
+GATE_SPEC = ("cyclic", "fixpoint", 50_000)
+
+#: Closure runs are seconds-long; one timed round each keeps the full
+#: sweep within a CI minute.  gc is collected before every timing so a
+#: prior kernel's garbage is not charged to the next one.
+POWER_BOUNDS = (1, 8)
+
+
+@dataclass(frozen=True, slots=True)
+class ClosureRow:
+    """One three-way kernel comparison on one workload."""
+
+    kind: str
+    operation: str
+    edges: int
+    seed_seconds: float
+    delta_seconds: float
+    csr_seconds: float
+    output_size: int
+
+    @property
+    def speedup_vs_seed(self) -> float:
+        if self.csr_seconds == 0:
+            return float("inf")
+        return self.seed_seconds / self.csr_seconds
+
+    @property
+    def speedup_vs_delta(self) -> float:
+        if self.csr_seconds == 0:
+            return float("inf")
+        return self.delta_seconds / self.csr_seconds
+
+
+def _timed(callable_):
+    gc.collect()
+    started = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - started, result
+
+
+def compare_closure(
+    specs: tuple[tuple[str, str, int], ...] = FULL_SPECS,
+) -> list[ClosureRow]:
+    """Time seed/delta/csr on every spec, checking the answers agree."""
+    rows: list[ClosureRow] = []
+    for kind, operation, edges in specs:
+        nodes, pairs = closure_base_pairs(kind, edges)
+        base = Relation.from_pairs(pairs)
+        node_ids = range(nodes)
+        if operation == "fixpoint":
+            low = 1
+            seed_s, seed_out = _timed(
+                lambda: tuple_transitive_fixpoint(node_ids, set(pairs), low)
+            )
+            delta_s, delta_out = _timed(
+                lambda: rel.delta_transitive_fixpoint(node_ids, base, low)
+            )
+            csr_s, csr_out = _timed(
+                lambda: csr.transitive_fixpoint(node_ids, base, low)
+            )
+        else:
+            low, high = POWER_BOUNDS
+            seed_s, seed_out = _timed(
+                lambda: tuple_bounded_powers(node_ids, set(pairs), low, high)
+            )
+            delta_s, delta_out = _timed(
+                lambda: rel.delta_bounded_powers(node_ids, base, low, high)
+            )
+            csr_s, csr_out = _timed(
+                lambda: csr.bounded_powers(node_ids, base, low, high)
+            )
+        assert csr_out.to_set() == delta_out.to_set() == seed_out
+        rows.append(
+            ClosureRow(
+                kind=kind,
+                operation=operation,
+                edges=edges,
+                seed_seconds=seed_s,
+                delta_seconds=delta_s,
+                csr_seconds=csr_s,
+                output_size=len(csr_out),
+            )
+        )
+    return rows
+
+
+def export_rows(
+    rows: list[ClosureRow], path: str | Path = "BENCH_closure.json"
+) -> Path:
+    """Write the comparison as a standard experiment export."""
+    write_json(rows, path, experiment="kleene-closure-ablation")
+    return Path(path)
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_smoke_rows_agree_and_export(tmp_path):
+    """Smoke mode: the three engines agree on every small workload."""
+    rows = compare_closure(SMOKE_SPECS)
+    path = export_rows(rows, tmp_path / "BENCH_closure.json")
+    from repro.bench.export import read_json
+
+    payload = read_json(path)
+    assert payload["experiment"] == "kleene-closure-ablation"
+    assert len(payload["rows"]) == len(SMOKE_SPECS)
+    assert all("speedup_vs_delta" in row for row in payload["rows"])
+
+
+@pytest.mark.skipif(
+    rel._np is None,
+    reason="the 3x bar is for the production configuration (numpy "
+    "present); the scalar fallback only has to be correct",
+)
+def test_csr_fixpoint_at_least_3x(tmp_path):
+    """Acceptance: CSR >= 3x over the PR-1 delta fixpoint at 50k cyclic.
+
+    Mirrors the >= 2x relation-ops gate; also exercises the export path
+    so BENCH_closure.json always reflects a run that proved the bar.
+    """
+    rows = compare_closure((GATE_SPEC,))
+    export_rows(rows, tmp_path / "BENCH_closure.json")
+    gate = rows[0]
+    assert gate.speedup_vs_delta >= 3.0, (
+        f"CSR frontier closure only {gate.speedup_vs_delta:.2f}x over "
+        f"the delta-iteration fixpoint"
+    )
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    rows = compare_closure(SMOKE_SPECS if smoke else FULL_SPECS)
+    print(
+        f"{'kind':<12}{'op':<14}{'edges':>8}{'out':>10}{'seed s':>9}"
+        f"{'delta s':>9}{'csr s':>8}{'vs seed':>9}{'vs delta':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row.kind:<12}{row.operation:<14}{row.edges:>8}"
+            f"{row.output_size:>10}{row.seed_seconds:>9.3f}"
+            f"{row.delta_seconds:>9.3f}{row.csr_seconds:>8.3f}"
+            f"{row.speedup_vs_seed:>8.1f}x{row.speedup_vs_delta:>9.1f}x"
+        )
+    path = export_rows(rows)
+    print(f"\nwrote {path.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

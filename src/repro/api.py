@@ -100,6 +100,11 @@ class GraphDatabase:
         self._cache_version = graph.version
         self._cache_hits = 0
         self._cache_misses = 0
+        # Aggregated executor scan-memo traffic (per-execution memo of
+        # index scans / shared subplans), summed over every query that
+        # actually executed through the engine.
+        self._scan_memo_hits = 0
+        self._scan_memo_misses = 0
         if build:
             self.build_index()
 
@@ -254,6 +259,8 @@ class GraphDatabase:
             report = evaluate_ast(
                 node, self.index, self.graph, statistics, strategy, max_disjuncts
             )
+            self._scan_memo_hits += report.scan_memo_hits
+            self._scan_memo_misses += report.scan_memo_misses
             seconds = time.perf_counter() - started
             result = QueryResult(
                 query=text,
@@ -295,7 +302,13 @@ class GraphDatabase:
             self._cached_pairs -= len(evicted.pairs)
 
     def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters of the query cache (for monitoring)."""
+        """Hit/miss/size counters of the caching layers (for monitoring).
+
+        ``hits``/``misses`` are the whole-answer LRU query cache;
+        ``scan_memo_hits``/``scan_memo_misses`` aggregate the executor's
+        per-execution scan memo (index scans and shared subplans reused
+        across union disjuncts) over every executed query.
+        """
         return {
             "hits": self._cache_hits,
             "misses": self._cache_misses,
@@ -303,6 +316,8 @@ class GraphDatabase:
             "capacity": self._query_cache_size,
             "pairs": self._cached_pairs,
             "max_pairs": self._query_cache_max_pairs,
+            "scan_memo_hits": self._scan_memo_hits,
+            "scan_memo_misses": self._scan_memo_misses,
         }
 
     def cache_clear(self) -> None:

@@ -74,3 +74,75 @@ def tuple_union(parts: list[list[Pair]]) -> list[Pair]:
 def tuple_dedup_sort(pairs: list[Pair]) -> list[Pair]:
     """The seed sort+dedup: set then sorted()."""
     return sorted(set(pairs))
+
+
+# -- seed recursion (tuple-set delta iteration) --------------------------------
+#
+# Frozen copies of the v1.0 closure kernels (the shape still used by the
+# reference oracle in repro/rpq/semantics.py), parameterized on a node
+# id iterable instead of a Graph so the closure benchmark can run them
+# against raw pair lists.
+
+
+def _tuple_compose(left: set[Pair], right: set[Pair]) -> set[Pair]:
+    if not left or not right:
+        return set()
+    by_source: dict[int, list[int]] = {}
+    for mid, target in right:
+        by_source.setdefault(mid, []).append(target)
+    result: set[Pair] = set()
+    for source, mid in left:
+        targets = by_source.get(mid)
+        if targets:
+            for target in targets:
+                result.add((source, target))
+    return result
+
+
+def tuple_relation_power(node_ids, base: set[Pair], exponent: int) -> set[Pair]:
+    """The seed ``base^exponent`` (power 0 is the identity)."""
+    if exponent == 0:
+        return {(node, node) for node in node_ids}
+    result = set(base)
+    for _ in range(exponent - 1):
+        result = _tuple_compose(result, base)
+        if not result:
+            break
+    return result
+
+
+def tuple_transitive_fixpoint(node_ids, base: set[Pair], low: int) -> set[Pair]:
+    """The seed fixpoint: tuple-set delta iteration."""
+    if low == 0:
+        accumulated = {(node, node) for node in node_ids} | base
+        start_power = base
+    elif low == 1:
+        accumulated = set(base)
+        start_power = base
+    else:
+        start_power = tuple_relation_power(node_ids, base, low)
+        accumulated = set(start_power)
+    delta = set(start_power)
+    while delta:
+        delta = _tuple_compose(delta, base) - accumulated
+        accumulated |= delta
+    return accumulated
+
+
+def tuple_bounded_powers(
+    node_ids, base: set[Pair], low: int, high: int
+) -> set[Pair]:
+    """The seed ``base^low ∪ ... ∪ base^high`` with early saturation."""
+    power = tuple_relation_power(node_ids, base, low)
+    accumulated = set(power)
+    seen: set[frozenset] = {frozenset(power)}
+    for _ in range(low, high):
+        if not power:
+            break
+        power = _tuple_compose(power, base)
+        accumulated |= power
+        fingerprint = frozenset(power)
+        if fingerprint in seen:
+            break
+        seen.add(fingerprint)
+    return accumulated

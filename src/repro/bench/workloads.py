@@ -67,6 +67,61 @@ def advogato_workload(
     return prepared
 
 
+#: Cycle length of the "cyclic" closure workload: every node sits on a
+#: cycle (the delta-iteration worst case — nothing ever saturates
+#: early), but the closure stays linear in the edge count.
+CLOSURE_CYCLE_LENGTH = 32
+
+
+def closure_base_pairs(
+    kind: str, edges: int, seed: int = 7
+) -> tuple[int, list[tuple[int, int]]]:
+    """``(node_count, pairs)`` for the Kleene-closure ablation.
+
+    Three graph shapes stress different closure behaviors:
+
+    * ``cyclic`` — disjoint directed cycles of
+      :data:`CLOSURE_CYCLE_LENGTH`: every pair stays live until the
+      cycle wraps, the regime the paper's recursive queries hit.
+    * ``chain`` — one directed path: maximal diameter, no recurrence
+      (bounded-power territory; the full closure would be quadratic).
+    * ``scale_free`` — preferential attachment with out-degree 2 (edges
+      point from later to earlier nodes): heavy-tailed in-degrees and
+      deep, overlapping ancestor sets, the shape of citation / social
+      graphs.
+
+    Pairs come back duplicate-free and sorted.
+    """
+    if kind == "cyclic":
+        length = CLOSURE_CYCLE_LENGTH
+        count = max(1, edges // length)
+        pairs = []
+        for cycle in range(count):
+            base = cycle * length
+            pairs.extend(
+                (base + i, base + (i + 1) % length) for i in range(length)
+            )
+        return count * length, pairs
+    if kind == "chain":
+        return edges + 1, [(i, i + 1) for i in range(edges)]
+    if kind == "scale_free":
+        rng = random.Random(seed)
+        out_degree = 2
+        nodes = max(2, edges // out_degree)
+        pool = [0]
+        pairs: set[tuple[int, int]] = set()
+        for node in range(1, nodes):
+            for _ in range(out_degree):
+                pairs.add((node, pool[rng.randrange(len(pool))]))
+            pool.extend([node] * out_degree)
+            pool.append(node)
+        return nodes, sorted(pairs)
+    raise ValidationError(
+        f"unknown closure workload {kind!r}; "
+        "expected cyclic, chain or scale_free"
+    )
+
+
 def synthetic_join_inputs(
     size: int, seed: int = 7
 ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:

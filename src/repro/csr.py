@@ -1,0 +1,545 @@
+"""Compressed-sparse-row adjacency and frontier-based Kleene closure.
+
+The recursive operators (``Star`` / ``Repeat`` / open ``Repeat``) used to
+run as packed-pair *delta iteration* (:func:`repro.relation.delta_transitive_fixpoint`):
+every round re-joined the freshly discovered pairs against the base
+relation through hash or ``searchsorted`` probes and re-deduplicated
+against the whole accumulator.  This module replaces that hot path with
+the classic semi-naive *frontier* formulation used by Datalog and graph
+engines:
+
+* :class:`CSR` — the base relation compiled once into ``(offsets,
+  targets)`` compressed sparse row form, built in O(n + m) from a
+  ``BY_SRC``-sorted :class:`~repro.relation.Relation` (plus a
+  :meth:`~CSR.transpose` for target-major traversal).  One step from a
+  node is an *offset-indexed slice*, not a hash lookup or binary search.
+* per-source frontiers — closure is computed source by source by
+  breadth-first expansion; a node enters the frontier at most once per
+  source, tracked by a **visited bitset** (a Python big-int per source:
+  membership is one ``&``, insertion one ``|``, both word-parallel C
+  operations instead of the delta loop's per-pair hashing).  Decoded
+  bitsets materialize as boolean vectors through ``numpy.unpackbits``
+  when the set is wide and numpy is available.
+* power iteration — :func:`relation_power` and :func:`bounded_powers`
+  advance per-source *level sets* through the same CSR (adjacency
+  bitsets on the scalar path, packed-key expansion on the numpy path),
+  with the same early-saturation fingerprinting as the reference
+  semantics.
+
+Two scheduling tricks make the closure loop near-linear in practice:
+sources are processed in **DFS postorder**, so by the time a source is
+closed most of its successors already are; and a traversal that reaches
+a *finished* source absorbs that source's whole closure in one ``|=``
+instead of re-walking its subgraph (finished closures are complete, so
+this is exact even on cycles — within a strongly connected component
+the first member closed walks the cycle and the rest absorb it).
+
+Entry points mirror :mod:`repro.relation`'s recursion kernels
+(:func:`transitive_fixpoint`, :func:`bounded_powers`,
+:func:`relation_power`) and those kernels now delegate here whenever the
+id space is dense (:func:`supports`).  Node ids must be small enough to
+index bitsets and CSR offsets — the dense interned ids produced by
+:class:`repro.graph.graph.Graph` always are.  Correctness is pinned by
+property tests against the independent tuple-set oracle in
+:mod:`repro.rpq.semantics`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Sequence
+
+from repro import relation as rel
+from repro.errors import ValidationError
+from repro.relation import Order, Relation
+
+_SHIFT = rel._SHIFT
+_MASK = rel._MASK
+
+#: Ids must stay below this for the bitset/CSR representation to make
+#: sense (a visited bitset is O(max_id) bits *per source*).  Graph
+#: interning produces dense ids, so real workloads sit far below; the
+#: :mod:`repro.relation` wrappers fall back to delta iteration above it.
+MAX_DENSE_NODE = 1 << 22
+
+#: Bitsets at least this many bytes wide decode through numpy
+#: (``unpackbits`` + ``flatnonzero``); narrower ones through the byte
+#: table below, which has no per-call dispatch overhead.
+_WIDE_BITSET_BYTES = 512
+
+#: Bit positions set in each byte value — drives bitset -> id decoding.
+_BYTE_BITS = tuple(
+    tuple(bit for bit in range(8) if value >> bit & 1) for value in range(256)
+)
+
+
+def _np():
+    """The numpy module when the vectorized path is allowed, else None."""
+    if rel._np is not None and not rel._FORCE_PURE_PYTHON:
+        return rel._np
+    return None
+
+
+def _vectorize(size: int) -> bool:
+    return _np() is not None and size >= rel._VECTOR_MIN
+
+
+class CSR:
+    """A binary relation in compressed sparse row form.
+
+    ``targets[offsets[u]:offsets[u + 1]]`` are the successors of node
+    ``u``, ascending and duplicate-free.  ``n`` bounds every id that
+    appears (as source *or* target), so any node produced by an
+    expansion can itself be expanded by plain offset indexing.
+    """
+
+    __slots__ = ("n", "offsets", "targets", "relation")
+
+    def __init__(self, n: int, offsets: array, targets: array, relation: Relation):
+        self.n = n
+        self.offsets = offsets
+        self.targets = targets
+        #: The BY_SRC-sorted relation the CSR was compiled from (the
+        #: columns are shared, not copied — treat both as immutable).
+        self.relation = relation
+
+    @classmethod
+    def from_relation(cls, relation: Relation, n: int | None = None) -> "CSR":
+        """Compile ``relation`` into CSR form in O(n + m).
+
+        ``relation`` is sorted/deduplicated first unless its tracked
+        order already is ``BY_SRC`` (index scans and union outputs are,
+        so the common engine path pays no extra sort).  A declared
+        ``n`` is trusted — it must bound every id in the relation (the
+        kernels pass the precomputed :func:`dense_bound`, so the hot
+        path scans the columns once; an id at or past a too-small ``n``
+        fails loudly in the offsets fill).  It may also widen the id
+        space beyond the relation's own ids, e.g. to cover every graph
+        node for identity seeding.
+        """
+        sorted_rel = relation.sorted_by(Order.BY_SRC)
+        if n is None:
+            n = _relation_bound(sorted_rel)
+        if n > MAX_DENSE_NODE:
+            raise ValidationError(
+                f"CSR needs dense node ids; got id space {n} > {MAX_DENSE_NODE}"
+            )
+        numpy = _np()
+        if numpy is not None and len(sorted_rel) >= rel._VECTOR_MIN:
+            counts = numpy.bincount(rel._view(sorted_rel.src), minlength=n)
+            offsets_np = numpy.zeros(n + 1, dtype=numpy.int64)
+            numpy.cumsum(counts, out=offsets_np[1:])
+            offsets = rel._column(offsets_np)
+        else:
+            offsets = array("q", bytes(8 * (n + 1)))
+            for source in sorted_rel.src:
+                offsets[source + 1] += 1
+            total = 0
+            for i in range(1, n + 1):
+                total += offsets[i]
+                offsets[i] = total
+        return cls(n, offsets, sorted_rel.tgt, sorted_rel)
+
+    def __len__(self) -> int:
+        """Number of edges (pairs) in the relation."""
+        return len(self.targets)
+
+    def out_degree(self, node: int) -> int:
+        return self.offsets[node + 1] - self.offsets[node]
+
+    def neighbors(self, node: int) -> Sequence[int]:
+        """Successors of ``node``, ascending (an O(1) slice)."""
+        return self.targets[self.offsets[node] : self.offsets[node + 1]]
+
+    def transpose(self) -> "CSR":
+        """The CSR of the inverse relation (targets become sources)."""
+        return CSR.from_relation(rel.swap(self.relation), self.n)
+
+    def adjacency_bitsets(self) -> dict[int, int]:
+        """Per-source successor bitsets (only sources with successors)."""
+        offsets, targets = self.offsets, self.targets
+        adjacency: dict[int, int] = {}
+        position = 0
+        for node in range(self.n):
+            end = offsets[node + 1]
+            if position < end:
+                bits = 0
+                while position < end:
+                    bits |= 1 << targets[position]
+                    position += 1
+                adjacency[node] = bits
+        return adjacency
+
+
+def _relation_bound(relation: Relation) -> int:
+    """``max id + 1`` over both columns (0 for the empty relation)."""
+    if not len(relation):
+        return 0
+    if _np() is not None and len(relation) >= rel._VECTOR_MIN:
+        return int(
+            max(rel._view(relation.src).max(), rel._view(relation.tgt).max())
+        ) + 1
+    return max(max(relation.src), max(relation.tgt)) + 1
+
+
+def _ids_bound(node_ids) -> int:
+    if isinstance(node_ids, range):
+        return (node_ids[-1] + 1) if len(node_ids) else 0
+    node_ids = list(node_ids)
+    return (max(node_ids) + 1) if node_ids else 0
+
+
+def dense_bound(node_ids, base: Relation) -> int:
+    """``max id + 1`` over ``node_ids`` and both relation columns.
+
+    Callers (the :mod:`repro.relation` wrappers) compute this once and
+    pass it to the kernels as ``bound``, so the hot path scans the
+    columns a single time.
+    """
+    return max(_ids_bound(node_ids), _relation_bound(base))
+
+
+def supports(node_ids, base: Relation) -> bool:
+    """Whether the id space is dense enough for bitset/CSR closure."""
+    return dense_bound(node_ids, base) <= MAX_DENSE_NODE
+
+
+# -- public kernels ------------------------------------------------------------
+
+
+def transitive_fixpoint(
+    node_ids, base: Relation, low: int, bound: int | None = None
+) -> Relation:
+    """``base^low ∪ base^{low+1} ∪ ...`` by frontier-based closure.
+
+    Semantics match :func:`repro.rpq.semantics.transitive_fixpoint`:
+    ``low == 0`` unions in the identity over ``node_ids``.  ``bound``
+    is an optional precomputed :func:`dense_bound`.
+    """
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    if not len(base):
+        return rel.identity(ids) if low == 0 else Relation.empty()
+    csr = CSR.from_relation(base, bound if bound is not None else dense_bound(ids, base))
+    reach = closure_bitsets(csr)
+    if low <= 1:
+        answers = reach
+    else:
+        answers = {}
+        for source, bits in _py_power_bitsets(csr, low).items():
+            total = bits
+            for node in _iter_bits(bits):
+                extension = reach.get(node)
+                if extension:
+                    total |= extension
+            answers[source] = total
+    return _emit_bitsets(answers, ids if low == 0 else None)
+
+
+def relation_power(
+    node_ids, base: Relation, exponent: int, bound: int | None = None
+) -> Relation:
+    """``base^exponent`` under composition (power 0 is the identity)."""
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    if exponent == 0:
+        return rel.identity(ids)
+    if not len(base):
+        return Relation.empty()
+    csr = CSR.from_relation(base, bound)
+    if _vectorize(len(base)):
+        power = _np_base_packed(csr)
+        for _ in range(exponent - 1):
+            if not len(power):
+                break
+            power = _np_step(csr, power)
+        return rel._unpack_np(power, Order.BY_SRC)
+    return _emit_bitsets(_py_power_bitsets(csr, exponent))
+
+
+def bounded_powers(
+    node_ids, base: Relation, low: int, high: int, bound: int | None = None
+) -> Relation:
+    """``base^low ∪ ... ∪ base^high`` with early saturation.
+
+    Mirrors the oracle exactly: the level set of each power is advanced
+    through the CSR, and iteration stops as soon as a whole power
+    repeats (powers over a finite node set are eventually periodic).
+    """
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    if not len(base):
+        return rel.identity(ids) if low == 0 else Relation.empty()
+    csr = CSR.from_relation(base, bound if bound is not None else dense_bound(ids, base))
+    if _vectorize(len(base)):
+        return _np_bounded_powers(csr, ids, low, high)
+    return _py_bounded_powers(csr, ids, low, high)
+
+
+# -- pure-Python path: big-int visited bitsets ---------------------------------
+
+
+def _iter_bits(bits: int):
+    """Set-bit positions of ``bits``, ascending."""
+    while bits:
+        lowest = bits & -bits
+        yield lowest.bit_length() - 1
+        bits ^= lowest
+
+
+def _postorder(csr: CSR) -> list[int]:
+    """DFS postorder over every node with successors.
+
+    Processing sources in this order means a source is closed only
+    after (almost) all of its successors are — exactly when the
+    finished-source absorption in :func:`closure_bitsets` pays off.
+    Only back edges of cycles escape it, and those are healed by the
+    absorption itself.
+    """
+    offsets, targets = csr.offsets, csr.targets
+    seen = bytearray(csr.n)
+    order: list[int] = []
+    for root in range(csr.n):
+        if seen[root] or offsets[root] == offsets[root + 1]:
+            continue
+        # Stack of (node, next position in its neighbor range).
+        seen[root] = 1
+        stack = [(root, offsets[root])]
+        while stack:
+            node, position = stack.pop()
+            end = offsets[node + 1]
+            advanced = False
+            while position < end:
+                successor = targets[position]
+                position += 1
+                if not seen[successor]:
+                    seen[successor] = 1
+                    if offsets[successor] != offsets[successor + 1]:
+                        stack.append((node, position))
+                        stack.append((successor, offsets[successor]))
+                        advanced = True
+                        break
+            if not advanced:
+                order.append(node)
+    return order
+
+
+def closure_bitsets(csr: CSR) -> dict[int, int]:
+    """``reach(s)`` (targets of paths of length >= 1) for every source.
+
+    Per-source breadth-first frontier expansion with two twists:
+
+    * visited sets are big-int bitsets, so membership and absorption are
+      word-parallel C operations;
+    * sources are closed in DFS postorder and a traversal that reaches
+      an already-*finished* source absorbs its whole closure with one
+      ``|=`` instead of re-walking it (finished closures are complete,
+      so this is exact even on cycles).
+    """
+    offsets, targets = csr.offsets, csr.targets
+    reach: dict[int, int] = {}
+    for source in _postorder(csr):
+        visited = 0
+        frontier: list[int] = []
+        for position in range(offsets[source], offsets[source + 1]):
+            node = targets[position]
+            bit = 1 << node
+            if visited & bit:
+                continue
+            visited |= bit
+            finished = reach.get(node)
+            if finished is not None:
+                visited |= finished
+            else:
+                frontier.append(node)
+        while frontier:
+            next_frontier: list[int] = []
+            for node in frontier:
+                for position in range(offsets[node], offsets[node + 1]):
+                    successor = targets[position]
+                    bit = 1 << successor
+                    if visited & bit:
+                        continue
+                    visited |= bit
+                    finished = reach.get(successor)
+                    if finished is not None:
+                        visited |= finished
+                    else:
+                        next_frontier.append(successor)
+            frontier = next_frontier
+        reach[source] = visited
+    return reach
+
+
+def _advance_levels(
+    adjacency: dict[int, int], power: dict[int, int]
+) -> dict[int, int]:
+    """One composition step: each source's level set through the edges."""
+    advanced: dict[int, int] = {}
+    for source, bits in power.items():
+        level = 0
+        for node in _iter_bits(bits):
+            step = adjacency.get(node)
+            if step:
+                level |= step
+        if level:
+            advanced[source] = level
+    return advanced
+
+
+def _py_power_bitsets(csr: CSR, exponent: int) -> dict[int, int]:
+    """Non-empty level sets of ``base^exponent`` (exponent >= 1)."""
+    adjacency = csr.adjacency_bitsets()
+    current = dict(adjacency)
+    for _ in range(exponent - 1):
+        if not current:
+            break
+        current = _advance_levels(adjacency, current)
+    return current
+
+
+def _py_bounded_powers(csr: CSR, ids, low: int, high: int) -> Relation:
+    adjacency = csr.adjacency_bitsets()
+    if low == 0:
+        power = {node: 1 << node for node in ids}
+    else:
+        power = _py_power_bitsets(csr, low)
+    accumulated = dict(power)
+    seen_powers = {frozenset(power.items())}
+    for _ in range(low, high):
+        if not power:
+            break
+        power = _advance_levels(adjacency, power)
+        for source, bits in power.items():
+            accumulated[source] = accumulated.get(source, 0) | bits
+        fingerprint = frozenset(power.items())
+        if fingerprint in seen_powers:
+            break
+        seen_powers.add(fingerprint)
+    return _emit_bitsets(accumulated)
+
+
+def _emit_bitsets(answers: dict[int, int], identity_ids=None) -> Relation:
+    """Bitsets -> a BY_SRC-sorted, duplicate-free columnar relation.
+
+    Sources are emitted ascending and each bitset decodes ascending, so
+    the output needs no further sort.  ``identity_ids`` additionally
+    unions in ``(n, n)`` for every listed node.
+    """
+    source_column = array("q")
+    target_column = array("q")
+    if identity_ids is None:
+        sources: Iterable[int] = sorted(
+            source for source, bits in answers.items() if bits
+        )
+        membership = None
+    else:
+        membership = (
+            identity_ids if isinstance(identity_ids, range) else set(identity_ids)
+        )
+        sources = sorted(
+            {source for source, bits in answers.items() if bits} | set(membership)
+        )
+    byte_bits = _BYTE_BITS
+    numpy = _np()
+    for source in sources:
+        bits = answers.get(source, 0)
+        if membership is not None and source in membership:
+            bits |= 1 << source
+        if not bits:
+            continue
+        # Skip leading zero bytes so narrow bitsets decode in O(range).
+        lowest = bits & -bits
+        start_byte = (lowest.bit_length() - 1) >> 3
+        if start_byte:
+            bits >>= start_byte << 3
+        base = start_byte << 3
+        data = bits.to_bytes((bits.bit_length() + 7) >> 3, "little")
+        before = len(target_column)
+        if numpy is not None and len(data) >= _WIDE_BITSET_BYTES:
+            # Wide set: materialize as a boolean vector in one C pass.
+            flags = numpy.unpackbits(
+                numpy.frombuffer(data, dtype=numpy.uint8), bitorder="little"
+            )
+            decoded = numpy.flatnonzero(flags)
+            if base:
+                decoded = decoded + base
+            target_column.frombytes(decoded.astype(numpy.int64).tobytes())
+        else:
+            for index, byte in enumerate(data):
+                if byte:
+                    origin = base + (index << 3)
+                    for offset in byte_bits[byte]:
+                        target_column.append(origin + offset)
+        source_column.extend([source] * (len(target_column) - before))
+    return Relation(source_column, target_column, Order.BY_SRC)
+
+
+# -- numpy path: blocked boolean visited matrices ------------------------------
+
+
+def _np_columns(csr: CSR):
+    numpy = _np()
+    offsets = numpy.frombuffer(csr.offsets, dtype=numpy.int64)
+    targets = numpy.frombuffer(csr.targets, dtype=numpy.int64)
+    return numpy, offsets, targets
+
+
+def _np_base_packed(csr: CSR):
+    sorted_rel = csr.relation
+    return rel._pack_np(rel._view(sorted_rel.src), rel._view(sorted_rel.tgt))
+
+
+def _np_step(csr: CSR, packed):
+    """One composition step ``packed ∘ base`` by offset-indexed expansion.
+
+    The delta-iteration ancestor did this with two ``searchsorted``
+    probes per round; the CSR makes the neighbor range of every middle
+    node a direct ``offsets`` gather.
+    """
+    numpy, offsets, targets = _np_columns(csr)
+    middles = (packed & _MASK).astype(numpy.int64)
+    starts = offsets[middles]
+    counts = offsets[middles + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return packed[:0]
+    heads = numpy.repeat(packed & ~numpy.uint64(_MASK), counts)
+    shifts = numpy.cumsum(counts) - counts
+    positions = (
+        numpy.arange(total, dtype=numpy.int64)
+        - numpy.repeat(shifts, counts)
+        + numpy.repeat(starts, counts)
+    )
+    produced = heads | targets[positions].astype(numpy.uint64)
+    return rel._np_sorted_unique(produced)
+
+
+def _np_identity_packed(numpy, ids):
+    if isinstance(ids, range):
+        column = numpy.arange(ids.start, ids.stop, ids.step, dtype=numpy.int64)
+    else:
+        column = numpy.fromiter(ids, dtype=numpy.int64, count=len(ids))
+    return rel._pack_np(column, column)
+
+
+def _np_bounded_powers(csr: CSR, ids, low: int, high: int) -> Relation:
+    numpy = _np()
+    if low == 0:
+        power = numpy.sort(_np_identity_packed(numpy, ids))
+    else:
+        power = _np_base_packed(csr)
+        for _ in range(low - 1):
+            if not len(power):
+                break
+            power = _np_step(csr, power)
+    levels = [power]
+    seen_powers = {power.tobytes()}
+    for _ in range(low, high):
+        if not len(power):
+            break
+        power = _np_step(csr, power)
+        levels.append(power)
+        fingerprint = power.tobytes()
+        if fingerprint in seen_powers:
+            break
+        seen_powers.add(fingerprint)
+    packed = rel._np_sorted_unique(numpy.concatenate(levels))
+    return rel._unpack_np(packed, Order.BY_SRC)

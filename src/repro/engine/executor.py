@@ -9,8 +9,13 @@ correct but explodes for large graphs, so when a (sub)expression's
 expansion would exceed the disjunct budget, evaluation falls back to
 structural recursion at that node — child results are still computed
 through the index/planner where possible, and recursion is closed with
-a delta-iteration fixpoint.  For the bounded queries of the paper's
-evaluation, the fallback never triggers.
+the frontier-based CSR fixpoint (:mod:`repro.csr`).  For the bounded
+queries of the paper's evaluation, the fallback never triggers.
+
+Every execution carries a :class:`~repro.engine.operators.ScanMemo`:
+repeated index scans and shared subplans across union disjuncts (and
+repeated AST subtrees in the fallback) are evaluated once, with
+hit/miss counts reported on :class:`ExecutionReport`.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from dataclasses import dataclass, field
 from repro import relation as rel
 from repro.errors import RewriteError
 from repro.engine.cost import CostedPlan
-from repro.engine.operators import execute
+from repro.engine.operators import ScanMemo, execute
 from repro.engine.planner import Planner, Strategy
 from repro.graph.graph import Graph
 from repro.graph.stats import star_bound
@@ -48,6 +53,11 @@ class ExecutionReport:
     planning_seconds: float
     execution_seconds: float
     used_fallback: bool
+    #: Scan-memo traffic for this execution: results served from the
+    #: per-execution memo vs distinct subproblems computed (plan
+    #: subtrees, and AST subtrees in the hybrid fallback).
+    scan_memo_hits: int = 0
+    scan_memo_misses: int = 0
     _pairs: frozenset | None = field(
         default=None, repr=False, compare=False
     )
@@ -74,13 +84,21 @@ def evaluate_normal_form(
     graph: Graph,
     statistics,
     strategy: Strategy,
+    memo: ScanMemo | None = None,
 ) -> ExecutionReport:
-    """Plan and execute a query already in normal form."""
+    """Plan and execute a query already in normal form.
+
+    ``memo`` shares a scan memo with an enclosing execution (the hybrid
+    fallback passes its own so disjuncts of *different* bounded subtrees
+    still share scans); by default each call gets a fresh one.
+    """
+    if memo is None:
+        memo = ScanMemo()
     planner = Planner(index.k, statistics, graph, strategy)
     started = time.perf_counter()
     costed = planner.plan(normal_form)
     planned = time.perf_counter()
-    pairs = execute(costed.plan, index, graph)
+    pairs = execute(costed.plan, index, graph, memo)
     finished = time.perf_counter()
     return ExecutionReport(
         strategy=strategy,
@@ -89,6 +107,8 @@ def evaluate_normal_form(
         planning_seconds=planned - started,
         execution_seconds=finished - planned,
         used_fallback=False,
+        scan_memo_hits=memo.hits,
+        scan_memo_misses=memo.misses,
     )
 
 
@@ -102,9 +122,12 @@ def evaluate_ast(
 ) -> ExecutionReport:
     """Evaluate an arbitrary RPQ AST through the index where possible."""
     started = time.perf_counter()
+    memo = ScanMemo()
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
-        report = evaluate_normal_form(normal_form, index, graph, statistics, strategy)
+        report = evaluate_normal_form(
+            normal_form, index, graph, statistics, strategy, memo
+        )
         # Fold rewrite time into planning time.
         rewrite_seconds = time.perf_counter() - started
         rewrite_seconds -= report.planning_seconds + report.execution_seconds
@@ -115,8 +138,12 @@ def evaluate_ast(
             planning_seconds=report.planning_seconds + max(rewrite_seconds, 0.0),
             execution_seconds=report.execution_seconds,
             used_fallback=False,
+            scan_memo_hits=report.scan_memo_hits,
+            scan_memo_misses=report.scan_memo_misses,
         )
-    pairs = _hybrid(push_inverse(node), index, graph, statistics, strategy, max_disjuncts)
+    pairs = _hybrid(
+        push_inverse(node), index, graph, statistics, strategy, max_disjuncts, memo
+    )
     finished = time.perf_counter()
     return ExecutionReport(
         strategy=strategy,
@@ -125,6 +152,8 @@ def evaluate_ast(
         planning_seconds=0.0,
         execution_seconds=finished - started,
         used_fallback=True,
+        scan_memo_hits=memo.hits,
+        scan_memo_misses=memo.misses,
     )
 
 
@@ -142,16 +171,47 @@ def _hybrid(
     statistics,
     strategy: Strategy,
     max_disjuncts: int,
+    memo: ScanMemo | None = None,
 ) -> Relation:
     """Structural evaluation with planner acceleration on bounded parts.
 
-    Recursion is closed with columnar delta iteration
-    (:func:`repro.relation.transitive_fixpoint`); every intermediate is
-    an array-backed :class:`~repro.relation.Relation`.
+    Recursion (``Star`` / open ``Repeat``) is closed with the
+    frontier-based CSR engine (:mod:`repro.csr`, reached through
+    :func:`repro.relation.transitive_fixpoint`); every intermediate is
+    an array-backed :class:`~repro.relation.Relation`.  One
+    :class:`ScanMemo` spans the whole traversal: repeated AST subtrees
+    (the normalized ``(a|b)*`` shape repeats its base under every
+    disjunct) and repeated plan subtrees inside bounded parts are each
+    evaluated once.
     """
+    if memo is None:
+        memo = ScanMemo()
+    cached = memo.asts.get(node)
+    if cached is not None:
+        memo.hits += 1
+        return cached
+    memo.misses += 1
+    result = _hybrid_uncached(
+        node, index, graph, statistics, strategy, max_disjuncts, memo
+    )
+    memo.asts[node] = result
+    return result
+
+
+def _hybrid_uncached(
+    node: Node,
+    index: PathIndex,
+    graph: Graph,
+    statistics,
+    strategy: Strategy,
+    max_disjuncts: int,
+    memo: ScanMemo,
+) -> Relation:
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
-        report = evaluate_normal_form(normal_form, index, graph, statistics, strategy)
+        report = evaluate_normal_form(
+            normal_form, index, graph, statistics, strategy, memo
+        )
         return report.relation
 
     if isinstance(node, Epsilon):
@@ -160,30 +220,37 @@ def _hybrid(
         return index.scan(_single_step_path(node))
     if isinstance(node, Inverse):
         return _hybrid(
-            push_inverse(node), index, graph, statistics, strategy, max_disjuncts
+            push_inverse(node), index, graph, statistics, strategy,
+            max_disjuncts, memo,
         )
     if isinstance(node, Concat):
         result = _hybrid(
-            node.parts[0], index, graph, statistics, strategy, max_disjuncts
+            node.parts[0], index, graph, statistics, strategy, max_disjuncts, memo
         )
         for part in node.parts[1:]:
             if not result:
                 return Relation.empty()
             result = rel.compose(
                 result,
-                _hybrid(part, index, graph, statistics, strategy, max_disjuncts),
+                _hybrid(
+                    part, index, graph, statistics, strategy, max_disjuncts, memo
+                ),
             )
         return result
     if isinstance(node, Union):
         return rel.union(
-            _hybrid(part, index, graph, statistics, strategy, max_disjuncts)
+            _hybrid(part, index, graph, statistics, strategy, max_disjuncts, memo)
             for part in node.parts
         )
     if isinstance(node, Star):
-        base = _hybrid(node.child, index, graph, statistics, strategy, max_disjuncts)
+        base = _hybrid(
+            node.child, index, graph, statistics, strategy, max_disjuncts, memo
+        )
         return rel.transitive_fixpoint(graph.node_ids(), base, low=0)
     if isinstance(node, Repeat):
-        base = _hybrid(node.child, index, graph, statistics, strategy, max_disjuncts)
+        base = _hybrid(
+            node.child, index, graph, statistics, strategy, max_disjuncts, memo
+        )
         if node.high is None:
             return rel.transitive_fixpoint(graph.node_ids(), base, low=node.low)
         return rel.bounded_powers(graph.node_ids(), base, node.low, node.high)

@@ -14,6 +14,14 @@ Sort orders are validated twice: statically against the plan's declared
 :class:`~repro.relation.Order` and dynamically against the order each
 child relation actually carries, so a mis-planned merge join fails loud
 instead of returning garbage.
+
+:func:`execute` optionally threads a :class:`ScanMemo` — a
+per-execution memo table over plan subtrees.  Normalized queries
+routinely share work between union disjuncts (``R{1,3}`` plans the
+``R`` scan three times; ``(a|b)*``-style expansions repeat whole join
+subtrees), and plan nodes are immutable, hashable value objects, so
+each distinct subtree is scanned/joined once per execution and every
+repeat is a dictionary hit.
 """
 
 from __future__ import annotations
@@ -52,8 +60,61 @@ def hash_join(left, right) -> Relation:
     return rel.hash_join(Relation.coerce(left), Relation.coerce(right))
 
 
-def execute(plan: PlanNode, index: PathIndex, graph: Graph) -> Relation:
-    """Run a plan tree, returning the (deduplicated) result relation."""
+class ScanMemo:
+    """Per-execution memo over plan subtrees (and hybrid AST subtrees).
+
+    ``plans`` maps each executed :class:`PlanNode` to its result
+    relation; ``asts`` does the same for AST nodes the hybrid fallback
+    evaluates structurally.  Relations are immutable by convention, so
+    a memoized result can be handed to every consumer without copying.
+
+    ``hits`` counts results served from the memo; ``misses`` counts
+    distinct subproblems actually computed.  Both are surfaced on
+    :class:`repro.engine.executor.ExecutionReport` and aggregated by
+    :meth:`repro.api.GraphDatabase.cache_info`.
+    """
+
+    __slots__ = ("plans", "asts", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.plans: dict[PlanNode, Relation] = {}
+        self.asts: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ScanMemo(entries={len(self.plans) + len(self.asts)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def execute(
+    plan: PlanNode,
+    index: PathIndex,
+    graph: Graph,
+    memo: ScanMemo | None = None,
+) -> Relation:
+    """Run a plan tree, returning the (deduplicated) result relation.
+
+    With a ``memo``, every subtree result — index scans first among
+    them — is computed at most once per execution.
+    """
+    if memo is not None:
+        cached = memo.plans.get(plan)
+        if cached is not None:
+            memo.hits += 1
+            return cached
+        memo.misses += 1
+    result = _run(plan, index, graph, memo)
+    if memo is not None:
+        memo.plans[plan] = result
+    return result
+
+
+def _run(
+    plan: PlanNode, index: PathIndex, graph: Graph, memo: ScanMemo | None
+) -> Relation:
     if isinstance(plan, IndexScanPlan):
         if plan.via_inverse:
             return _checked(plan, index.scan_swapped(plan.path))
@@ -61,14 +122,14 @@ def execute(plan: PlanNode, index: PathIndex, graph: Graph) -> Relation:
     if isinstance(plan, IdentityPlan):
         return _checked(plan, rel.identity(graph.node_ids()))
     if isinstance(plan, JoinPlan):
-        left = execute(plan.left, index, graph)
-        right = execute(plan.right, index, graph)
+        left = execute(plan.left, index, graph, memo)
+        right = execute(plan.right, index, graph, memo)
         if plan.algorithm == "merge":
             _check_merge_inputs(plan)
             return rel.merge_join(left, right)
         return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
-        return rel.union(execute(part, index, graph) for part in plan.parts)
+        return rel.union(execute(part, index, graph, memo) for part in plan.parts)
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
 

@@ -16,8 +16,11 @@ this module replaces that with a single *columnar* representation:
   keys (cheap int hashing, no tuple allocation) and exploit tracked
   sort orders instead of re-sorting.
 * columnar recursion — :func:`transitive_fixpoint`,
-  :func:`bounded_powers`, :func:`relation_power` — delta iteration over
-  packed pair sets, used by the executor's hybrid fallback.
+  :func:`bounded_powers`, :func:`relation_power` — frontier-based
+  semi-naive closure over a compressed-sparse-row adjacency
+  (:mod:`repro.csr`), used by the executor's hybrid fallback.  The
+  PR-1 packed-pair delta iteration survives as ``delta_*`` twins so the
+  closure benchmark can keep measuring the speedup against it.
 
 Representation contract
 -----------------------
@@ -207,8 +210,8 @@ class Relation:
     def packed(self) -> Iterator[int]:
         """The pairs as packed ``src << 32 | tgt`` integers."""
         shift = _SHIFT
-        for i, a in enumerate(self.src):
-            yield (a << shift) | self.tgt[i]
+        for a, b in zip(self.src, self.tgt):
+            yield (a << shift) | b
 
     # -- order-aware views ------------------------------------------------
 
@@ -262,6 +265,23 @@ def _pack_np(high, low):
     return (high.astype(_np.uint64) << _SHIFT) | low.astype(_np.uint64)
 
 
+def _np_sorted_unique(values):
+    """Sorted distinct values of a 1-d key vector.
+
+    Semantically ``np.unique``, but sort + shift-compare directly:
+    ``np.unique`` carries ~150µs of Python-level dispatch overhead per
+    call, which dominated small-input kernels (the 1k-row ``union``
+    regression) and the per-round cost of frontier expansion.
+    """
+    if len(values) <= 1:
+        return values
+    values = _np.sort(values)
+    keep = _np.empty(len(values), dtype=bool)
+    keep[0] = True
+    _np.not_equal(values[1:], values[:-1], out=keep[1:])
+    return values[keep]
+
+
 def _unpack_np(packed, order: Order) -> Relation:
     high = (packed >> _SHIFT).astype(_np.int64)
     low = (packed & _MASK).astype(_np.int64)
@@ -311,7 +331,7 @@ def _np_compose(left: Relation, right: Relation) -> Relation:
         packed = _pack_np(probe_emitted, build_emitted)
     else:
         packed = _pack_np(build_emitted, probe_emitted)
-    return _unpack_np(_np.unique(packed), Order.BY_SRC)
+    return _unpack_np(_np_sorted_unique(packed), Order.BY_SRC)
 
 
 def _np_membership(sorted_keys, candidates):
@@ -340,7 +360,7 @@ def _np_expand(delta_packed, base_src, base_tgt):
         + _np.repeat(starts, counts)
     )
     produced = heads | base_tgt[positions].astype(_np.uint64)
-    return _np.unique(produced)
+    return _np_sorted_unique(produced)
 
 
 def _np_base_columns(base: Relation):
@@ -362,7 +382,7 @@ def dedup_sort(relation: Relation, order: Order = Order.BY_SRC) -> Relation:
             packed = _pack_np(tgt, src)
         else:
             packed = _pack_np(src, tgt)
-        return _unpack_np(_np.unique(packed), order)
+        return _unpack_np(_np_sorted_unique(packed), order)
     if order is Order.BY_TGT:
         keys = {
             (relation.tgt[i] << _SHIFT) | relation.src[i]
@@ -483,15 +503,25 @@ def compose(left: Relation, right: Relation) -> Relation:
 
 
 def union(parts: Iterable[Relation]) -> Relation:
-    """Duplicate-eliminating union, emitted sorted by source."""
+    """Duplicate-eliminating union, emitted sorted by source.
+
+    Below the vectorization crossover (``_VECTOR_MIN`` input rows) a
+    plain packed-set union runs instead — fixed numpy dispatch overhead
+    loses to a C-speed ``set`` at small sizes.  A union of one already
+    ``BY_SRC``-sorted part (the common single-disjunct plan) is
+    returned as-is, zero-copy.
+    """
     parts = [part for part in parts if len(part)]
     if not parts:
         return Relation.empty(Order.BY_SRC)
+    if len(parts) == 1:
+        only = parts[0]
+        return only if only.order is Order.BY_SRC else dedup_sort(only)
     if _vectorize(sum(len(part) for part in parts)):
         packed = _np.concatenate(
             [_pack_np(_view(part.src), _view(part.tgt)) for part in parts]
         )
-        return _unpack_np(_np.unique(packed), Order.BY_SRC)
+        return _unpack_np(_np_sorted_unique(packed), Order.BY_SRC)
     keys: set[int] = set()
     for part in parts:
         keys.update(part.packed())
@@ -507,7 +537,60 @@ def _from_packed_unordered(keys: set[int]) -> Relation:
     return Relation(src, tgt, Order.NONE)
 
 
-# -- recursion (delta iteration over packed pair sets) -------------------------
+# -- recursion -----------------------------------------------------------------
+#
+# The public kernels delegate to the frontier-based CSR closure engine
+# (:mod:`repro.csr`) whenever the id space is dense (graph-interned ids
+# always are).  The PR-1 packed-pair delta iteration below is kept both
+# as the fallback for sparse id spaces and as the stable baseline the
+# closure benchmark (``benchmarks/bench_closure.py``) measures against.
+
+
+def transitive_fixpoint(
+    node_ids: Iterable[int], base: Relation, low: int
+) -> Relation:
+    """``base^low ∪ base^{low+1} ∪ ...`` to fixpoint.
+
+    Runs as per-source frontier expansion over a CSR adjacency
+    (:func:`repro.csr.transitive_fixpoint`); falls back to packed-pair
+    delta iteration when ids are too sparse for bitsets.
+    """
+    from repro import csr
+
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    bound = csr.dense_bound(ids, base)
+    if bound <= csr.MAX_DENSE_NODE:
+        return csr.transitive_fixpoint(ids, base, low, bound)
+    return delta_transitive_fixpoint(ids, base, low)
+
+
+def relation_power(
+    node_ids: Iterable[int], base: Relation, exponent: int
+) -> Relation:
+    """``base^exponent`` under composition (power 0 is the identity)."""
+    from repro import csr
+
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    bound = csr.dense_bound(ids, base)
+    if bound <= csr.MAX_DENSE_NODE:
+        return csr.relation_power(ids, base, exponent, bound)
+    return delta_relation_power(ids, base, exponent)
+
+
+def bounded_powers(
+    node_ids: Iterable[int], base: Relation, low: int, high: int
+) -> Relation:
+    """``base^low ∪ ... ∪ base^high`` with early saturation."""
+    from repro import csr
+
+    ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+    bound = csr.dense_bound(ids, base)
+    if bound <= csr.MAX_DENSE_NODE:
+        return csr.bounded_powers(ids, base, low, high, bound)
+    return delta_bounded_powers(ids, base, low, high)
+
+
+# -- delta iteration over packed pair sets (pre-CSR baseline) ------------------
 
 
 def _adjacency(base: Relation) -> dict[int, list[int]]:
@@ -537,7 +620,7 @@ def _expand(
     return fresh
 
 
-def transitive_fixpoint(
+def delta_transitive_fixpoint(
     node_ids: Iterable[int], base: Relation, low: int
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` by packed delta iteration.
@@ -556,7 +639,7 @@ def transitive_fixpoint(
         else:
             accumulated = set(delta)
     else:
-        power = relation_power(node_ids, base, low)
+        power = delta_relation_power(node_ids, base, low)
         accumulated = set(power.packed())
         delta = list(accumulated)
     while delta:
@@ -564,7 +647,7 @@ def transitive_fixpoint(
     return _from_packed_sorted(sorted(accumulated), Order.BY_SRC)
 
 
-def relation_power(
+def delta_relation_power(
     node_ids: Iterable[int], base: Relation, exponent: int
 ) -> Relation:
     """``base^exponent`` under composition (power 0 is the identity)."""
@@ -578,7 +661,7 @@ def relation_power(
     return result
 
 
-def bounded_powers(
+def delta_bounded_powers(
     node_ids: Iterable[int], base: Relation, low: int, high: int
 ) -> Relation:
     """``base^low ∪ ... ∪ base^high`` with early saturation.
@@ -589,7 +672,7 @@ def bounded_powers(
     if _vectorize(len(base)):
         return _np_bounded_powers(node_ids, base, low, high)
     by_source = _adjacency(base)
-    power = set(relation_power(node_ids, base, low).packed())
+    power = set(delta_relation_power(node_ids, base, low).packed())
     accumulated = set(power)
     seen_powers: set[frozenset] = {frozenset(power)}
     for _ in range(low, high):
@@ -625,7 +708,7 @@ def _np_transitive_fixpoint(
         accumulated = base_packed
         delta = base_packed
     else:
-        power = relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
+        power = delta_relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
         accumulated = _pack_np(_view(power.src), _view(power.tgt))
         delta = accumulated
     while len(delta):
@@ -642,7 +725,7 @@ def _np_bounded_powers(
     node_ids: Iterable[int], base: Relation, low: int, high: int
 ) -> Relation:
     base_src, base_tgt = _np_base_columns(base)
-    start = relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
+    start = delta_relation_power(node_ids, base, low).sorted_by(Order.BY_SRC)
     power = _pack_np(_view(start.src), _view(start.tgt))
     accumulated = power
     seen_powers = {power.tobytes()}

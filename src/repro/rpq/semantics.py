@@ -7,11 +7,12 @@ automaton baseline, the Datalog baseline) is tested for equality
 against :func:`eval_ast` on randomized inputs.
 
 It deliberately stays tuple-set based: the engine's hot paths use the
-columnar array-backed twins in :mod:`repro.relation`
-(``compose``/``bounded_powers``/``transitive_fixpoint`` over packed
-int64 pairs), and those kernels are property-tested against the set
-implementations here.  Keep the two in sync semantically, never share
-code between them.
+columnar array-backed twins in :mod:`repro.relation` (packed-int64
+joins) and, for ``Star``/``Repeat``, the frontier-based CSR closure in
+:mod:`repro.csr` — and those kernels are property-tested against the
+set implementations here.  That independence is the point: routing this
+module through the engine's kernels would make the oracle circular, so
+keep the two in sync semantically and never share code between them.
 """
 
 from __future__ import annotations

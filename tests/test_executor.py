@@ -107,3 +107,76 @@ class TestEvaluateAst:
             node, index, graph, stats, Strategy.SEMI_NAIVE, max_disjuncts=2
         )
         assert set(report.pairs) == reference_eval(graph, node)
+
+
+class _CountingIndex:
+    """A PathIndex proxy counting how often each leaf scan really runs."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.scans = 0
+
+    @property
+    def k(self):
+        return self._inner.k
+
+    def scan(self, path):
+        self.scans += 1
+        return self._inner.scan(path)
+
+    def scan_swapped(self, path):
+        self.scans += 1
+        return self._inner.scan_swapped(path)
+
+
+class TestScanMemo:
+    """The per-execution memo over plan (and hybrid AST) subtrees."""
+
+    def test_union_of_disjuncts_scans_each_path_once(self, setup):
+        """knows{1,3} plans the knows scan under every disjunct; with
+        the memo each distinct (path, direction) hits the index once."""
+        graph, index, stats = setup
+        counting = _CountingIndex(index)
+        node = parse("knows{1,3}")
+        normal = normalize(node, star_bound_value=8)
+        report = evaluate_normal_form(
+            normal, counting, graph, stats, Strategy.NAIVE
+        )
+        distinct_scans = {
+            (plan.path, plan.via_inverse)
+            for plan in _walk_plans(report.plan.plan)
+        }
+        assert counting.scans == len(distinct_scans)
+        assert report.scan_memo_hits > 0
+        assert report.scan_memo_misses > 0
+        assert set(report.pairs) == reference_eval(graph, node)
+
+    def test_counters_zero_without_sharing(self, setup):
+        graph, index, stats = setup
+        normal = normalize(parse("knows/worksFor"), star_bound_value=8)
+        report = evaluate_normal_form(
+            normal, index, graph, stats, Strategy.SEMI_NAIVE
+        )
+        assert report.scan_memo_hits == 0
+        assert report.scan_memo_misses > 0
+
+    def test_fallback_shares_repeated_subtrees(self, setup):
+        """The hybrid fallback memoizes repeated AST subtrees: the same
+        starred base appears under both union branches."""
+        graph, index, stats = setup
+        node = parse("(knows|worksFor)*/supervisor | (knows|worksFor)*")
+        report = evaluate_ast(
+            node, index, graph, stats, Strategy.SEMI_NAIVE, max_disjuncts=4
+        )
+        assert report.used_fallback
+        assert report.scan_memo_hits > 0
+        assert set(report.pairs) == reference_eval(graph, node)
+
+
+def _walk_plans(plan):
+    from repro.engine.plan import IndexScanPlan
+
+    if isinstance(plan, IndexScanPlan):
+        yield plan
+    for child in plan.children():
+        yield from _walk_plans(child)

@@ -99,6 +99,43 @@ class TestCacheHits:
         assert database.cache_info()["pairs"] == 0
 
 
+class TestScanMemoCounters:
+    """cache_info() also surfaces the executor's per-execution scan memo."""
+
+    def test_memo_fires_on_a_union_of_disjuncts_query(self):
+        """knows{1,3} normalizes to a union of three disjuncts that all
+        scan the knows path — the memo must serve the repeats."""
+        database = _database()
+        before = database.cache_info()
+        assert before["scan_memo_hits"] == 0
+        result = database.query("knows{1,3}", method="naive")
+        assert result.report.scan_memo_hits > 0
+        info = database.cache_info()
+        assert info["scan_memo_hits"] == result.report.scan_memo_hits
+        assert info["scan_memo_misses"] == result.report.scan_memo_misses
+
+    def test_counters_accumulate_across_queries(self):
+        database = _database()
+        first = database.query("knows{1,2}", method="naive")
+        second = database.query("worksFor{1,2}", method="naive")
+        info = database.cache_info()
+        assert info["scan_memo_hits"] == (
+            first.report.scan_memo_hits + second.report.scan_memo_hits
+        )
+        assert info["scan_memo_misses"] == (
+            first.report.scan_memo_misses + second.report.scan_memo_misses
+        )
+
+    def test_cached_answers_do_not_touch_the_memo_counters(self):
+        database = _database()
+        database.query("knows{1,3}", method="naive")
+        after_first = database.cache_info()
+        assert database.query("knows{1,3}", method="naive").cached
+        info = database.cache_info()
+        assert info["scan_memo_hits"] == after_first["scan_memo_hits"]
+        assert info["scan_memo_misses"] == after_first["scan_memo_misses"]
+
+
 class TestInvalidation:
     def test_stale_results_never_served_after_mutation(self):
         """The regression test: mutate, rebuild, query — answers are fresh."""

@@ -150,6 +150,16 @@ class TestKernelsMatchOracle:
         assert result.to_set() == set(a) | set(b) | set(c)
         assert result.pairs() == sorted(result.to_set())
 
+    def test_union_of_one_sorted_part_is_zero_copy(self, pure_python):
+        """The single-disjunct fast path: already BY_SRC → returned as-is."""
+        part = by_src([(1, 2), (3, 4)])
+        with forced_path(pure_python):
+            assert rel.union([part]) is part
+            assert rel.union([part, Relation.empty()]) is part
+            shuffled = rel.union([Relation.from_pairs([(3, 4), (1, 2), (3, 4)])])
+        assert shuffled.order is Order.BY_SRC
+        assert shuffled.pairs() == [(1, 2), (3, 4)]
+
     @settings(max_examples=60, deadline=None)
     @given(PAIRS)
     def test_dedup_sort_both_orders(self, pure_python, pairs):
