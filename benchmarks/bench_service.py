@@ -1,0 +1,174 @@
+"""Service-layer ablation: ``query_batch`` vs a sequential ``query()`` loop.
+
+The concurrent service layer answers a batch of queries with three
+mechanisms a plain loop lacks: key-level dedup (identical queries in
+the batch execute once), a batch-wide shared scan memo (a plan subtree
+appearing under any number of queries is computed once), and optional
+fan-out over a thread pool.  This benchmark measures all three on the
+shared-subplan workload from
+:func:`repro.bench.workloads.service_batch_queries` — a skewed draw of
+2-/3-step label paths over the Advogato-like graph, the shape of heavy
+repeated traffic.
+
+Both sides run with ``use_cache=False``: the whole-answer LRU would
+otherwise absorb exact repeats and measure nothing but itself.  What is
+compared is pure execution of the same query list.
+
+Run directly to print a table and export ``BENCH_service.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # small
+
+or under pytest (smoke rows plus the >= 1.5x acceptance gate)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.export import write_json
+from repro.bench.workloads import advogato_workload, service_batch_queries
+
+#: (scale, batch size) of the full and smoke sweeps.  The acceptance
+#: gate runs on the smoke configuration so CI stays fast.
+FULL_CONFIG = ("bench", 200)
+SMOKE_CONFIG = ("small", 120)
+WORKER_COUNTS = (1, 2, 4)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceRow:
+    """One batched-vs-loop comparison on the shared-subplan workload."""
+
+    mode: str  # "sequential-loop" or "batch"
+    workers: int  # 0 for the loop
+    scale: str
+    queries: int
+    distinct: int
+    seconds: float
+    loop_seconds: float
+
+    @property
+    def speedup_vs_loop(self) -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return self.loop_seconds / self.seconds
+
+
+def _timed(callable_):
+    gc.collect()
+    started = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - started, result
+
+
+def compare_service(
+    scale: str = SMOKE_CONFIG[0],
+    count: int = SMOKE_CONFIG[1],
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+) -> list[ServiceRow]:
+    """Time the loop and the batch at each worker count; check answers."""
+    prepared = advogato_workload(scale=scale, ks=(2,))
+    database = prepared.database(2)
+    queries = service_batch_queries(count)
+    distinct = len(set(queries))
+
+    loop_seconds, loop_results = _timed(
+        lambda: [
+            database.query(query, use_cache=False) for query in queries
+        ]
+    )
+    rows = [
+        ServiceRow(
+            mode="sequential-loop",
+            workers=0,
+            scale=scale,
+            queries=count,
+            distinct=distinct,
+            seconds=loop_seconds,
+            loop_seconds=loop_seconds,
+        )
+    ]
+    expected = [result.pairs for result in loop_results]
+    for workers in worker_counts:
+        batch_seconds, batch_results = _timed(
+            lambda: database.query_batch(
+                queries, use_cache=False, workers=workers
+            )
+        )
+        assert [result.pairs for result in batch_results] == expected
+        rows.append(
+            ServiceRow(
+                mode="batch",
+                workers=workers,
+                scale=scale,
+                queries=count,
+                distinct=distinct,
+                seconds=batch_seconds,
+                loop_seconds=loop_seconds,
+            )
+        )
+    return rows
+
+
+def export_rows(
+    rows: list[ServiceRow], path: str | Path = "BENCH_service.json"
+) -> Path:
+    """Write the comparison as a standard experiment export."""
+    write_json(rows, path, experiment="service-batch-ablation")
+    return Path(path)
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_smoke_rows_agree_and_export(tmp_path):
+    """Smoke mode: batch answers equal the loop's, export round-trips."""
+    rows = compare_service()
+    path = export_rows(rows, tmp_path / "BENCH_service.json")
+    from repro.bench.export import read_json
+
+    payload = read_json(path)
+    assert payload["experiment"] == "service-batch-ablation"
+    assert len(payload["rows"]) == 1 + len(WORKER_COUNTS)
+    assert all("speedup_vs_loop" in row for row in payload["rows"])
+
+
+def test_batch_at_least_1_5x(tmp_path):
+    """Acceptance: query_batch >= 1.5x a sequential query() loop on the
+    shared-subplan workload (the ISSUE-3 service-layer gate)."""
+    rows = compare_service()
+    export_rows(rows, tmp_path / "BENCH_service.json")
+    gate = next(row for row in rows if row.mode == "batch" and row.workers == 1)
+    assert gate.speedup_vs_loop >= 1.5, (
+        f"query_batch only {gate.speedup_vs_loop:.2f}x over the "
+        f"sequential loop"
+    )
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    scale, count = SMOKE_CONFIG if smoke else FULL_CONFIG
+    rows = compare_service(scale=scale, count=count)
+    print(
+        f"{'mode':<18}{'workers':>8}{'queries':>9}{'distinct':>10}"
+        f"{'seconds':>10}{'vs loop':>9}"
+    )
+    for row in rows:
+        print(
+            f"{row.mode:<18}{row.workers:>8}{row.queries:>9}"
+            f"{row.distinct:>10}{row.seconds:>10.3f}"
+            f"{row.speedup_vs_loop:>8.1f}x"
+        )
+    path = export_rows(rows)
+    print(f"\nwrote {path.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,17 +17,26 @@ Example
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.baselines import automaton_eval, datalog_eval, reachability_eval
-from repro.engine.executor import ExecutionReport, evaluate_ast
+from repro.concurrency import ReadWriteLock
+from repro.engine.executor import (
+    ExecutionReport,
+    evaluate_ast,
+    execute_prepared,
+    prepare_ast,
+)
+from repro.engine.operators import SharedScanMemo
 from repro.engine.plan import render
 from repro.engine.planner import Planner, Strategy
-from repro.errors import ValidationError
+from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.io import load_csv, load_edgelist, load_json
 from repro.graph.stats import GraphSummary, star_bound, summarize
@@ -47,7 +56,13 @@ BASELINE_METHODS = ("automaton", "dfa", "datalog", "reachability", "reference")
 
 @dataclass(frozen=True, slots=True)
 class QueryResult:
-    """The answer to one query plus how it was obtained."""
+    """The answer to one query plus how it was obtained.
+
+    ``version`` is the graph version the answer was computed (or
+    cached) against — the consistency token of the concurrent service
+    layer: a result tagged ``version=v`` is exactly the single-threaded
+    answer over the graph as of version ``v``.
+    """
 
     query: str
     method: str
@@ -55,6 +70,7 @@ class QueryResult:
     seconds: float
     report: ExecutionReport | None = None
     cached: bool = False
+    version: int = -1
 
     def __len__(self) -> int:
         return len(self.pairs)
@@ -87,6 +103,16 @@ class GraphDatabase:
         self._index: PathIndex | None = None
         self._histogram: EquiDepthHistogram | None = None
         self._exact_statistics: ExactStatistics | None = None
+        # Concurrency model: queries are readers, mutations and index
+        # rebuilds are writers.  The RW lock makes (version snapshot,
+        # cache probe, execution, cache store) one atomic read section
+        # — a writer can never interleave between computing a cache key
+        # and reading the index, so a served answer always matches the
+        # version it is keyed under.  The cache mutex guards the LRU
+        # OrderedDict and every counter (reads reorder the LRU, so even
+        # lookups are writes).
+        self._lock = ReadWriteLock()
+        self._cache_lock = threading.Lock()
         # LRU cache over fully answered queries, keyed on
         # (query, method, statistics flavor, disjunct budget, graph
         # version) so graph mutations can never serve stale answers;
@@ -137,27 +163,86 @@ class GraphDatabase:
     def build_index(self) -> PathIndex:
         """(Re)build the k-path index and both statistics providers.
 
-        Invalidates the query cache: any cached answer may predate the
-        graph state this index now reflects.
+        Runs as a writer: in-flight queries finish first, and no query
+        observes a half-replaced index/histogram pair.  Invalidates the
+        query cache: any cached answer may predate the graph state this
+        index now reflects.
+        """
+        with self._lock.write_locked():
+            return self._build_index_locked()
+
+    def _build_index_locked(self) -> PathIndex:
+        """Rebuild index + statistics; caller holds the write lock.
+
+        Built into locals and swapped in only on success, so a failed
+        rebuild never leaves a half-replaced index/statistics triple.
+        The disk backend is the exception that forces destruction
+        first: its B+tree only bulk-loads into an empty file, so the
+        old backend is released (and the file removed) before the
+        build — on failure every handle is cleared and queries raise
+        the clean "index unavailable" error until a rebuild succeeds.
         """
         self.cache_clear()
-        self._index = PathIndex.build(
-            self.graph, self.k, backend=self._backend, path=self._index_path
-        )
-        self._exact_statistics = ExactStatistics.from_index(self._index, self.graph)
-        self._histogram = EquiDepthHistogram.from_counts(
-            self._index.counts_by_path(),
-            k=self.k,
-            total_paths_k=self._exact_statistics.total_paths_k,
-            buckets=self._histogram_buckets,
-        )
-        return self._index
+        old_index = self._index
+        try:
+            if self._backend == "disk":
+                if old_index is not None:
+                    # Clear the handle before close: if the close
+                    # itself dies, the stale pre-mutation index must
+                    # not stay installed behind the mutated graph.
+                    self._index = None
+                    closing, old_index = old_index, None
+                    closing.close()
+                # Unconditional: a previously *failed* build leaves a
+                # partial non-empty file behind with no live index — it
+                # must be removed too, or every retry dies in bulk_load.
+                if self._index_path is not None:
+                    Path(self._index_path).unlink(missing_ok=True)
+            index = PathIndex.build(
+                self.graph, self.k, backend=self._backend,
+                path=self._index_path,
+            )
+            exact_statistics = ExactStatistics.from_index(index, self.graph)
+            histogram = EquiDepthHistogram.from_counts(
+                index.counts_by_path(),
+                k=self.k,
+                total_paths_k=exact_statistics.total_paths_k,
+                buckets=self._histogram_buckets,
+            )
+        except BaseException:
+            # Never leave a stale or partial triple behind a mutated
+            # graph: clear everything so _ensure_built can rebuild and
+            # in-flight readers fail loudly instead of answering from
+            # pre-mutation state.
+            self._index = None
+            self._exact_statistics = None
+            self._histogram = None
+            raise
+        self._index = index
+        self._exact_statistics = exact_statistics
+        self._histogram = histogram
+        if old_index is not None:
+            old_index.close()
+        return index
+
+    def _ensure_built(self) -> None:
+        """Resolve lazy build *before* entering a read section.
+
+        The RW lock is not reentrant, so the lazy build must never
+        trigger inside ``read_locked()``; double-checked under the
+        write lock.  ``_index`` only returns to ``None`` when a rebuild
+        fails — readers then either retry the build here or get
+        :meth:`_require_index`'s clean error.
+        """
+        if self._index is None:
+            with self._lock.write_locked():
+                if self._index is None:
+                    self._build_index_locked()
 
     @property
     def index(self) -> PathIndex:
         """The k-path index (building it on first use if needed)."""
-        if self._index is None:
-            self.build_index()
+        self._ensure_built()
         assert self._index is not None
         return self._index
 
@@ -165,7 +250,7 @@ class GraphDatabase:
     def histogram(self) -> EquiDepthHistogram:
         """The equi-depth histogram ``sel_{G,k}``."""
         if self._histogram is None:
-            self.build_index()
+            self._ensure_built()
         assert self._histogram is not None
         return self._histogram
 
@@ -173,7 +258,7 @@ class GraphDatabase:
     def exact_statistics(self) -> ExactStatistics:
         """Exact per-path statistics (ablation alternative)."""
         if self._exact_statistics is None:
-            self.build_index()
+            self._ensure_built()
         assert self._exact_statistics is not None
         return self._exact_statistics
 
@@ -217,32 +302,48 @@ class GraphDatabase:
         ``use_cache=False`` bypasses the cache entirely — no lookup,
         no store, no counter updates — which is what the benchmark
         harness wants.
+
+        Safe to call from any number of threads concurrently with
+        :meth:`add_edge` / :meth:`remove_edge` / :meth:`build_index`:
+        the whole (version snapshot, cache probe, execution, cache
+        store) sequence runs as one reader section, so the answer is
+        always exactly the single-threaded answer for the
+        :attr:`QueryResult.version` it carries.
         """
         text, node = self._parse(query)
-        if method in BASELINE_METHODS:
-            # Baselines ignore statistics flavor and disjunct budget;
-            # keep them out of the key so identical answers share one
-            # entry (and one slot of the pairs budget).
-            cache_key = (text, method, self.graph.version)
-        else:
-            cache_key = (
-                text, method, use_exact_statistics, max_disjuncts,
-                self.graph.version,
+        # Validate the method before touching any shared state, so a
+        # raising method name never skews the cache counters.
+        strategy = None if method in BASELINE_METHODS else Strategy.parse(method)
+        if strategy is not None:
+            self._ensure_built()
+        with self._lock.read_locked():
+            return self._query_locked(
+                text, node, method, strategy, use_exact_statistics,
+                max_disjuncts, use_cache,
             )
+
+    def _query_locked(
+        self,
+        text: str,
+        node: Node,
+        method: str,
+        strategy: Strategy | None,
+        use_exact_statistics: bool,
+        max_disjuncts: int,
+        use_cache: bool,
+    ) -> QueryResult:
+        """Answer one parsed query; caller holds the read lock."""
+        version = self.graph.version
+        cache_key = self._cache_key(
+            text, method, strategy, use_exact_statistics, max_disjuncts,
+            version,
+        )
         if use_cache:
-            if self._cache_version != self.graph.version:
-                # The version only grows, so every entry keyed on an
-                # older version is dead forever — drop them rather than
-                # letting garbage pin the entry/pairs budgets.
-                self.cache_clear()
-                self._cache_version = self.graph.version
-            cached = self._query_cache.get(cache_key)
+            cached = self._cache_lookup(cache_key, version)
             if cached is not None:
-                self._query_cache.move_to_end(cache_key)
-                self._cache_hits += 1
-                return replace(cached, seconds=0.0, cached=True)
+                return cached
         started = time.perf_counter()
-        if method in BASELINE_METHODS:
+        if strategy is None:
             pairs = self._run_baseline(method, node)
             seconds = time.perf_counter() - started
             result = QueryResult(
@@ -250,17 +351,18 @@ class GraphDatabase:
                 method=method,
                 pairs=frozenset(self.graph.pairs_to_names(pairs)),
                 seconds=seconds,
+                version=version,
             )
         else:
-            strategy = Strategy.parse(method)
+            index = self._require_index()
             statistics = (
-                self.exact_statistics if use_exact_statistics else self.histogram
+                self._exact_statistics if use_exact_statistics
+                else self._histogram
             )
             report = evaluate_ast(
-                node, self.index, self.graph, statistics, strategy, max_disjuncts
+                node, index, self.graph, statistics, strategy,
+                max_disjuncts,
             )
-            self._scan_memo_hits += report.scan_memo_hits
-            self._scan_memo_misses += report.scan_memo_misses
             seconds = time.perf_counter() - started
             result = QueryResult(
                 query=text,
@@ -268,15 +370,245 @@ class GraphDatabase:
                 pairs=frozenset(self.graph.pairs_to_names(report.relation)),
                 seconds=seconds,
                 report=report,
+                version=version,
             )
+            with self._cache_lock:
+                self._scan_memo_hits += report.scan_memo_hits
+                self._scan_memo_misses += report.scan_memo_misses
         if use_cache:
-            # Count the miss only for queries that actually executed —
-            # a raising method name must not skew hit-rate monitoring.
-            self._cache_misses += 1
-            self._remember(cache_key, result)
+            with self._cache_lock:
+                self._cache_misses += 1
+                self._remember_locked(cache_key, result)
         return result
 
+    def _require_index(self) -> PathIndex:
+        """The index for a read section; fails cleanly if a rebuild died."""
+        index = self._index
+        if index is None:
+            raise PathIndexError(
+                "index unavailable: a previous rebuild failed; "
+                "call build_index()"
+            )
+        return index
+
+    def _cache_key(
+        self,
+        text: str,
+        method: str,
+        strategy: Strategy | None,
+        use_exact_statistics: bool,
+        max_disjuncts: int,
+        version: int,
+    ) -> tuple:
+        if strategy is None:
+            # Baselines ignore statistics flavor and disjunct budget;
+            # keep them out of the key so identical answers share one
+            # entry (and one slot of the pairs budget).
+            return (text, method, version)
+        # Key on the canonical strategy value, not the raw method
+        # string, so spelling aliases ("minsupport" / "min-support" /
+        # "MIN_SUPPORT") share one entry — and match the method the
+        # stored result reports.
+        return (
+            text, strategy.value, use_exact_statistics, max_disjuncts,
+            version,
+        )
+
+    def _cache_lookup(self, key: tuple, version: int) -> QueryResult | None:
+        """Probe the LRU under the cache mutex (a hit reorders it)."""
+        with self._cache_lock:
+            if self._cache_version != version:
+                # The version only grows, so every entry keyed on an
+                # older version is dead forever — drop them rather than
+                # letting garbage pin the entry/pairs budgets.
+                self._cache_clear_locked()
+                self._cache_version = version
+            cached = self._query_cache.get(key)
+            if cached is not None:
+                self._query_cache.move_to_end(key)
+                self._cache_hits += 1
+                return replace(cached, seconds=0.0, cached=True)
+        return None
+
+    # -- mutations ---------------------------------------------------------------
+
+    def add_edge(self, source: str, label: str, target: str) -> int | None:
+        """Insert an edge, rebuild the index, and return the new version.
+
+        Runs as a writer: no query can observe the graph mutated but
+        the index not yet rebuilt.  Returns ``None`` when the edge was
+        already present (nothing changed).  Correctness-first: the
+        whole index is rebuilt per mutation — the localized delta
+        algorithm lives in
+        :class:`repro.indexes.dynamic.DynamicPathIndex`.
+        """
+        with self._lock.write_locked():
+            if not self.graph.add_edge(source, label, target):
+                return None
+            self._build_index_locked()
+            return self.graph.version
+
+    def remove_edge(self, source: str, label: str, target: str) -> int | None:
+        """Delete an edge, rebuild the index, and return the new version.
+
+        Returns ``None`` when the edge was absent.  See :meth:`add_edge`
+        for the locking contract.
+        """
+        with self._lock.write_locked():
+            if not self.graph.remove_edge(source, label, target):
+                return None
+            self._build_index_locked()
+            return self.graph.version
+
+    # -- batched queries ----------------------------------------------------------
+
+    def query_batch(
+        self,
+        queries: Sequence[str | Node],
+        method: str = "minsupport",
+        use_exact_statistics: bool = False,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+        use_cache: bool = True,
+        workers: int = 1,
+    ) -> list[QueryResult]:
+        """Answer many RPQs as one batch against one graph snapshot.
+
+        The whole batch runs inside a single reader section, so every
+        result carries the same :attr:`QueryResult.version` — mutations
+        are either fully before or fully after the batch.  Three
+        mechanisms make this faster than a ``query()`` loop:
+
+        * **plan-up-front** — every miss is rewritten and planned
+          sequentially first; only execution fans out;
+        * **one shared scan memo** — a
+          :class:`~repro.engine.operators.SharedScanMemo` spans the
+          batch, so a subplan (an index scan, a join subtree) appearing
+          under any number of queries is computed exactly once;
+        * **key-level dedup** — queries with identical cache keys share
+          one execution and one :class:`QueryResult` object.
+
+        ``workers > 1`` executes independent plans on a thread pool
+        (answers are unaffected; under CPython's GIL the speedup is
+        bounded by the numpy/C share of the work).  Results come back
+        in input order.
+        """
+        parsed = [self._parse(query) for query in queries]
+        if not parsed:
+            return []
+        strategy = None if method in BASELINE_METHODS else Strategy.parse(method)
+        if strategy is not None:
+            self._ensure_built()
+        with self._lock.read_locked():
+            version = self.graph.version
+            results: list[QueryResult | None] = [None] * len(parsed)
+            slots: dict[tuple, list[int]] = {}
+            for position, (text, _) in enumerate(parsed):
+                key = self._cache_key(
+                    text, method, strategy, use_exact_statistics,
+                    max_disjuncts, version,
+                )
+                slots.setdefault(key, []).append(position)
+            pending: list[tuple[tuple, str, Node]] = []
+            for key, positions in slots.items():
+                text, node = parsed[positions[0]]
+                cached = self._cache_lookup(key, version) if use_cache else None
+                if cached is not None:
+                    for position in positions:
+                        results[position] = cached
+                else:
+                    pending.append((key, text, node))
+            if pending:
+                for key, result in self._run_batch(
+                    pending, method, strategy, use_exact_statistics,
+                    max_disjuncts, version, workers,
+                ):
+                    for position in slots[key]:
+                        results[position] = result
+                    if use_cache:
+                        with self._cache_lock:
+                            self._cache_misses += 1
+                            self._remember_locked(key, result)
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def _run_batch(
+        self,
+        pending: list[tuple[tuple, str, Node]],
+        method: str,
+        strategy: Strategy | None,
+        use_exact_statistics: bool,
+        max_disjuncts: int,
+        version: int,
+        workers: int,
+    ) -> list[tuple[tuple, QueryResult]]:
+        """Execute the batch misses; caller holds the read lock."""
+        if strategy is None:
+            def run_one(item: tuple[tuple, str, Node]):
+                key, text, node = item
+                started = time.perf_counter()
+                pairs = self._run_baseline(method, node)
+                return key, QueryResult(
+                    query=text,
+                    method=method,
+                    pairs=frozenset(self.graph.pairs_to_names(pairs)),
+                    seconds=time.perf_counter() - started,
+                    version=version,
+                )
+
+            items: list = pending
+        else:
+            index = self._require_index()
+            statistics = (
+                self._exact_statistics if use_exact_statistics
+                else self._histogram
+            )
+            memo = SharedScanMemo()
+            items = [
+                (
+                    key,
+                    text,
+                    prepare_ast(
+                        node, index, self.graph, statistics,
+                        strategy, max_disjuncts,
+                    ),
+                )
+                for key, text, node in pending
+            ]
+
+            def run_one(item):
+                key, text, prepared = item
+                report = execute_prepared(
+                    prepared, index, self.graph, statistics, memo
+                )
+                return key, QueryResult(
+                    query=text,
+                    method=strategy.value,
+                    pairs=frozenset(self.graph.pairs_to_names(report.relation)),
+                    seconds=report.total_seconds,
+                    report=report,
+                    version=version,
+                )
+
+        if workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(items))
+            ) as pool:
+                outcomes = list(pool.map(run_one, items))
+        else:
+            outcomes = [run_one(item) for item in items]
+        if strategy is not None:
+            # Aggregate the batch's memo traffic once, from the memo
+            # itself (per-report deltas overlap under concurrency).
+            with self._cache_lock:
+                self._scan_memo_hits += memo.hits
+                self._scan_memo_misses += memo.misses
+        return outcomes
+
     def _remember(self, key: tuple, result: QueryResult) -> None:
+        with self._cache_lock:
+            self._remember_locked(key, result)
+
+    def _remember_locked(self, key: tuple, result: QueryResult) -> None:
         if self._query_cache_size == 0:
             return
         size = len(result.pairs)
@@ -307,21 +639,26 @@ class GraphDatabase:
         ``hits``/``misses`` are the whole-answer LRU query cache;
         ``scan_memo_hits``/``scan_memo_misses`` aggregate the executor's
         per-execution scan memo (index scans and shared subplans reused
-        across union disjuncts) over every executed query.
+        across union disjuncts and batches) over every executed query.
         """
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "entries": len(self._query_cache),
-            "capacity": self._query_cache_size,
-            "pairs": self._cached_pairs,
-            "max_pairs": self._query_cache_max_pairs,
-            "scan_memo_hits": self._scan_memo_hits,
-            "scan_memo_misses": self._scan_memo_misses,
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._cache_hits,
+                "misses": self._cache_misses,
+                "entries": len(self._query_cache),
+                "capacity": self._query_cache_size,
+                "pairs": self._cached_pairs,
+                "max_pairs": self._query_cache_max_pairs,
+                "scan_memo_hits": self._scan_memo_hits,
+                "scan_memo_misses": self._scan_memo_misses,
+            }
 
     def cache_clear(self) -> None:
         """Drop every cached query answer (counters are kept)."""
+        with self._cache_lock:
+            self._cache_clear_locked()
+
+    def _cache_clear_locked(self) -> None:
         self._query_cache.clear()
         self._cached_pairs = 0
 

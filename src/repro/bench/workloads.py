@@ -122,6 +122,31 @@ def closure_base_pairs(
     )
 
 
+def service_batch_queries(
+    count: int = 120,
+    seed: int = 7,
+    labels: tuple[str, str, str] = ADVOGATO_LABELS,
+) -> list[str]:
+    """A shared-subplan query batch for the service-layer benchmark.
+
+    ``count`` draws, with repetition and a popularity skew, from a
+    small pool of 2- and 3-step label paths — the shape of heavy
+    traffic, where many concurrent queries repeat popular queries
+    verbatim and distinct queries overlap on popular subpaths.  This is
+    exactly the workload :meth:`repro.api.GraphDatabase.query_batch`
+    exists for: identical queries dedup to one execution, and shared
+    plan subtrees hit the batch-wide scan memo.
+    """
+    rng = random.Random(seed)
+    pool = [f"{a}/{b}" for a in labels for b in labels]
+    pool += [
+        "/".join(rng.choice(labels) for _ in range(3)) for _ in range(12)
+    ]
+    # Zipf-ish skew: squaring the uniform draw concentrates mass on the
+    # head of the pool, as production query logs do.
+    return [pool[int(len(pool) * rng.random() ** 2)] for _ in range(count)]
+
+
 def synthetic_join_inputs(
     size: int, seed: int = 7
 ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:

@@ -1,0 +1,103 @@
+"""Thread-coordination primitives for the query service layer.
+
+The serving story of the paper — a k-path index cheap enough to answer
+"heavy traffic" directly — needs the :class:`repro.api.GraphDatabase`
+facade to survive concurrent readers and writers.  CPython's GIL keeps
+individual bytecodes atomic but nothing larger: an ``OrderedDict`` LRU
+being reordered by one thread while another evicts from it, or a query
+computing its cache key against one graph version and reading the index
+of another, are real interleavings, not theoretical ones.
+
+This module provides the one primitive the facade needs:
+
+* :class:`ReadWriteLock` — a writer-preferring shared/exclusive lock.
+  Any number of queries (readers) proceed concurrently; a mutation or
+  index rebuild (writer) waits for in-flight readers, blocks new ones,
+  and runs alone.  Writer preference keeps a steady stream of queries
+  from starving mutations.
+
+The lock is deliberately *not* reentrant: the facade resolves lazy
+state (``_ensure_built``) before entering a read section, so no code
+path ever acquires the lock twice on one thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """A shared (read) / exclusive (write) lock, writer-preferring.
+
+    ``read_locked()`` sections run concurrently with each other;
+    ``write_locked()`` sections run alone.  Once a writer is waiting,
+    new readers queue behind it, so writers cannot be starved by a
+    continuous reader stream.
+    """
+
+    __slots__ = ("_condition", "_active_readers", "_writer_active",
+                 "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager for a shared section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side ----------------------------------------------------
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager for an exclusive section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteLock(readers={self._active_readers}, "
+            f"writer={self._writer_active}, "
+            f"waiting={self._writers_waiting})"
+        )

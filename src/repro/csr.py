@@ -208,19 +208,23 @@ def supports(node_ids, base: Relation) -> bool:
 
 
 def transitive_fixpoint(
-    node_ids, base: Relation, low: int, bound: int | None = None
+    node_ids, base: Relation, low: int, bound: int | None = None,
+    workers: int = 1,
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` by frontier-based closure.
 
     Semantics match :func:`repro.rpq.semantics.transitive_fixpoint`:
     ``low == 0`` unions in the identity over ``node_ids``.  ``bound``
-    is an optional precomputed :func:`dense_bound`.
+    is an optional precomputed :func:`dense_bound`.  ``workers > 1``
+    partitions the source schedule across threads (see
+    :func:`closure_bitsets`); the sequential path is the default and
+    the oracle the parallel path is tested against.
     """
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     if not len(base):
         return rel.identity(ids) if low == 0 else Relation.empty()
     csr = CSR.from_relation(base, bound if bound is not None else dense_bound(ids, base))
-    reach = closure_bitsets(csr)
+    reach = closure_bitsets(csr, workers=workers)
     if low <= 1:
         answers = reach
     else:
@@ -321,7 +325,7 @@ def _postorder(csr: CSR) -> list[int]:
     return order
 
 
-def closure_bitsets(csr: CSR) -> dict[int, int]:
+def closure_bitsets(csr: CSR, workers: int = 1) -> dict[int, int]:
     """``reach(s)`` (targets of paths of length >= 1) for every source.
 
     Per-source breadth-first frontier expansion with two twists:
@@ -332,10 +336,47 @@ def closure_bitsets(csr: CSR) -> dict[int, int]:
       an already-*finished* source absorbs its whole closure with one
       ``|=`` instead of re-walking it (finished closures are complete,
       so this is exact even on cycles).
+
+    With ``workers > 1`` the postorder schedule is cut into contiguous
+    per-worker slices, each closed on its own thread with a *local*
+    finished-source table (absorption never reads another worker's
+    table, so no synchronization is needed mid-flight), and the slice
+    tables are merged at the end.  Every per-source expansion is exact
+    on its own — absorption is purely an accelerator — so the partition
+    changes scheduling, never answers; the sequential path stays the
+    default and is the oracle the parallel path is property-tested
+    against.  Under CPython's GIL the big-int kernels do not overlap,
+    so this is a correctness/plumbing knob more than a speedup one.
     """
-    offsets, targets = csr.offsets, csr.targets
+    schedule = _postorder(csr)
+    if workers <= 1 or len(schedule) < 2:
+        return _close_slice(csr, schedule, {})
+    workers = min(workers, len(schedule))
+    chunk = (len(schedule) + workers - 1) // workers
+    slices = [
+        schedule[start : start + chunk]
+        for start in range(0, len(schedule), chunk)
+    ]
+    from concurrent.futures import ThreadPoolExecutor
+
     reach: dict[int, int] = {}
-    for source in _postorder(csr):
+    with ThreadPoolExecutor(max_workers=len(slices)) as pool:
+        futures = [
+            pool.submit(_close_slice, csr, piece, {}) for piece in slices
+        ]
+        for future in futures:
+            # Final absorption merge: slice tables are disjoint by
+            # construction (each source is scheduled exactly once).
+            reach.update(future.result())
+    return reach
+
+
+def _close_slice(
+    csr: CSR, sources: Sequence[int], reach: dict[int, int]
+) -> dict[int, int]:
+    """Close every source in ``sources``, absorbing through ``reach``."""
+    offsets, targets = csr.offsets, csr.targets
+    for source in sources:
         visited = 0
         frontier: list[int] = []
         for position in range(offsets[source], offsets[source + 1]):

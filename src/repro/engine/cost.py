@@ -36,6 +36,16 @@ from repro.engine.plan import (
 #: vs list-append; the planner only needs the *relative* penalty.
 HASH_BUILD_FACTOR = 1.5
 
+#: Extra per-row cost of an inverse-path scan: the executor materializes
+#: it as a scan of the inverted path plus a column swap.  The swap is
+#: cheap (zero-copy in the columnar representation) but not free, and
+#: without this term a direct and an inverse scan cost exactly the same
+#: — the planner would pick inverse scans on ties even when the swapped
+#: order buys nothing (no merge join consumes it).  Kept far below
+#: :data:`HASH_BUILD_FACTOR` so an inverse scan that *enables* a merge
+#: join still wins.
+INVERSE_SWAP_FACTOR = 0.1
+
 
 @dataclass(frozen=True, slots=True)
 class CostedPlan:
@@ -76,12 +86,19 @@ class CostModel:
     # -- costed constructors --------------------------------------------------------
 
     def scan(self, path: LabelPath, via_inverse: bool = False) -> CostedPlan:
-        """Cost an index scan of ``path`` (optionally via its inverse)."""
+        """Cost an index scan of ``path`` (optionally via its inverse).
+
+        An inverse scan pays the extra swap term, so on plans where the
+        target-major order buys nothing the direct scan wins the tie.
+        """
         cardinality = self._statistics.estimated_count(path)
+        cost = cardinality + 1.0
+        if via_inverse:
+            cost += INVERSE_SWAP_FACTOR * cardinality
         return CostedPlan(
             plan=IndexScanPlan(path, via_inverse=via_inverse),
             cardinality=cardinality,
-            cost=cardinality + 1.0,
+            cost=cost,
         )
 
     def identity(self) -> CostedPlan:

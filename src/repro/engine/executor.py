@@ -120,40 +120,97 @@ def evaluate_ast(
     strategy: Strategy,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
 ) -> ExecutionReport:
-    """Evaluate an arbitrary RPQ AST through the index where possible."""
-    started = time.perf_counter()
-    memo = ScanMemo()
-    normal_form = _try_normalize(node, graph, max_disjuncts)
-    if normal_form is not None:
-        report = evaluate_normal_form(
-            normal_form, index, graph, statistics, strategy, memo
-        )
-        # Fold rewrite time into planning time.
-        rewrite_seconds = time.perf_counter() - started
-        rewrite_seconds -= report.planning_seconds + report.execution_seconds
-        return ExecutionReport(
-            strategy=report.strategy,
-            plan=report.plan,
-            relation=report.relation,
-            planning_seconds=report.planning_seconds + max(rewrite_seconds, 0.0),
-            execution_seconds=report.execution_seconds,
-            used_fallback=False,
-            scan_memo_hits=report.scan_memo_hits,
-            scan_memo_misses=report.scan_memo_misses,
-        )
-    pairs = _hybrid(
-        push_inverse(node), index, graph, statistics, strategy, max_disjuncts, memo
+    """Evaluate an arbitrary RPQ AST through the index where possible.
+
+    A thin wrapper over :func:`prepare_ast` + :func:`execute_prepared`
+    — exactly what :meth:`repro.api.GraphDatabase.query_batch` runs per
+    query, so single and batched execution can never drift.
+    """
+    prepared = prepare_ast(
+        node, index, graph, statistics, strategy, max_disjuncts
     )
+    return execute_prepared(prepared, index, graph, statistics)
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedQuery:
+    """One query planned up front, awaiting execution.
+
+    :meth:`repro.api.GraphDatabase.query_batch` plans every query in
+    the batch first (cheap, sequential) and only fans the *execution*
+    out over worker threads, all sharing one
+    :class:`~repro.engine.operators.ScanMemo`.  ``costed`` is ``None``
+    when normalization blew the disjunct budget — execution then takes
+    the hybrid fallback.
+    """
+
+    node: Node
+    strategy: Strategy
+    max_disjuncts: int
+    costed: CostedPlan | None
+    planning_seconds: float
+
+
+def prepare_ast(
+    node: Node,
+    index: PathIndex,
+    graph: Graph,
+    statistics,
+    strategy: Strategy,
+    max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+) -> PreparedQuery:
+    """Rewrite and plan ``node`` without executing it."""
+    started = time.perf_counter()
+    normal_form = _try_normalize(node, graph, max_disjuncts)
+    costed = None
+    if normal_form is not None:
+        planner = Planner(index.k, statistics, graph, strategy)
+        costed = planner.plan(normal_form)
+    return PreparedQuery(
+        node=node,
+        strategy=strategy,
+        max_disjuncts=max_disjuncts,
+        costed=costed,
+        planning_seconds=time.perf_counter() - started,
+    )
+
+
+def execute_prepared(
+    prepared: PreparedQuery,
+    index: PathIndex,
+    graph: Graph,
+    statistics,
+    memo: ScanMemo | None = None,
+) -> ExecutionReport:
+    """Execute a :class:`PreparedQuery`, optionally under a shared memo.
+
+    The report's memo counters are the memo's traffic delta while this
+    query ran; under a concurrently shared memo they attribute overlap
+    loosely (batch totals are aggregated from the memo itself).
+    """
+    if memo is None:
+        memo = ScanMemo()
+    hits_before, misses_before = memo.hits, memo.misses
+    started = time.perf_counter()
+    if prepared.costed is not None:
+        relation = execute(prepared.costed.plan, index, graph, memo)
+        used_fallback = False
+    else:
+        relation = _hybrid(
+            push_inverse(prepared.node), index, graph, statistics,
+            prepared.strategy, prepared.max_disjuncts, memo,
+        )
+        used_fallback = True
     finished = time.perf_counter()
     return ExecutionReport(
-        strategy=strategy,
-        plan=None,
-        relation=pairs,
-        planning_seconds=0.0,
+        strategy=prepared.strategy,
+        plan=prepared.costed,
+        relation=relation,
+        planning_seconds=prepared.planning_seconds,
         execution_seconds=finished - started,
-        used_fallback=True,
-        scan_memo_hits=memo.hits,
-        scan_memo_misses=memo.misses,
+        used_fallback=used_fallback,
+        scan_memo_hits=memo.hits - hits_before,
+        scan_memo_misses=memo.misses - misses_before,
     )
 
 
@@ -186,15 +243,13 @@ def _hybrid(
     """
     if memo is None:
         memo = ScanMemo()
-    cached = memo.asts.get(node)
+    cached = memo.lookup_ast(node)
     if cached is not None:
-        memo.hits += 1
         return cached
-    memo.misses += 1
     result = _hybrid_uncached(
         node, index, graph, statistics, strategy, max_disjuncts, memo
     )
-    memo.asts[node] = result
+    memo.store_ast(node, result)
     return result
 
 

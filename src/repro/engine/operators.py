@@ -26,6 +26,8 @@ repeat is a dictionary hit.
 
 from __future__ import annotations
 
+import threading
+
 from repro import relation as rel
 from repro.errors import ExecutionError
 from repro.engine.plan import (
@@ -65,13 +67,19 @@ class ScanMemo:
 
     ``plans`` maps each executed :class:`PlanNode` to its result
     relation; ``asts`` does the same for AST nodes the hybrid fallback
-    evaluates structurally.  Relations are immutable by convention, so
-    a memoized result can be handed to every consumer without copying.
+    evaluates structurally.  Stored relations are *frozen*
+    (:meth:`repro.relation.Relation.freeze`): a memoized result is
+    handed to every consumer without copying, and every hit re-asserts
+    the frozen invariant so a mutated shared relation fails loudly.
 
     ``hits`` counts results served from the memo; ``misses`` counts
     distinct subproblems actually computed.  Both are surfaced on
     :class:`repro.engine.executor.ExecutionReport` and aggregated by
     :meth:`repro.api.GraphDatabase.cache_info`.
+
+    Access goes through :meth:`lookup_plan` / :meth:`store_plan` (and
+    the ``_ast`` twins) so :class:`SharedScanMemo` can interpose a lock
+    without the single-threaded path paying for one.
     """
 
     __slots__ = ("plans", "asts", "hits", "misses")
@@ -82,11 +90,75 @@ class ScanMemo:
         self.hits = 0
         self.misses = 0
 
+    # -- plan subtrees ---------------------------------------------------
+
+    def lookup_plan(self, plan: PlanNode) -> Relation | None:
+        """The memoized result of ``plan``, counting the hit/miss."""
+        cached = self.plans.get(plan)
+        if cached is not None:
+            self.hits += 1
+            return cached.check_frozen()
+        self.misses += 1
+        return None
+
+    def store_plan(self, plan: PlanNode, result: Relation) -> Relation:
+        self.plans[plan] = result.freeze()
+        return result
+
+    # -- hybrid AST subtrees ----------------------------------------------
+
+    def lookup_ast(self, node) -> Relation | None:
+        cached = self.asts.get(node)
+        if cached is not None:
+            self.hits += 1
+            return cached.check_frozen()
+        self.misses += 1
+        return None
+
+    def store_ast(self, node, result: Relation) -> Relation:
+        self.asts[node] = result.freeze()
+        return result
+
     def __repr__(self) -> str:
         return (
-            f"ScanMemo(entries={len(self.plans) + len(self.asts)}, "
+            f"{type(self).__name__}"
+            f"(entries={len(self.plans) + len(self.asts)}, "
             f"hits={self.hits}, misses={self.misses})"
         )
+
+
+class SharedScanMemo(ScanMemo):
+    """A :class:`ScanMemo` safe to share across executor threads.
+
+    :meth:`repro.api.GraphDatabase.query_batch` fans independent plans
+    out over a thread pool with *one* memo, so identical scans across
+    the batch run once.  Every lookup/store (and its counter update)
+    happens under a lock; the worst concurrent interleaving is two
+    threads computing the same subtree before either stores it — both
+    results are equal and frozen, so last-store-wins is harmless.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lock = threading.Lock()
+
+    def lookup_plan(self, plan: PlanNode) -> Relation | None:
+        with self._lock:
+            return super().lookup_plan(plan)
+
+    def store_plan(self, plan: PlanNode, result: Relation) -> Relation:
+        with self._lock:
+            return super().store_plan(plan, result)
+
+    def lookup_ast(self, node) -> Relation | None:
+        with self._lock:
+            return super().lookup_ast(node)
+
+    def store_ast(self, node, result: Relation) -> Relation:
+        with self._lock:
+            return super().store_ast(node, result)
 
 
 def execute(
@@ -98,17 +170,16 @@ def execute(
     """Run a plan tree, returning the (deduplicated) result relation.
 
     With a ``memo``, every subtree result — index scans first among
-    them — is computed at most once per execution.
+    them — is computed at most once per execution (or per batch, when
+    the memo is a :class:`SharedScanMemo` spanning one).
     """
     if memo is not None:
-        cached = memo.plans.get(plan)
+        cached = memo.lookup_plan(plan)
         if cached is not None:
-            memo.hits += 1
             return cached
-        memo.misses += 1
     result = _run(plan, index, graph, memo)
     if memo is not None:
-        memo.plans[plan] = result
+        memo.store_plan(plan, result)
     return result
 
 

@@ -263,9 +263,13 @@ class Graph:
         """Remove the edge ``src -label-> tgt``; return ``False`` if absent.
 
         Owns the mutation invariants: adjacency lists stay sorted (a
-        positional remove preserves order) and :attr:`version` is
-        bumped, so version-keyed caches can never serve pre-deletion
-        answers.
+        positional remove preserves order), :attr:`version` is bumped,
+        so version-keyed caches can never serve pre-deletion answers,
+        and emptied containers are pruned — removing a label's last
+        edge removes the label from :meth:`labels`, keeping the
+        vocabulary (and everything derived from it: step alphabets,
+        indexed path sets, Datalog programs) an exact function of the
+        edges that actually exist.
         """
         relation = self._edges.get(label)
         src_id = self._name_to_id.get(src)
@@ -276,8 +280,20 @@ class Graph:
         if pair not in relation:
             return False
         relation.discard(pair)
-        self._out[label][src_id].remove(tgt_id)
-        self._in[label][tgt_id].remove(src_id)
+        if not relation:
+            del self._edges[label]
+        outgoing = self._out[label]
+        outgoing[src_id].remove(tgt_id)
+        if not outgoing[src_id]:
+            del outgoing[src_id]
+            if not outgoing:
+                del self._out[label]
+        incoming = self._in[label]
+        incoming[tgt_id].remove(src_id)
+        if not incoming[tgt_id]:
+            del incoming[tgt_id]
+            if not incoming:
+                del self._in[label]
         self._edge_count -= 1
         self._version += 1
         return True

@@ -31,7 +31,7 @@ from typing import Iterator
 from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath, Step
 from repro.indexes.builder import enumerate_label_paths, path_relations
-from repro.relation import Order, Relation, swap
+from repro.relation import Order, Relation, dedup_sort, swap
 
 Pair = tuple[int, int]
 
@@ -88,8 +88,20 @@ class DynamicPathIndex:
         )
 
     def scan_swapped(self, path: LabelPath) -> Relation:
-        """The relation of ``path`` sorted by (tgt, src) (``Order.BY_TGT``)."""
-        return swap(self.scan(path.inverted()))
+        """The relation of ``path`` sorted by (tgt, src) (``Order.BY_TGT``).
+
+        Normally materialized the paper's way: scan the *inverse* path
+        and exchange the columns (zero-copy).  When the inverse path is
+        not in the indexed path set — a restricted index that excludes
+        inverse steps, for instance — scanning it would silently return
+        the empty relation instead of the swapped one, so fall back to
+        sorting the forward relation by target.
+        """
+        self._check(path)
+        inverted = path.inverted()
+        if inverted.encode() in self._relations:
+            return swap(self.scan(inverted))
+        return dedup_sort(self.scan(path), Order.BY_TGT)
 
     def scan_from(self, path: LabelPath, source: int) -> list[int]:
         """Sorted targets of ``path`` from ``source``."""
@@ -159,6 +171,13 @@ class DynamicPathIndex:
             if delta:
                 candidates[path.encode()] = delta
         self.graph.remove_edge(source_name, label, target_name)
+        if label not in self.graph.labels():
+            # The last edge of this label is gone, so the path alphabet
+            # shrank — the mirror image of add_edge's new-label case.
+            # Rebuild so paths over the dead label are retired instead
+            # of lingering in counts_by_path()/entry_count/paths().
+            self._rebuild()
+            return True
         for encoded, pairs in candidates.items():
             path = LabelPath.decode(encoded)
             dead = {

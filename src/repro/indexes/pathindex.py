@@ -178,7 +178,13 @@ class PathIndex:
                 for source, target in pairs:
                     yield path_id, source, target
 
-        store.bulk_load(entries())
+        try:
+            store.bulk_load(entries())
+        except BaseException:
+            # Do not leak the backend (the disk flavor holds an open
+            # file handle) when the build dies partway.
+            store.close()
+            raise
         return index
 
     # -- lookups ------------------------------------------------------------------

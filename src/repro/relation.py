@@ -94,7 +94,7 @@ class Relation:
     the columns directly.
     """
 
-    __slots__ = ("src", "tgt", "order")
+    __slots__ = ("src", "tgt", "order", "_frozen_len")
 
     def __init__(
         self,
@@ -110,6 +110,36 @@ class Relation:
                 f"{len(self.tgt)} tgt"
             )
         self.order = order
+        self._frozen_len: int | None = None
+
+    # -- freezing -------------------------------------------------------
+
+    def freeze(self) -> "Relation":
+        """Mark this relation as shared and immutable from here on.
+
+        Relations handed to a cross-thread memo (the batch executor's
+        shared :class:`~repro.engine.operators.ScanMemo`) are served to
+        every consumer without copying, so mutating their columns after
+        the fact would corrupt other queries' answers.  ``array('q')``
+        cannot be made read-only, so freezing records the length and
+        :meth:`check_frozen` asserts it never changes — catching the
+        realistic mutation (an append into a shared column) loudly.
+        """
+        self._frozen_len = len(self.src)
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen_len is not None
+
+    def check_frozen(self) -> "Relation":
+        """Assert the frozen invariant still holds (memo hit path)."""
+        if self._frozen_len is not None and self._frozen_len != len(self.src):
+            raise ExecutionError(
+                f"frozen relation mutated: froze at {self._frozen_len} "
+                f"rows, now {len(self.src)}"
+            )
+        return self
 
     # -- constructors ---------------------------------------------------
 
@@ -547,20 +577,22 @@ def _from_packed_unordered(keys: set[int]) -> Relation:
 
 
 def transitive_fixpoint(
-    node_ids: Iterable[int], base: Relation, low: int
+    node_ids: Iterable[int], base: Relation, low: int, workers: int = 1
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` to fixpoint.
 
     Runs as per-source frontier expansion over a CSR adjacency
     (:func:`repro.csr.transitive_fixpoint`); falls back to packed-pair
-    delta iteration when ids are too sparse for bitsets.
+    delta iteration when ids are too sparse for bitsets.  ``workers``
+    partitions the closure's source schedule across threads (sequential
+    by default; see :func:`repro.csr.closure_bitsets`).
     """
     from repro import csr
 
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     bound = csr.dense_bound(ids, base)
     if bound <= csr.MAX_DENSE_NODE:
-        return csr.transitive_fixpoint(ids, base, low, bound)
+        return csr.transitive_fixpoint(ids, base, low, bound, workers)
     return delta_transitive_fixpoint(ids, base, low)
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,6 +61,15 @@ class Pager:
         self._cache_pages = cache_pages
         self._cache: OrderedDict[int, bytearray] = OrderedDict()
         self._dirty: set[int] = set()
+        # One shared file handle + one LRU serve every reader, so page
+        # access must be serialized: two concurrent readers would
+        # interleave seek/read and get each other's pages, and LRU
+        # reordering/eviction mutates the OrderedDict.  Reentrant
+        # because allocate_page reads the freelist head through
+        # read_page.  Readers only hold it per page fetch — returned
+        # pages are never mutated in place (write_page installs fresh
+        # buffers), so a caller can keep using a page after release.
+        self._lock = threading.RLock()
         self.stats = PagerStats()
         exists = self._path.exists() and self._path.stat().st_size > 0
         self._file = open(self._path, "r+b" if exists else "w+b")
@@ -116,8 +126,9 @@ class Pager:
         self._check_slot(slot)
         if not 0 <= value < (1 << 64):
             raise StorageError(f"metadata value out of range: {value}")
-        self._metadata[slot] = value
-        self._write_header()
+        with self._lock:
+            self._metadata[slot] = value
+            self._write_header()
 
     @staticmethod
     def _check_slot(slot: int) -> None:
@@ -137,43 +148,46 @@ class Pager:
     def allocate_page(self) -> int:
         """Return a fresh zeroed page number (reusing freed pages)."""
         self._check_open()
-        self.stats.allocations += 1
-        if self._freelist_head != _NO_PAGE:
-            page_no = self._freelist_head
-            head = self.read_page(page_no)
-            self._freelist_head = struct.unpack_from(">Q", head, 0)[0]
-            self._write_header()
-        else:
-            page_no = self._page_count
-            self._page_count += 1
-            self._write_header()
-        blank = bytearray(self._page_size)
-        self._cache_put(page_no, blank, dirty=True)
-        return page_no
+        with self._lock:
+            self.stats.allocations += 1
+            if self._freelist_head != _NO_PAGE:
+                page_no = self._freelist_head
+                head = self.read_page(page_no)
+                self._freelist_head = struct.unpack_from(">Q", head, 0)[0]
+                self._write_header()
+            else:
+                page_no = self._page_count
+                self._page_count += 1
+                self._write_header()
+            blank = bytearray(self._page_size)
+            self._cache_put(page_no, blank, dirty=True)
+            return page_no
 
     def free_page(self, page_no: int) -> None:
         """Return a page to the free list."""
         self._check_page(page_no)
-        page = bytearray(self._page_size)
-        struct.pack_into(">Q", page, 0, self._freelist_head)
-        self._cache_put(page_no, page, dirty=True)
-        self._freelist_head = page_no
-        self._write_header()
+        with self._lock:
+            page = bytearray(self._page_size)
+            struct.pack_into(">Q", page, 0, self._freelist_head)
+            self._cache_put(page_no, page, dirty=True)
+            self._freelist_head = page_no
+            self._write_header()
 
     def read_page(self, page_no: int) -> bytearray:
         """Fetch a page (from cache or disk).  Mutations require write_page."""
         self._check_page(page_no)
-        cached = self._cache.get(page_no)
-        if cached is not None:
-            self._cache.move_to_end(page_no)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        self._file.seek(page_no * self._page_size)
-        raw = self._file.read(self._page_size)
-        page = bytearray(raw.ljust(self._page_size, b"\x00"))
-        self._cache_put(page_no, page, dirty=False)
-        return page
+        with self._lock:
+            cached = self._cache.get(page_no)
+            if cached is not None:
+                self._cache.move_to_end(page_no)
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            self._file.seek(page_no * self._page_size)
+            raw = self._file.read(self._page_size)
+            page = bytearray(raw.ljust(self._page_size, b"\x00"))
+            self._cache_put(page_no, page, dirty=False)
+            return page
 
     def write_page(self, page_no: int, data: bytes | bytearray) -> None:
         """Replace a page's contents (write-back through the cache)."""
@@ -182,28 +196,31 @@ class Pager:
             raise StorageError(
                 f"page overflow: {len(data)} bytes into {self._page_size}-byte page"
             )
-        page = bytearray(self._page_size)
-        page[: len(data)] = data
-        self._cache_put(page_no, page, dirty=True)
-        self.stats.writes += 1
+        with self._lock:
+            page = bytearray(self._page_size)
+            page[: len(data)] = data
+            self._cache_put(page_no, page, dirty=True)
+            self.stats.writes += 1
 
     def flush(self) -> None:
         """Write all dirty pages and the header to disk."""
         self._check_open()
-        for page_no in sorted(self._dirty):
-            self._file.seek(page_no * self._page_size)
-            self._file.write(self._cache[page_no])
-        self._dirty.clear()
-        self._write_header()
-        self._file.flush()
+        with self._lock:
+            for page_no in sorted(self._dirty):
+                self._file.seek(page_no * self._page_size)
+                self._file.write(self._cache[page_no])
+            self._dirty.clear()
+            self._write_header()
+            self._file.flush()
 
     def close(self) -> None:
         """Flush and release the file handle (idempotent)."""
-        if self._closed:
-            return
-        self.flush()
-        self._file.close()
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            self._file.close()
+            self._closed = True
 
     def __enter__(self) -> "Pager":
         return self

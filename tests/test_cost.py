@@ -6,7 +6,11 @@ import pytest
 
 from repro.graph.examples import figure1_graph
 from repro.graph.graph import LabelPath
-from repro.engine.cost import HASH_BUILD_FACTOR, CostModel
+from repro.engine.cost import (
+    HASH_BUILD_FACTOR,
+    INVERSE_SWAP_FACTOR,
+    CostModel,
+)
 from repro.engine.plan import Order
 from repro.indexes.pathindex import PathIndex
 from repro.indexes.statistics import ExactStatistics
@@ -36,6 +40,34 @@ class TestScanCosts:
         assert direct.cardinality == swapped.cardinality
         assert direct.order is Order.BY_SRC
         assert swapped.order is Order.BY_TGT
+
+    def test_inverse_scan_charges_the_swap_term(self, model):
+        """Regression: an inverse scan must cost strictly more than a
+        direct scan of the same path (the executor pays a column swap),
+        so the planner never prefers a spurious inverse scan on a tie."""
+        cost_model, _, _ = model
+        path = LabelPath.of("knows", "worksFor")
+        direct = cost_model.scan(path)
+        swapped = cost_model.scan(path, via_inverse=True)
+        assert swapped.cost > direct.cost
+        assert swapped.cost - direct.cost == pytest.approx(
+            INVERSE_SWAP_FACTOR * direct.cardinality
+        )
+        assert cost_model.cheapest([swapped, direct]) is direct
+
+    def test_swap_term_never_outweighs_a_merge_join_win(self, model):
+        """The swap term must stay far below the hash-build penalty:
+        scanning via the inverse to *enable* a merge join still wins."""
+        cost_model, _, _ = model
+        left_path = LabelPath.of("knows")
+        right = cost_model.scan(LabelPath.of("worksFor"))
+        merge = cost_model.join(
+            cost_model.scan(left_path, via_inverse=True), right
+        )
+        hashj = cost_model.join(cost_model.scan(left_path), right)
+        assert merge.plan.algorithm == "merge"
+        assert hashj.plan.algorithm == "hash"
+        assert merge.cost < hashj.cost
 
     def test_identity_costs_node_count(self, model):
         cost_model, _, graph = model
@@ -67,6 +99,7 @@ class TestJoinCosts:
         assert merge.cost < hashj.cost
         assert hashj.cost - merge.cost == pytest.approx(
             HASH_BUILD_FACTOR * min(direct.cardinality, right.cardinality)
+            - INVERSE_SWAP_FACTOR * swapped.cardinality
         )
 
     def test_join_cardinality_independence_estimate(self, model):

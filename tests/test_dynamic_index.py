@@ -43,6 +43,44 @@ class TestLookups:
         with pytest.raises(PathIndexError):
             dynamic.scan(LabelPath.of("knows", "knows"))
 
+    def test_scan_swapped_matches_static_index(self):
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        static = PathIndex.build(figure1_graph(), k=2)
+        path = LabelPath.of("knows", "worksFor")
+        assert (
+            dynamic.scan_swapped(path).pairs()
+            == static.scan_swapped(path).pairs()
+        )
+
+    def test_scan_swapped_falls_back_when_inverse_path_unindexed(self):
+        """Regression: scan_swapped went through scan(path.inverted()),
+        which silently returns the empty relation when the indexed path
+        set excludes inverse steps — the forward relation must be
+        sorted by target instead."""
+        from repro.relation import Order
+
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        path = LabelPath.of("knows", "worksFor")
+        expected = dynamic.scan(path).to_set()
+        assert expected
+        # Restrict the indexed path set to forward-only paths, the
+        # shape a future inverse-free index configuration produces.
+        dynamic._relations = {
+            encoded: pairs
+            for encoded, pairs in dynamic._relations.items()
+            if "-" not in encoded
+        }
+        dynamic._all_paths = [
+            p for p in dynamic._all_paths
+            if all(not step.inverse for step in p)
+        ]
+        swapped = dynamic.scan_swapped(path)
+        assert swapped.order is Order.BY_TGT
+        assert swapped.to_set() == expected
+        assert list(swapped) == sorted(
+            swapped.to_set(), key=lambda pair: (pair[1], pair[0])
+        )
+
 
 class TestInsert:
     def test_single_insert_matches_rebuild(self):
@@ -105,6 +143,34 @@ class TestDelete:
         assert dynamic.contains(path, s, t)
         dynamic.remove_edge("s", "hop", "l")
         assert dynamic.contains(path, s, t)  # witness via r survives
+        _assert_equivalent(dynamic, 2)
+
+    def test_deleting_the_last_edge_of_a_label_retires_its_paths(self):
+        """Regression: remove_edge never pruned _all_paths when a label
+        died — counts_by_path()/entry_count/paths() kept reporting
+        paths over labels with no edges left (asymmetric with add_edge,
+        which rebuilds on a brand-new label)."""
+        graph = Graph.from_edges(
+            [("a", "solo", "b"), ("a", "knows", "b"), ("b", "knows", "c")]
+        )
+        dynamic = DynamicPathIndex(graph, k=2)
+        assert any("solo" in path.encode() for path in dynamic.paths())
+        assert dynamic.remove_edge("a", "solo", "b")
+        assert "solo" not in dynamic.graph.labels()
+        assert all("solo" not in path.encode() for path in dynamic.paths())
+        assert all(
+            "solo" not in encoded for encoded in dynamic.counts_by_path()
+        )
+        assert dynamic.entry_count == sum(dynamic.counts_by_path().values())
+        _assert_equivalent(dynamic, 2)
+
+    def test_label_death_then_rebirth_roundtrip(self):
+        """Removing a label's last edge and re-adding it must land back
+        on the rebuilt-from-scratch state on both sides."""
+        dynamic = DynamicPathIndex(figure1_graph(), k=2)
+        assert dynamic.remove_edge("kim", "supervisor", "liz")
+        _assert_equivalent(dynamic, 2)
+        assert dynamic.add_edge("kim", "supervisor", "liz")
         _assert_equivalent(dynamic, 2)
 
     def test_insert_then_delete_roundtrip(self):

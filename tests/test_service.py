@@ -1,0 +1,641 @@
+"""Tests for the concurrent query service layer.
+
+Covers the :class:`repro.concurrency.ReadWriteLock` primitive, the
+thread-safety of :class:`repro.api.GraphDatabase` (the multi-threaded
+hammer test: N threads interleaving ``query`` / ``add_edge`` /
+``remove_edge`` while every served answer must match the
+single-threaded oracle for the graph version it carries), the
+``query_batch`` API with its shared scan memo, the frozen-relation
+assertion, and the parallel CSR closure knob.
+
+The hammer's thread count is read from ``REPRO_STRESS_THREADS``
+(default 4) so CI can dial the stress level explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import csr
+from repro import relation as rel
+from repro.api import GraphDatabase
+from repro.bench.workloads import closure_base_pairs
+from repro.concurrency import ReadWriteLock
+from repro.engine.operators import ScanMemo, SharedScanMemo
+from repro.engine.plan import IdentityPlan
+from repro.errors import ExecutionError
+from repro.graph.examples import FIGURE1_EDGES, figure1_graph
+from repro.relation import Order, Relation
+from repro.rpq.semantics import eval_query
+
+from tests.strategies import rpq_asts
+
+STRESS_THREADS = int(os.environ.get("REPRO_STRESS_THREADS", "4"))
+
+
+@contextmanager
+def forced_path(pure_python: bool):
+    """Route kernels through one implementation path for the duration."""
+    old_flag, old_min = rel._FORCE_PURE_PYTHON, rel._VECTOR_MIN
+    rel._FORCE_PURE_PYTHON = pure_python
+    if not pure_python:
+        rel._VECTOR_MIN = 0
+    try:
+        yield
+    finally:
+        rel._FORCE_PURE_PYTHON, rel._VECTOR_MIN = old_flag, old_min
+
+
+BOTH_PATHS = pytest.mark.parametrize(
+    "pure_python", [False, True], ids=["vectorized", "scalar"]
+)
+
+
+def _run_threads(targets) -> list[BaseException]:
+    """Run one thread per target, collecting exceptions instead of dying."""
+    errors: list[BaseException] = []
+    errors_lock = threading.Lock()
+
+    def wrap(target):
+        def runner():
+            try:
+                target()
+            except BaseException as exc:  # noqa: BLE001 - test harness
+                with errors_lock:
+                    errors.append(exc)
+        return runner
+
+    threads = [threading.Thread(target=wrap(t)) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+# -- ReadWriteLock -------------------------------------------------------------
+
+
+class TestReadWriteLock:
+    def test_readers_run_concurrently(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers must be inside at once
+
+        assert _run_threads([reader, reader]) == []
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = ReadWriteLock()
+        active = []
+        seen = []
+
+        def writer(tag):
+            def run():
+                with lock.write_locked():
+                    active.append(tag)
+                    assert len(active) == 1, "two writers active at once"
+                    active.remove(tag)
+                    seen.append(tag)
+            return run
+
+        assert _run_threads([writer(i) for i in range(8)]) == []
+        assert sorted(seen) == list(range(8))
+
+    def test_writer_preference_over_new_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        reader_in = threading.Event()
+        writer_waiting = threading.Event()
+
+        def first_reader():
+            with lock.read_locked():
+                reader_in.set()
+                # Hold until the writer is provably queued.
+                assert writer_waiting.wait(timeout=5)
+
+        def writer():
+            assert reader_in.wait(timeout=5)
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            assert writer_waiting.wait(timeout=5)
+            with lock.read_locked():
+                order.append("late_reader")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for thread in threads:
+            thread.start()
+        assert reader_in.wait(timeout=5)
+        while not lock._writers_waiting:  # writer queued behind reader
+            pass
+        writer_waiting.set()
+        for thread in threads:
+            thread.join()
+        # The queued writer beat the reader that arrived after it.
+        assert order == ["writer", "late_reader"]
+
+
+# -- frozen relations and the shared memo --------------------------------------
+
+
+class TestFrozenRelations:
+    def test_freeze_then_mutate_fails_loudly(self):
+        relation = Relation.from_pairs([(1, 2), (3, 4)], Order.BY_SRC)
+        assert not relation.frozen
+        relation.freeze()
+        assert relation.frozen
+        relation.check_frozen()  # intact: no error
+        relation.src.append(9)  # the realistic corruption: a shared append
+        with pytest.raises(ExecutionError, match="frozen relation mutated"):
+            relation.check_frozen()
+
+    def test_memo_freezes_stored_relations_and_checks_on_hit(self):
+        memo = ScanMemo()
+        plan = IdentityPlan()
+        relation = Relation.from_pairs([(0, 0)], Order.BY_SRC)
+        memo.store_plan(plan, relation)
+        assert relation.frozen
+        assert memo.lookup_plan(plan) is relation
+        relation.src.append(7)
+        with pytest.raises(ExecutionError):
+            memo.lookup_plan(plan)
+
+    def test_shared_memo_is_a_scan_memo(self):
+        memo = SharedScanMemo()
+        node = object()
+        stored = Relation.from_pairs([(1, 1)])
+        assert memo.lookup_ast(node) is None
+        memo.store_ast(node, stored)
+        assert memo.lookup_ast(node) is stored
+        assert memo.hits == 1 and memo.misses == 1
+
+    def test_shared_memo_survives_concurrent_traffic(self):
+        memo = SharedScanMemo()
+        relations = [
+            Relation.from_pairs([(i, i)], Order.BY_SRC) for i in range(16)
+        ]
+
+        def worker(seed):
+            def run():
+                rng = random.Random(seed)
+                for _ in range(300):
+                    i = rng.randrange(16)
+                    cached = memo.lookup_plan(("plan", i))
+                    if cached is None:
+                        memo.store_plan(("plan", i), relations[i])
+                    else:
+                        assert cached is relations[i]
+            return run
+
+        assert _run_threads([worker(s) for s in range(STRESS_THREADS)]) == []
+        assert memo.hits + memo.misses == 300 * STRESS_THREADS
+
+
+# -- parallel CSR closure ------------------------------------------------------
+
+
+class TestParallelClosure:
+    @pytest.mark.parametrize("kind", ["cyclic", "chain", "scale_free"])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_workers_match_sequential_oracle(self, kind, workers):
+        nodes, pairs = closure_base_pairs(kind, 600)
+        base = Relation.from_pairs(pairs)
+        sequential = csr.transitive_fixpoint(range(nodes), base, low=1)
+        parallel = csr.transitive_fixpoint(
+            range(nodes), base, low=1, workers=workers
+        )
+        assert parallel.to_set() == sequential.to_set()
+        assert parallel.order is Order.BY_SRC
+
+    def test_workers_with_identity_seed(self):
+        nodes, pairs = closure_base_pairs("scale_free", 400)
+        base = Relation.from_pairs(pairs)
+        assert (
+            csr.transitive_fixpoint(range(nodes), base, 0, workers=3).to_set()
+            == csr.transitive_fixpoint(range(nodes), base, 0).to_set()
+        )
+
+    def test_workers_beyond_source_count(self):
+        base = Relation.from_pairs([(0, 1), (1, 2)], Order.BY_SRC)
+        closed = rel.transitive_fixpoint(range(3), base, 1, workers=64)
+        assert closed.to_set() == {(0, 1), (0, 2), (1, 2)}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+        ),
+        workers=st.integers(min_value=2, max_value=5),
+        low=st.integers(min_value=0, max_value=2),
+    )
+    def test_random_graphs_property(self, pairs, workers, low):
+        base = Relation.from_pairs(sorted(set(pairs)), Order.BY_SRC)
+        sequential = csr.transitive_fixpoint(range(16), base, low)
+        parallel = csr.transitive_fixpoint(range(16), base, low, workers=workers)
+        assert parallel.to_set() == sequential.to_set()
+
+
+# -- the GraphDatabase mutation API --------------------------------------------
+
+
+class TestServiceMutations:
+    def test_add_edge_returns_version_and_serves_fresh_answers(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        before = database.query("knows")
+        version = database.add_edge("ada", "knows", "kim")
+        assert version is not None and version > before.version
+        after = database.query("knows")
+        assert after.version == version
+        assert ("ada", "kim") in after.pairs
+        assert set(after.pairs) == eval_query(database.graph, "knows")
+
+    def test_duplicate_add_is_a_noop(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        version = database.graph.version
+        assert database.add_edge("ada", "knows", "zoe") is None  # exists
+        assert database.graph.version == version
+
+    def test_remove_edge_round_trip(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        baseline = database.query("knows/worksFor").pairs
+        assert database.remove_edge("zoe", "worksFor", "ada") is not None
+        mutated = database.query("knows/worksFor")
+        assert set(mutated.pairs) == eval_query(
+            database.graph, "knows/worksFor"
+        )
+        assert database.add_edge("zoe", "worksFor", "ada") is not None
+        assert database.query("knows/worksFor").pairs == baseline
+
+    def test_remove_missing_edge_is_a_noop(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        assert database.remove_edge("ada", "knows", "ada") is None
+
+    def test_failed_rebuild_fails_queries_cleanly_until_healed(
+        self, monkeypatch
+    ):
+        """A rebuild that dies mid-mutation must not leave queries
+        answering from pre-mutation state (or crashing on a half
+        swapped index) — they raise PathIndexError until a rebuild
+        succeeds."""
+        from repro.errors import PathIndexError
+        from repro.indexes.pathindex import PathIndex
+
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        original_build = PathIndex.build
+
+        def exploding_build(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(PathIndex, "build", exploding_build)
+        with pytest.raises(OSError):
+            database.add_edge("ada", "knows", "kim")
+        # The graph is mutated and the index cleared: queries retry the
+        # rebuild (and fail loudly) rather than serving stale answers.
+        with pytest.raises(OSError):
+            database.query("knows", use_cache=False)
+        # A reader that slipped past _ensure_built before the failure
+        # gets the clean "unavailable" error, not an AttributeError.
+        with pytest.raises(PathIndexError, match="index unavailable"):
+            database._require_index()
+        # Once building works again, the service self-heals.
+        monkeypatch.setattr(PathIndex, "build", original_build)
+        fresh = database.query("knows", use_cache=False)
+        assert set(fresh.pairs) == eval_query(database.graph, "knows")
+        assert ("ada", "kim") in fresh.pairs  # the mutation is visible
+
+    def test_failed_disk_rebuild_recovers_on_retry(self, tmp_path, monkeypatch):
+        """Regression: a disk build dying mid-bulk-load left a partial
+        non-empty index file that made every later build_index() raise
+        'bulk_load requires an empty tree' — the database was wedged."""
+        from repro.indexes.pathindex import PathIndex
+        from repro.storage.diskbtree import DiskBPlusTree
+
+        database = GraphDatabase.from_edges(
+            FIGURE1_EDGES, k=2, backend="disk",
+            index_path=str(tmp_path / "index.db"),
+        )
+        original = DiskBPlusTree.bulk_load
+
+        def exploding(self, *args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(DiskBPlusTree, "bulk_load", exploding)
+        with pytest.raises(OSError):
+            database.add_edge("ada", "knows", "kim")
+        monkeypatch.setattr(DiskBPlusTree, "bulk_load", original)
+        database.build_index()  # must not be wedged by the partial file
+        assert set(database.query("knows").pairs) == eval_query(
+            database.graph, "knows"
+        )
+        database.close()
+
+    @pytest.mark.parametrize("backend", ["memory", "disk", "compressed"])
+    def test_mutation_rebuild_works_on_every_backend(self, backend, tmp_path):
+        """Regression: rebuilding a disk-backed index reused the old
+        non-empty file and bulk_load raised StorageError — the rebuild
+        must release the stale backend first."""
+        kwargs = (
+            {"index_path": str(tmp_path / "index.db")}
+            if backend == "disk" else {}
+        )
+        with GraphDatabase.from_edges(
+            FIGURE1_EDGES, k=2, backend=backend, **kwargs
+        ) as database:
+            assert database.add_edge("ada", "knows", "kim") is not None
+            assert set(database.query("knows").pairs) == eval_query(
+                database.graph, "knows"
+            )
+            assert database.remove_edge("ada", "knows", "kim") is not None
+            assert set(database.query("knows").pairs) == eval_query(
+                database.graph, "knows"
+            )
+
+
+# -- query_batch ---------------------------------------------------------------
+
+
+class TestQueryBatch:
+    QUERIES = [
+        "knows",
+        "knows/worksFor",
+        "supervisor/^worksFor",
+        "knows{1,3}",
+        "knows",  # duplicate on purpose
+        "(knows|worksFor)/knows",
+    ]
+
+    def test_matches_per_query_results_in_order(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        batch = database.query_batch(self.QUERIES, use_cache=False)
+        assert len(batch) == len(self.QUERIES)
+        for text, result in zip(self.QUERIES, batch):
+            single = database.query(text, use_cache=False)
+            assert result.query == text
+            assert result.pairs == single.pairs
+            assert result.version == database.graph.version
+
+    def test_duplicates_share_one_execution(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        batch = database.query_batch(["knows"] * 5, use_cache=False)
+        assert len({id(result) for result in batch}) == 1
+
+    def test_batch_shares_scans_across_distinct_queries(self):
+        """Two naive plans share their leading join subtree; with the
+        batch-wide memo the second query gets it for free."""
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        before = database.cache_info()
+        database.query_batch(
+            ["knows/worksFor", "knows/worksFor/knows"],
+            method="naive",
+            use_cache=False,
+        )
+        info = database.cache_info()
+        assert info["scan_memo_hits"] > before["scan_memo_hits"]
+
+    def test_batch_results_land_in_the_query_cache(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        database.query_batch(["knows", "worksFor"])
+        assert database.query("knows").cached
+        assert database.query("worksFor").cached
+
+    def test_batch_serves_cached_answers(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        primed = database.query("knows")
+        batch = database.query_batch(["knows"])
+        assert batch[0].cached
+        assert batch[0].pairs == primed.pairs
+
+    def test_workers_do_not_change_answers(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        serial = database.query_batch(self.QUERIES, use_cache=False)
+        threaded = database.query_batch(
+            self.QUERIES, use_cache=False, workers=4
+        )
+        for left, right in zip(serial, threaded):
+            assert left.pairs == right.pairs
+
+    def test_baseline_methods_batch_too(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        batch = database.query_batch(
+            ["knows", "knows/worksFor"], method="reference", workers=2
+        )
+        for text, result in zip(["knows", "knows/worksFor"], batch):
+            assert set(result.pairs) == eval_query(database.graph, text)
+            assert result.method == "reference"
+
+    def test_fallback_queries_share_the_batch_memo(self):
+        """Unbounded stars take the hybrid fallback; the starred base
+        repeats across the batch and must be computed once."""
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        queries = ["(knows|worksFor)*", "(knows|worksFor)*/supervisor"]
+        batch = database.query_batch(queries, max_disjuncts=4, use_cache=False)
+        for text, result in zip(queries, batch):
+            assert result.report is not None and result.report.used_fallback
+            assert set(result.pairs) == eval_query(database.graph, text)
+
+    def test_empty_batch(self):
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        assert database.query_batch([]) == []
+
+    @BOTH_PATHS
+    @settings(max_examples=15, deadline=None)
+    @given(nodes=st.lists(rpq_asts(allow_star=True), min_size=1, max_size=4))
+    def test_batch_pins_to_query_property(self, pure_python, nodes):
+        """Property: query_batch == a query() loop on hypothesis-drawn
+        query mixes, on both the numpy and pure-Python kernel paths."""
+        with forced_path(pure_python):
+            database = GraphDatabase(figure1_graph(), k=2)
+            batch = database.query_batch(nodes, max_disjuncts=6, workers=2)
+            for node, result in zip(nodes, batch):
+                single = database.query(node, max_disjuncts=6, use_cache=False)
+                assert result.pairs == single.pairs, str(node)
+
+
+# -- the multi-threaded hammer -------------------------------------------------
+
+
+class TestConcurrentHammer:
+    """N threads interleave query / add_edge / remove_edge.
+
+    Every answer must match the single-threaded oracle for the graph
+    version it was served under — no torn LRU entries, no answers
+    computed against one index and keyed under another version.
+    """
+
+    #: Mutators toggle only these extra edges (labels stay alive — the
+    #: base graph keeps other edges of every label), one disjoint slice
+    #: per mutator so each thread knows which of its edges are present.
+    EXTRA_EDGES = (
+        ("ada", "knows", "kim"),
+        ("sue", "knows", "ada"),
+        ("kim", "worksFor", "acme"),
+        ("zoe", "knows", "liz"),
+        ("liz", "worksFor", "acme"),
+        ("jan", "knows", "zoe"),
+    )
+    QUERIES = (
+        "knows",
+        "knows/worksFor",
+        "supervisor/^worksFor",
+        "(knows|worksFor){1,2}",
+    )
+
+    def test_hammer_serves_only_oracle_answers(self):
+        database = GraphDatabase.from_edges(
+            FIGURE1_EDGES, k=2, query_cache_size=8
+        )
+        initial_version = database.graph.version
+        op_log: list[tuple[int, str, tuple[str, str, str]]] = []
+        log_lock = threading.Lock()
+        answers: list[tuple[str, int, frozenset]] = []
+        answers_lock = threading.Lock()
+
+        def mutator(slice_edges, seed):
+            def run():
+                rng = random.Random(seed)
+                present: set = set()
+                for _ in range(10):
+                    edge = rng.choice(slice_edges)
+                    if edge in present:
+                        version = database.remove_edge(*edge)
+                        operation = "remove"
+                        present.discard(edge)
+                    else:
+                        version = database.add_edge(*edge)
+                        operation = "add"
+                        present.add(edge)
+                    assert version is not None
+                    with log_lock:
+                        op_log.append((version, operation, edge))
+            return run
+
+        def querier(seed):
+            def run():
+                rng = random.Random(seed)
+                local = []
+                for _ in range(20):
+                    text = rng.choice(self.QUERIES)
+                    result = database.query(
+                        text, use_cache=rng.random() < 0.7
+                    )
+                    local.append((text, result.version, result.pairs))
+                with answers_lock:
+                    answers.extend(local)
+            return run
+
+        mutator_count = 2
+        slices = [self.EXTRA_EDGES[0::2], self.EXTRA_EDGES[1::2]]
+        targets = [
+            mutator(slices[i], seed=100 + i) for i in range(mutator_count)
+        ] + [querier(seed=i) for i in range(STRESS_THREADS)]
+        errors = _run_threads(targets)
+        assert errors == [], errors
+
+        # Reconstruct the exact edge set at every served version.  The
+        # write lock serializes mutations, so version order is
+        # application order; queries can only observe versions at the
+        # boundaries of completed mutations.
+        states: dict[int, frozenset] = {}
+        current = set(FIGURE1_EDGES)
+        states[initial_version] = frozenset(current)
+        for version, operation, edge in sorted(op_log):
+            if operation == "add":
+                current.add(edge)
+            else:
+                current.discard(edge)
+            states[version] = frozenset(current)
+
+        assert answers, "no answers recorded"
+        oracle_cache: dict[tuple, set] = {}
+        from repro.graph.graph import Graph
+
+        for text, version, pairs in answers:
+            assert version in states, (
+                f"answer served under unknown version {version}"
+            )
+            key = (version, text)
+            if key not in oracle_cache:
+                graph = Graph.from_edges(sorted(states[version]))
+                oracle_cache[key] = eval_query(graph, text)
+            assert set(pairs) == oracle_cache[key], (
+                f"{text!r} at version {version} diverged from the oracle"
+            )
+
+    def test_concurrent_readers_on_the_disk_backend(self, tmp_path):
+        """Regression: the disk backend's pager shares one file handle
+        and one LRU across readers — concurrent queries interleaved
+        seek/read and could serve torn pages.  A tiny page cache forces
+        constant misses/evictions while threads query and mutate."""
+        database = GraphDatabase.from_edges(
+            FIGURE1_EDGES, k=2, backend="disk",
+            index_path=str(tmp_path / "index.db"),
+        )
+        # Shrink the pager cache so nearly every read goes to the file.
+        database.index._backend._tree._pager._cache_pages = 4
+        expected = {
+            text: eval_query(database.graph, text) for text in self.QUERIES
+        }
+
+        def querier(seed):
+            def run():
+                rng = random.Random(seed)
+                for _ in range(15):
+                    text = rng.choice(self.QUERIES)
+                    result = database.query(text, use_cache=False)
+                    assert set(result.pairs) == expected[text], text
+            return run
+
+        errors = _run_threads([querier(i) for i in range(STRESS_THREADS)])
+        assert errors == [], errors
+        database.close()
+
+    def test_concurrent_batches_and_mutations(self):
+        """query_batch under concurrent mutation: every batch is served
+        against one consistent version."""
+        database = GraphDatabase.from_edges(
+            FIGURE1_EDGES, k=2, query_cache_size=8
+        )
+        collected: list[list] = []
+        collected_lock = threading.Lock()
+
+        def mutator():
+            for _ in range(6):
+                assert database.add_edge("ada", "knows", "kim") is not None
+                assert database.remove_edge("ada", "knows", "kim") is not None
+
+        def batcher(seed):
+            def run():
+                rng = random.Random(seed)
+                for _ in range(5):
+                    batch = database.query_batch(
+                        ["knows", "knows/worksFor", "knows"],
+                        workers=rng.choice((1, 2)),
+                        use_cache=rng.random() < 0.5,
+                    )
+                    with collected_lock:
+                        collected.append(batch)
+            return run
+
+        errors = _run_threads(
+            [mutator] + [batcher(i) for i in range(STRESS_THREADS)]
+        )
+        assert errors == [], errors
+        for batch in collected:
+            versions = {result.version for result in batch}
+            assert len(versions) == 1, "batch spanned graph versions"
+            assert batch[0].pairs == batch[2].pairs  # duplicate query
