@@ -1,0 +1,165 @@
+"""Benchmark-regression gate: fresh exports vs committed baselines.
+
+CI re-runs the smoke benchmark exports on every push and compares them
+against the ``BENCH_*.json`` files committed at the repo root.  The
+comparison deliberately checks **ratio columns only** (``speedup``,
+``speedup_vs_delta``, ...): each ratio divides two timings taken on the
+same machine in the same run — engine vs frozen-seed baseline — so it
+is the machine-independent signal.  Absolute seconds are reported for
+context but never gated: a committed 100 microsecond timing re-measured
+on a different runner is pure noise.
+
+Rows are matched on their *identity* fields (everything that is not a
+float: operation names, sizes, scales, shard counts...).  A matched
+row fails when a fresh ratio drops below ``tolerance * baseline`` —
+but only for rows whose committed ratio actually *claims* a speedup
+(``>= GATED_MIN_RATIO``): ablation rows that sit at parity (a sharded
+query ablation reported at ~1.0x, a sequential-loop baseline at 1.0x)
+are informational, and a floor on a millisecond-scale parity ratio
+would gate pure timer noise.  Fresh rows with no committed counterpart
+(e.g. a smoke scale the full export never ran) fall back to a
+per-column check of the export-wide maximum-claim, so a wholesale
+collapse is still caught while scale mismatches are not spuriously
+fatal.
+
+Usage (what the CI step runs)::
+
+    python benchmarks/check_regression.py \
+        --baseline-dir baseline --fresh-dir . --tolerance 0.30 \
+        BENCH_relation.json BENCH_closure.json BENCH_service.json \
+        BENCH_sharding.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+#: Committed ratios below this are parity reports, not speedup claims,
+#: and are exempt from the floor (their noise band brackets 1.0).
+GATED_MIN_RATIO = 1.2
+
+
+def load_rows(path: Path) -> list[dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise SystemExit(f"{path}: not a benchmark export")
+    return payload["rows"]
+
+
+def identity(row: dict) -> tuple:
+    """The stable identity of a row: every non-float field, sorted."""
+    return tuple(
+        sorted(
+            (key, value)
+            for key, value in row.items()
+            if not isinstance(value, float)
+        )
+    )
+
+
+def ratio_columns(rows: list[dict]) -> list[str]:
+    """The gated metrics: ratio-of-timings columns, by naming convention."""
+    names: set[str] = set()
+    for row in rows:
+        names.update(
+            key
+            for key, value in row.items()
+            if isinstance(value, float) and key.startswith("speedup")
+        )
+    return sorted(names)
+
+
+def check_file(
+    name: str, baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> list[str]:
+    """Compare one export pair; return human-readable failures."""
+    baseline_rows = load_rows(baseline_dir / name)
+    fresh_rows = load_rows(fresh_dir / name)
+    columns = [
+        column
+        for column in ratio_columns(baseline_rows)
+        if column in ratio_columns(fresh_rows)
+    ]
+    baseline_by_id = {identity(row): row for row in baseline_rows}
+    failures: list[str] = []
+    matched = 0
+    for row in fresh_rows:
+        committed = baseline_by_id.get(identity(row))
+        if committed is None:
+            continue
+        matched += 1
+        label = ", ".join(
+            f"{key}={value}"
+            for key, value in row.items()
+            if not isinstance(value, float)
+        )
+        for column in columns:
+            if committed[column] < GATED_MIN_RATIO:
+                continue  # parity report, not a speedup claim
+            floor = committed[column] * tolerance
+            if row[column] < floor:
+                failures.append(
+                    f"{name}: [{label}] {column} fell to "
+                    f"{row[column]:.2f} (< {tolerance:.2f} x committed "
+                    f"{committed[column]:.2f})"
+                )
+    if matched == 0:
+        # Different sweep configuration (e.g. smoke-only scales): guard
+        # the export-wide best claim per ratio column instead.
+        for column in columns:
+            committed_best = max(row[column] for row in baseline_rows)
+            if committed_best < GATED_MIN_RATIO:
+                continue
+            fresh_best = max(row[column] for row in fresh_rows)
+            if fresh_best < committed_best * tolerance:
+                failures.append(
+                    f"{name}: export-wide best {column} fell to "
+                    f"{fresh_best:.2f} (< {tolerance:.2f} x committed "
+                    f"best {committed_best:.2f}; no identity-matched rows)"
+                )
+        print(f"{name}: 0 matched rows, compared export-wide best claims only")
+    else:
+        print(
+            f"{name}: {matched}/{len(fresh_rows)} rows matched, "
+            f"columns gated: {', '.join(columns) or '(none)'}"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("exports", nargs="+", help="export file names")
+    parser.add_argument("--baseline-dir", type=Path, default=Path("baseline"))
+    parser.add_argument("--fresh-dir", type=Path, default=Path("."))
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fresh ratio must stay above tolerance * committed ratio",
+    )
+    arguments = parser.parse_args()
+    failures: list[str] = []
+    for name in arguments.exports:
+        failures.extend(
+            check_file(
+                name,
+                arguments.baseline_dir,
+                arguments.fresh_dir,
+                arguments.tolerance,
+            )
+        )
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

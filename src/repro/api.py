@@ -47,6 +47,7 @@ from repro.rpq.ast import Node
 from repro.rpq.parser import parse
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, NormalForm, normalize
 from repro.rpq.semantics import eval_ast
+from repro.sharding import ShardedGraph
 
 #: Methods accepted by :meth:`GraphDatabase.query`: the paper's four
 #: index strategies plus the literature baselines (NFA and DFA product
@@ -92,15 +93,28 @@ class GraphDatabase:
         build: bool = True,
         query_cache_size: int = 128,
         query_cache_max_pairs: int = 1_000_000,
+        shards: int = 1,
+        shard_build_workers: int | None = None,
+        shard_query_workers: int = 1,
     ):
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
         self.graph = graph
         self.k = k
         self._backend = backend
         self._index_path = index_path
         self._histogram_buckets = histogram_buckets
-        self._index: PathIndex | None = None
+        # Sharding knob (fully transparent): shards=1 runs the plain
+        # unsharded engine; shards=N hash-partitions the index by path
+        # start (repro.sharding) with identical answers.  Build fans out
+        # over shard_build_workers processes (None = one per core);
+        # shard_query_workers threads the scatter side of execution.
+        self._shards = shards
+        self._shard_build_workers = shard_build_workers
+        self._shard_query_workers = shard_query_workers
+        self._index: PathIndex | ShardedGraph | None = None
         self._histogram: EquiDepthHistogram | None = None
         self._exact_statistics: ExactStatistics | None = None
         # Concurrency model: queries are readers, mutations and index
@@ -198,10 +212,23 @@ class GraphDatabase:
                 # must be removed too, or every retry dies in bulk_load.
                 if self._index_path is not None:
                     Path(self._index_path).unlink(missing_ok=True)
-            index = PathIndex.build(
-                self.graph, self.k, backend=self._backend,
-                path=self._index_path,
-            )
+                    for shard in range(self._shards):
+                        shard_path = ShardedGraph.shard_index_path(
+                            self._index_path, shard
+                        )
+                        shard_path.unlink(missing_ok=True)
+            if self._shards > 1:
+                index = ShardedGraph.build(
+                    self.graph, self.k, shards=self._shards,
+                    backend=self._backend, index_path=self._index_path,
+                    workers=self._shard_build_workers,
+                )
+                index.query_workers = self._shard_query_workers
+            else:
+                index = PathIndex.build(
+                    self.graph, self.k, backend=self._backend,
+                    path=self._index_path,
+                )
             exact_statistics = ExactStatistics.from_index(index, self.graph)
             histogram = EquiDepthHistogram.from_counts(
                 index.counts_by_path(),
@@ -438,27 +465,98 @@ class GraphDatabase:
         Runs as a writer: no query can observe the graph mutated but
         the index not yet rebuilt.  Returns ``None`` when the edge was
         already present (nothing changed).  Correctness-first: the
-        whole index is rebuilt per mutation — the localized delta
-        algorithm lives in
-        :class:`repro.indexes.dynamic.DynamicPathIndex`.
+        whole index is rebuilt per mutation on the unsharded engine —
+        the localized delta algorithm lives in
+        :class:`repro.indexes.dynamic.DynamicPathIndex`.  A sharded
+        engine (``shards=N``) rebuilds only the shards within
+        undirected distance ``k - 1`` of the edge — the only shards
+        whose path sets the mutation can change
+        (:meth:`repro.sharding.ShardedGraph.shards_touching`) — unless
+        the label vocabulary changed, which re-enumerates every
+        shard's paths and forces a full rebuild.
         """
         with self._lock.write_locked():
             if not self.graph.add_edge(source, label, target):
                 return None
-            self._build_index_locked()
+            # The ball is evaluated on the graph *containing* the edge:
+            # post-insert here, pre-delete in remove_edge.
+            self._rebuild_shards_locked(self._affected_shards(source, target))
             return self.graph.version
 
     def remove_edge(self, source: str, label: str, target: str) -> int | None:
         """Delete an edge, rebuild the index, and return the new version.
 
         Returns ``None`` when the edge was absent.  See :meth:`add_edge`
-        for the locking contract.
+        for the locking and shard-rebuild contracts.
         """
         with self._lock.write_locked():
+            affected = self._affected_shards(source, target)
             if not self.graph.remove_edge(source, label, target):
                 return None
-            self._build_index_locked()
+            self._rebuild_shards_locked(affected)
             return self.graph.version
+
+    def _affected_shards(self, source: str, target: str) -> set[int] | None:
+        """Shards a mutation at ``(source, target)`` can invalidate.
+
+        ``None`` means "unknown — rebuild everything": the index is not
+        sharded, not built, or an endpoint is a brand-new node the
+        caller has not interned yet.
+        """
+        index = self._index
+        if not isinstance(index, ShardedGraph):
+            return None
+        if not (self.graph.has_node(source) and self.graph.has_node(target)):
+            return None
+        return index.shards_touching(
+            (self.graph.node_id(source), self.graph.node_id(target))
+        )
+
+    def _rebuild_shards_locked(self, affected: set[int] | None) -> None:
+        """Partial index rebuild after a mutation; caller holds the lock.
+
+        Falls back to :meth:`_build_index_locked` whenever the partial
+        path cannot be proven safe: no sharded index, an unknown
+        neighborhood, a changed label vocabulary, or a ball that
+        reached every shard anyway.  The query cache is always cleared
+        (the graph version moved, so every entry is dead); statistics
+        are re-derived from the merged shard catalogs.
+        """
+        index = self._index
+        if (
+            affected is None
+            or not isinstance(index, ShardedGraph)
+            or index.alphabet != self.graph.labels()
+            or len(affected) >= index.shard_count
+        ):
+            self._build_index_locked()
+            return
+        self.cache_clear()
+        try:
+            index.rebuild_shards(affected)
+            exact_statistics = ExactStatistics.from_index(index, self.graph)
+            histogram = EquiDepthHistogram.from_counts(
+                index.counts_by_path(),
+                k=self.k,
+                total_paths_k=exact_statistics.total_paths_k,
+                buckets=self._histogram_buckets,
+            )
+        except BaseException:
+            # Same contract as a failed full rebuild: never leave a
+            # partially refreshed triple behind a mutated graph.  The
+            # dropped index is closed first — its shards hold open
+            # file handles on the disk backend — without masking the
+            # original failure.
+            self._index = None
+            self._exact_statistics = None
+            self._histogram = None
+            try:
+                index.close()
+            except Exception:
+                pass
+            raise
+        self._exact_statistics = exact_statistics
+        self._histogram = histogram
 
     # -- batched queries ----------------------------------------------------------
 
@@ -790,8 +888,9 @@ class GraphDatabase:
         self.close()
 
     def __repr__(self) -> str:
+        sharding = f", shards={self._shards}" if self._shards > 1 else ""
         return (
             f"GraphDatabase(nodes={self.graph.node_count}, "
             f"edges={self.graph.edge_count}, k={self.k}, "
-            f"backend={self._backend!r})"
+            f"backend={self._backend!r}{sharding})"
         )

@@ -147,6 +147,41 @@ def service_batch_queries(
     return [pool[int(len(pool) * rng.random() ** 2)] for _ in range(count)]
 
 
+def sharding_graph(scale: str = "bench", seed: int = 7) -> Graph:
+    """The graph the sharding ablation builds indexes over.
+
+    The same Advogato-like generator as :func:`advogato_workload`, but
+    returned bare: ``benchmarks/bench_sharding.py`` times raw index
+    builds at several shard counts, so the databases (and their
+    statistics layers) must not be prebuilt here.
+    """
+    if scale not in SCALES:
+        raise ValidationError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    nodes, edges = SCALES[scale]
+    return advogato_like(nodes=nodes, edges=edges, seed=seed)
+
+
+def sharding_queries(
+    labels: tuple[str, str, str] = ADVOGATO_LABELS,
+) -> list[str]:
+    """The scatter-gather query ablation set, one query per regime.
+
+    Two-step paths (one merge join over shard slices), three-step paths
+    with an inverse step (hash-join chains, the swapped-scan slice
+    sort), a high-fan-in union via a bounded repeat, and a Kleene star
+    (per-shard base evaluation + the mandatory global closure).
+    """
+    a, b, c = labels
+    return [
+        f"{a}/{b}",
+        f"{b}/^{a}/{c}",
+        f"{a}{{1,3}}",
+        f"({a}|{b})*",
+    ]
+
+
 def synthetic_join_inputs(
     size: int, seed: int = 7
 ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:

@@ -239,6 +239,32 @@ def transitive_fixpoint(
     return _emit_bitsets(answers, ids if low == 0 else None)
 
 
+def partitioned_closure(
+    node_ids, parts: Sequence[Relation], low: int = 0, workers: int = 1
+) -> Relation:
+    """Kleene closure of a base relation scattered across shards.
+
+    The sharded engine (:mod:`repro.sharding`) evaluates a ``Star``
+    operand per shard, but the closure itself cannot stay shard-local:
+    a recursive path may hop between shards on every step, so the
+    per-shard base slices are merged (one packed-key union — the slices
+    are disjoint by the partition rule) and closed **globally** through
+    the frontier engine.  This is the "exactness over locality" point
+    of the design: recursion is the one operator that always gathers.
+
+    Delegates to :func:`repro.relation.transitive_fixpoint`, so the
+    sparse-id delta fallback and the ``workers`` schedule partitioning
+    apply unchanged; with a single part this *is* the unsharded
+    closure.
+    """
+    parts = [part for part in parts if len(part)]
+    if not parts:
+        ids = node_ids if isinstance(node_ids, range) else list(node_ids)
+        return rel.identity(ids) if low == 0 else Relation.empty()
+    base = parts[0] if len(parts) == 1 else rel.union(parts)
+    return rel.transitive_fixpoint(node_ids, base, low, workers=workers)
+
+
 def relation_power(
     node_ids, base: Relation, exponent: int, bound: int | None = None
 ) -> Relation:

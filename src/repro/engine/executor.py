@@ -23,15 +23,23 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import csr
 from repro import relation as rel
 from repro.errors import RewriteError
 from repro.engine.cost import CostedPlan
-from repro.engine.operators import ScanMemo, execute
+from repro.engine.operators import (
+    ScanMemo,
+    SharedScanMemo,
+    execute,
+    execute_scattered,
+    scattered_parts,
+)
 from repro.engine.planner import Planner, Strategy
 from repro.graph.graph import Graph
 from repro.graph.stats import star_bound
 from repro.indexes.pathindex import PathIndex
 from repro.relation import Relation
+from repro.sharding import ShardedGraph
 from repro.rpq.ast import Concat, Epsilon, Inverse, Label, Node, Repeat, Star, Union
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, normalize, push_inverse
 
@@ -188,12 +196,22 @@ def execute_prepared(
     query ran; under a concurrently shared memo they attribute overlap
     loosely (batch totals are aggregated from the memo itself).
     """
+    sharded = isinstance(index, ShardedGraph)
+    shard_workers = index.query_workers if sharded else 1
     if memo is None:
-        memo = ScanMemo()
+        # Scatter-gather fan-out populates the memo from several
+        # threads; the locked memo is only paid for when that happens.
+        memo = SharedScanMemo() if shard_workers > 1 else ScanMemo()
     hits_before, misses_before = memo.hits, memo.misses
     started = time.perf_counter()
     if prepared.costed is not None:
-        relation = execute(prepared.costed.plan, index, graph, memo)
+        if sharded:
+            relation = execute_scattered(
+                prepared.costed.plan, index, graph, memo,
+                workers=shard_workers,
+            )
+        else:
+            relation = execute(prepared.costed.plan, index, graph, memo)
         used_fallback = False
     else:
         relation = _hybrid(
@@ -264,6 +282,14 @@ def _hybrid_uncached(
 ) -> Relation:
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
+        if isinstance(index, ShardedGraph):
+            costed = Planner(index.k, statistics, graph, strategy).plan(
+                normal_form
+            )
+            return execute_scattered(
+                costed.plan, index, graph, memo,
+                workers=index.query_workers,
+            )
         report = evaluate_normal_form(
             normal_form, index, graph, statistics, strategy, memo
         )
@@ -298,18 +324,68 @@ def _hybrid_uncached(
             for part in node.parts
         )
     if isinstance(node, Star):
-        base = _hybrid(
+        parts = _closure_base_parts(
             node.child, index, graph, statistics, strategy, max_disjuncts, memo
         )
-        return rel.transitive_fixpoint(graph.node_ids(), base, low=0)
+        return csr.partitioned_closure(
+            graph.node_ids(), parts, low=0, workers=_closure_workers(index)
+        )
     if isinstance(node, Repeat):
+        if node.high is None:
+            parts = _closure_base_parts(
+                node.child, index, graph, statistics, strategy,
+                max_disjuncts, memo,
+            )
+            return csr.partitioned_closure(
+                graph.node_ids(), parts, low=node.low,
+                workers=_closure_workers(index),
+            )
         base = _hybrid(
             node.child, index, graph, statistics, strategy, max_disjuncts, memo
         )
-        if node.high is None:
-            return rel.transitive_fixpoint(graph.node_ids(), base, low=node.low)
         return rel.bounded_powers(graph.node_ids(), base, node.low, node.high)
     raise RewriteError(f"unknown AST node {type(node).__name__}")
+
+
+def _closure_workers(index: PathIndex) -> int:
+    """Thread fan-out of the global closure: the sharded engine's
+    ``query_workers`` knob reaches the CSR schedule partitioning too
+    (:func:`repro.csr.closure_bitsets`); unsharded stays sequential."""
+    return index.query_workers if isinstance(index, ShardedGraph) else 1
+
+
+def _closure_base_parts(
+    node: Node,
+    index: PathIndex,
+    graph: Graph,
+    statistics,
+    strategy: Strategy,
+    max_disjuncts: int,
+    memo: ScanMemo,
+) -> list[Relation]:
+    """The operand of a Kleene closure, as per-shard slices when possible.
+
+    Sharded engines evaluate a bounded closure operand once per shard
+    (the gather is subsumed by the closure's own merge —
+    :func:`repro.csr.partitioned_closure`); the closure itself always
+    runs globally, because recursive paths hop shards freely.  The
+    unsharded engine — and any operand the planner cannot bound — keeps
+    the single-relation path, memoized under the operand's AST node as
+    before.
+    """
+    if isinstance(index, ShardedGraph):
+        normal_form = _try_normalize(node, graph, max_disjuncts)
+        if normal_form is not None:
+            costed = Planner(index.k, statistics, graph, strategy).plan(
+                normal_form
+            )
+            return scattered_parts(
+                costed.plan, index, graph, memo,
+                workers=index.query_workers,
+            )
+    return [
+        _hybrid(node, index, graph, statistics, strategy, max_disjuncts, memo)
+    ]
 
 
 def _single_step_path(node: Label):

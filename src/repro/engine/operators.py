@@ -85,7 +85,10 @@ class ScanMemo:
     __slots__ = ("plans", "asts", "hits", "misses")
 
     def __init__(self) -> None:
-        self.plans: dict[PlanNode, Relation] = {}
+        # Keys are PlanNodes for global executions and (PlanNode, shard)
+        # tuples for shard-restricted slices (scatter-gather execution);
+        # both are immutable hashable value objects.
+        self.plans: dict = {}
         self.asts: dict = {}
         self.hits = 0
         self.misses = 0
@@ -201,6 +204,121 @@ def _run(
         return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
         return rel.union(execute(part, index, graph, memo) for part in plan.parts)
+    raise ExecutionError(f"unknown plan node {type(plan).__name__}")
+
+
+def execute_scattered(
+    plan: PlanNode,
+    sharded,
+    graph: Graph,
+    memo: ScanMemo | None = None,
+    workers: int = 1,
+) -> Relation:
+    """Run a plan against every shard and merge the slices.
+
+    ``sharded`` is a :class:`repro.sharding.ShardedGraph`.  The plan is
+    executed once per shard with its *output-source position* pinned to
+    the shard: the leftmost leaf of every join chain (whose source
+    column becomes the answer's source column) reads the shard-local
+    slice, while every other subtree is executed globally through
+    :func:`execute` — and therefore lands in the shared ``memo``, so
+    the gather side of an inner scan is computed once and reused by
+    all N shard executions.  Because the shard slices partition every
+    relation by start owner, the final union is exact: it equals the
+    unsharded execution of the same plan.
+
+    ``workers > 1`` fans the per-shard executions out over threads;
+    this requires a :class:`SharedScanMemo` (the per-shard traversals
+    populate the memo concurrently) and silently stays serial
+    otherwise.
+    """
+    return rel.union(scattered_parts(plan, sharded, graph, memo, workers))
+
+
+def scattered_parts(
+    plan: PlanNode,
+    sharded,
+    graph: Graph,
+    memo: ScanMemo | None = None,
+    workers: int = 1,
+) -> list[Relation]:
+    """The per-shard slices of a plan's result, unmerged.
+
+    What the recursive operators want: the slices of a ``Star``
+    operand go straight into the *global* closure
+    (:func:`repro.csr.partitioned_closure`), whose packed-key merge
+    subsumes the union this module would otherwise perform.  Thread
+    fan-out follows the same rule as :func:`execute_scattered`:
+    ``workers > 1`` requires a :class:`SharedScanMemo`.
+    """
+    if memo is None:
+        memo = ScanMemo()
+    shard_ids = range(sharded.shard_count)
+    if workers > 1 and sharded.shard_count > 1 and isinstance(memo, SharedScanMemo):
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=min(workers, sharded.shard_count)
+        ) as pool:
+            return list(
+                pool.map(
+                    lambda shard: _run_on_shard(plan, sharded, shard, graph, memo),
+                    shard_ids,
+                )
+            )
+    return [
+        _run_on_shard(plan, sharded, shard, graph, memo)
+        for shard in shard_ids
+    ]
+
+
+def _run_on_shard(
+    plan: PlanNode, sharded, shard: int, graph: Graph, memo: ScanMemo
+) -> Relation:
+    """One shard's slice of a plan: restrict along the leftmost spine.
+
+    A composition's output sources come from its left input, so
+    restricting the leftmost leaf to the shard's owned start vertices
+    restricts the whole subtree's result to pairs the shard owns —
+    every other input must stay global or cross-shard joins would be
+    dropped.  Union nodes restrict every disjunct (a union's output
+    sources come from all parts).
+
+    Shard-restricted subtrees are memoized under ``(plan, shard)`` keys
+    (global subtrees under the plan itself, via :func:`execute`), so a
+    left-spine prefix shared by several disjuncts — ``R{1,3}`` repeats
+    the ``R`` slice and the ``R·R`` join under every power — runs once
+    per shard, exactly as the unsharded path runs it once.
+    """
+    cached = memo.lookup_plan((plan, shard))
+    if cached is not None:
+        return cached
+    return memo.store_plan(
+        (plan, shard), _run_on_shard_uncached(plan, sharded, shard, graph, memo)
+    )
+
+
+def _run_on_shard_uncached(
+    plan: PlanNode, sharded, shard: int, graph: Graph, memo: ScanMemo
+) -> Relation:
+    if isinstance(plan, IndexScanPlan):
+        if plan.via_inverse:
+            return sharded.shard_scan_swapped(shard, plan.path)
+        return sharded.shard_scan(shard, plan.path)
+    if isinstance(plan, IdentityPlan):
+        return sharded.shard_identity(shard)
+    if isinstance(plan, JoinPlan):
+        left = _run_on_shard(plan.left, sharded, shard, graph, memo)
+        right = execute(plan.right, sharded, graph, memo)
+        if plan.algorithm == "merge":
+            _check_merge_inputs(plan)
+            return rel.merge_join(left.sorted_by(Order.BY_TGT), right)
+        return rel.hash_join(left, right)
+    if isinstance(plan, UnionPlan):
+        return rel.union(
+            _run_on_shard(part, sharded, shard, graph, memo)
+            for part in plan.parts
+        )
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
 

@@ -14,10 +14,13 @@ still *reported* with count 0 so the statistics layer knows it exists.
 
 from __future__ import annotations
 
-from typing import Iterator
+from array import array
+from typing import Container, Iterator
 
+from repro import relation as rel
 from repro.errors import ValidationError
 from repro.graph.graph import Graph, LabelPath, Step
+from repro.relation import Order, Relation
 
 Pair = tuple[int, int]
 
@@ -51,13 +54,21 @@ def count_label_paths(label_count: int, k: int) -> int:
 
 
 def path_relations(
-    graph: Graph, k: int, prune_empty: bool = True
+    graph: Graph, k: int, prune_empty: bool = True,
+    sources: Container[int] | None = None,
 ) -> Iterator[tuple[LabelPath, list[Pair]]]:
     """Yield ``(path, sorted relation)`` for every label path up to k.
 
     Paths appear in DFS (trie) order, so a path's prefix always appears
     before it.  With ``prune_empty`` (the default), a path with an empty
     relation is yielded once (empty list) and its extensions skipped.
+
+    ``sources`` restricts every relation to pairs whose *first*
+    component (the path's start vertex) is in the container — the
+    partition a shard of :class:`repro.sharding.ShardedGraph` owns.
+    Only the first step needs filtering: composition extends paths on
+    the right, so the start vertex of every pair is inherited from the
+    first step's pairs.
     """
     _check_k(k)
     steps = _sorted_steps(graph.labels())
@@ -74,12 +85,96 @@ def path_relations(
                 extended = _compose_with_step(relation, step_adjacency[step])
             else:
                 extended = set(graph.step_pairs(step))
+                if sources is not None:
+                    extended = {
+                        pair for pair in extended if pair[0] in sources
+                    }
             yield LabelPath(path_steps), sorted(extended)
             if len(path_steps) < k:
                 if extended or not prune_empty:
                     yield from expand(path_steps, extended)
 
     yield from expand((), set())
+
+
+def path_relations_columnar(
+    graph: Graph, k: int, prune_empty: bool = True,
+    sources: Container[int] | None = None,
+) -> Iterator[tuple[LabelPath, Relation]]:
+    """Columnar twin of :func:`path_relations`: yields ``Relation`` values.
+
+    Same trie order, same pruning, same optional ``sources`` restriction
+    — but every relation is a ``BY_SRC``-sorted columnar
+    :class:`~repro.relation.Relation` and each extension is one
+    :func:`repro.relation.compose` call (packed-key / numpy kernels)
+    instead of a tuple-set loop.  This is the engine behind the sharded
+    index build (:meth:`repro.sharding.ShardedGraph.build`), where it
+    beats the tuple-set builder severalfold even on one core; the
+    unsharded :meth:`repro.indexes.pathindex.PathIndex.build` keeps the
+    tuple-set path as the stable single-shard baseline.
+    """
+    _check_k(k)
+    steps = _sorted_steps(graph.labels())
+    step_relations = {
+        step: rel.dedup_sort(
+            Relation.from_pairs(graph.step_pairs(step)), Order.BY_SRC
+        )
+        for step in steps
+    }
+    if sources is None:
+        first_relations = step_relations
+    else:
+        first_relations = {
+            step: _restrict_sources(relation, sources)
+            for step, relation in step_relations.items()
+        }
+
+    def expand(
+        prefix: tuple[Step, ...], relation: Relation | None
+    ) -> Iterator[tuple[LabelPath, Relation]]:
+        for step in steps:
+            path_steps = prefix + (step,)
+            if relation is None:
+                extended = first_relations[step]
+            else:
+                extended = rel.compose(relation, step_relations[step])
+                if extended.order is not Order.BY_SRC:
+                    extended = rel.dedup_sort(extended, Order.BY_SRC)
+            yield LabelPath(path_steps), extended
+            if len(path_steps) < k:
+                if len(extended) or not prune_empty:
+                    yield from expand(path_steps, extended)
+
+    yield from expand((), None)
+
+
+def _restrict_sources(relation: Relation, sources: Container[int]) -> Relation:
+    """Rows of a ``BY_SRC`` relation whose source is in ``sources``.
+
+    Order is preserved (filtering a sorted column keeps it sorted).
+    When ``sources`` exposes a vectorized membership test
+    (:meth:`repro.sharding.ShardMembership.mask`), the filter is one
+    numpy boolean gather instead of a per-row loop.
+    """
+    if not len(relation):
+        return Relation.empty(Order.BY_SRC)
+    mask_of = getattr(sources, "mask", None)
+    numpy = rel._np if not rel._FORCE_PURE_PYTHON else None
+    if mask_of is not None and numpy is not None and len(relation) >= rel._VECTOR_MIN:
+        mask = mask_of(rel._view(relation.src))
+        return Relation(
+            rel._column(rel._view(relation.src)[mask]),
+            rel._column(rel._view(relation.tgt)[mask]),
+            Order.BY_SRC,
+        )
+    src = array("q")
+    tgt = array("q")
+    relation_src, relation_tgt = relation.src, relation.tgt
+    for i, source in enumerate(relation_src):
+        if source in sources:
+            src.append(source)
+            tgt.append(relation_tgt[i])
+    return Relation(src, tgt, Order.BY_SRC)
 
 
 def _adjacency(graph: Graph, step: Step) -> dict[int, list[int]]:

@@ -199,6 +199,16 @@ class CompressedBackend:
         if current_path is not None and buffer:
             self._postings[current_path] = PostingList.from_pairs(buffer)
 
+    def bulk_load_runs(
+        self, runs: Iterable[list[tuple[int, int, int]]]
+    ) -> None:
+        """Each run is one path's sorted triples: a posting list apiece."""
+        for run in runs:
+            if run:
+                self._postings[run[0][0]] = PostingList.from_pairs(
+                    [(source, target) for _, source, target in run]
+                )
+
     def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
         if not prefix:
             raise StorageError("empty prefix")

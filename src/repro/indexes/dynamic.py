@@ -29,7 +29,7 @@ import bisect
 from typing import Iterator
 
 from repro.errors import PathIndexError, ValidationError
-from repro.graph.graph import Graph, LabelPath, Step
+from repro.graph.graph import Graph, LabelPath
 from repro.indexes.builder import enumerate_label_paths, path_relations
 from repro.relation import Order, Relation, dedup_sort, swap
 

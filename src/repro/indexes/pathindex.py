@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import json
 from array import array
+from itertools import repeat
 from pathlib import Path as FilePath
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath
@@ -46,6 +47,10 @@ class _MemoryBackend:
         self._tree = BPlusTree.bulk_load(
             ((key, None) for key in entries), order=self._tree.order
         )
+
+    def bulk_load_runs(self, runs: Iterator[list[tuple[int, int, int]]]) -> None:
+        """Load pre-sorted per-path key runs by leaf slicing (fast path)."""
+        self._tree = BPlusTree.bulk_load_runs(runs, order=self._tree.order)
 
     def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
         for key, _ in self._tree.prefix_scan(prefix):
@@ -79,6 +84,10 @@ class _DiskBackend:
     def bulk_load(self, entries: Iterator[tuple[int, int, int]]) -> None:
         self._tree.bulk_load((encode_key(key), b"") for key in entries)
         self._tree.flush()
+
+    def bulk_load_runs(self, runs: Iterator[list[tuple[int, int, int]]]) -> None:
+        """No columnar fast path on disk: flatten the runs."""
+        self.bulk_load(key for run in runs for key in run)
 
     def prefix(self, prefix: tuple[int, ...]) -> Iterator[tuple[int, int, int]]:
         encoded = encode_key(prefix)
@@ -152,19 +161,10 @@ class PathIndex:
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
-        if backend == "memory":
-            store = _MemoryBackend(order=order)
-        elif backend == "disk":
-            if path is None:
-                raise ValidationError("the disk backend requires a file path")
-            store = _DiskBackend(path, page_size=page_size, cache_pages=cache_pages)
-        elif backend == "compressed":
-            from repro.indexes.compressed import CompressedBackend
-
-            store = CompressedBackend()
-        else:
-            raise ValidationError(f"unknown backend {backend!r}")
-
+        store = cls._make_backend(
+            backend, order=order, path=path, page_size=page_size,
+            cache_pages=cache_pages,
+        )
         index = cls(graph, k, store)
 
         def entries() -> Iterator[tuple[int, int, int]]:
@@ -186,6 +186,79 @@ class PathIndex:
             store.close()
             raise
         return index
+
+    @classmethod
+    def from_relations(
+        cls,
+        graph: Graph,
+        k: int,
+        relations: Iterable[tuple[LabelPath, "Relation | list[Pair]"]],
+        backend: str = "memory",
+        order: int = 64,
+        path: str | FilePath | None = None,
+        page_size: int = 4096,
+        cache_pages: int = 256,
+    ) -> "PathIndex":
+        """Materialize an index from precomputed ``(path, relation)`` pairs.
+
+        ``relations`` must arrive in trie (DFS) order with each relation
+        ``(src, tgt)``-sorted and duplicate-free — exactly what
+        :func:`repro.indexes.builder.path_relations_columnar` yields and
+        what :class:`repro.sharding.ShardedGraph` workers hand back.
+        Each path becomes one key run loaded through the backend's
+        ``bulk_load_runs`` fast path (leaf slicing on the memory B+tree,
+        one posting list per run on the compressed backend), with key
+        tuples materialized by C-speed ``zip``.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        store = cls._make_backend(
+            backend, order=order, path=path, page_size=page_size,
+            cache_pages=cache_pages,
+        )
+        index = cls(graph, k, store)
+
+        def runs() -> Iterator[list[tuple[int, int, int]]]:
+            for label_path, relation in relations:
+                encoded = label_path.encode()
+                path_id = len(index._path_ids)
+                index._path_ids[encoded] = path_id
+                index._counts[encoded] = len(relation)
+                if len(relation):
+                    if isinstance(relation, Relation):
+                        columns = (relation.src, relation.tgt)
+                    else:
+                        columns = zip(*relation)
+                    yield list(zip(repeat(path_id), *columns))
+
+        try:
+            store.bulk_load_runs(runs())
+        except BaseException:
+            store.close()
+            raise
+        return index
+
+    @staticmethod
+    def _make_backend(
+        backend: str,
+        order: int,
+        path: str | FilePath | None,
+        page_size: int,
+        cache_pages: int,
+    ):
+        if backend == "memory":
+            return _MemoryBackend(order=order)
+        if backend == "disk":
+            if path is None:
+                raise ValidationError("the disk backend requires a file path")
+            return _DiskBackend(
+                path, page_size=page_size, cache_pages=cache_pages
+            )
+        if backend == "compressed":
+            from repro.indexes.compressed import CompressedBackend
+
+            return CompressedBackend()
+        raise ValidationError(f"unknown backend {backend!r}")
 
     # -- lookups ------------------------------------------------------------------
 

@@ -1,0 +1,516 @@
+"""Hash-partitioned path indexes: the sharded graph engine.
+
+The k-path index is the dominant offline cost of the paper's approach,
+and both its build and its scans parallelize naturally once the data is
+partitioned.  This module partitions by *path start*: a multiplicative
+hash assigns every vertex to one of N shards (:func:`shard_of`), and
+shard ``s`` owns exactly the index entries ``(p, a, b)`` whose start
+vertex ``a`` it owns.  Equivalently, each forward edge lives in the
+shard of its source vertex and each inverse traversal in the shard of
+its target — "hash-partition edges by source vertex", applied per
+traversal direction so that every label path's relation is split by
+its first column.
+
+Three properties fall out of that rule and carry the whole design:
+
+* **disjoint exactness** — for every label path ``p``, the per-shard
+  relations partition ``p(G)``; their union (one packed-key merge,
+  :func:`repro.relation.union`) is exactly the unsharded scan.  Nothing
+  is approximated, so ``shards=N`` answers are identical to
+  ``shards=1``.
+* **independent builds** — a shard's relations are computed by
+  restricting the *first* step of the trie walk to owned vertices and
+  composing against full-graph step relations
+  (:func:`repro.indexes.builder.path_relations_columnar`), so shards
+  build with no communication and fan out over a process pool.
+* **locality** — single-source lookups (``I(p, a)`` scans, membership
+  probes) route to the one shard owning ``a``; a graph mutation
+  invalidates only the shards within undirected distance ``k - 1`` of
+  the touched edge (:meth:`ShardedGraph.shards_touching`), so
+  :meth:`repro.api.GraphDatabase.add_edge` rebuilds a neighborhood,
+  not the world.
+
+What does *not* shard is Kleene recursion: a ``Star`` path may hop
+between shards arbitrarily often, so cross-shard closure cannot be
+answered shard-locally.  Recursive subplans are therefore routed
+through a single global CSR closure over the merged base relation
+(:func:`repro.csr.partitioned_closure`) — exactness over locality.
+
+:class:`ShardedGraph` presents the full :class:`~repro.indexes.pathindex.PathIndex`
+interface (scan / scan_swapped / scan_from / contains / counts), so the
+executor, navigation and statistics layers run unmodified against it;
+the scatter-gather plan executor
+(:func:`repro.engine.operators.execute_scattered`) additionally uses the
+per-shard scan methods to keep join fan-in partitioned.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pathlib import Path as FilePath
+from pickle import PicklingError
+from typing import Iterable, Iterator, Sequence
+
+from repro import relation as rel
+from repro.errors import ValidationError
+from repro.graph.graph import Graph, LabelPath
+from repro.indexes.builder import path_relations_columnar
+from repro.indexes.pathindex import PathIndex
+from repro.relation import Order, Relation
+
+#: Fibonacci-style multiplicative mixer: consecutive dense ids spread
+#: uniformly over shards while staying a pure function of the id.
+SHARD_MIX = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+_SHARD_SHIFT = 17
+
+#: Below this many edges a default-configured build stays serial: the
+#: composition work is too small to amortize process startup and graph
+#: pickling.  An explicit ``workers=`` always wins.
+PARALLEL_MIN_EDGES = 512
+
+
+def shard_of(node_id: int, shard_count: int) -> int:
+    """The shard owning ``node_id`` (and every path starting there)."""
+    return (((node_id * SHARD_MIX) & _MASK64) >> _SHARD_SHIFT) % shard_count
+
+
+class ShardMembership:
+    """Set-like view of one shard's vertices (no materialized set).
+
+    Passed as the ``sources`` filter of the builder; ``mask`` is the
+    vectorized membership test
+    (:func:`repro.indexes.builder._restrict_sources` uses it to filter
+    a whole column in one numpy pass).
+    """
+
+    __slots__ = ("shard", "shard_count")
+
+    def __init__(self, shard: int, shard_count: int) -> None:
+        self.shard = shard
+        self.shard_count = shard_count
+
+    def __contains__(self, node_id: int) -> bool:
+        return shard_of(node_id, self.shard_count) == self.shard
+
+    def mask(self, ids):
+        """Boolean numpy mask of which ``ids`` belong to this shard."""
+        numpy = rel._np
+        mixed = ids.astype(numpy.uint64) * numpy.uint64(SHARD_MIX)
+        return (mixed >> numpy.uint64(_SHARD_SHIFT)) % numpy.uint64(
+            self.shard_count
+        ) == numpy.uint64(self.shard)
+
+
+#: Payload a build worker returns for one shard: the shard's relations
+#: in trie order, columns kept as picklable ``array('q')`` pairs.
+ShardPayload = list[tuple[str, "object", "object"]]
+
+
+def _shard_payload(
+    graph: Graph, k: int, shard_count: int, shard: int, prune_empty: bool
+) -> ShardPayload:
+    """Compute one shard's path relations (runs in a pool worker)."""
+    membership = ShardMembership(shard, shard_count)
+    return [
+        (path.encode(), relation.src, relation.tgt)
+        for path, relation in path_relations_columnar(
+            graph, k, prune_empty=prune_empty, sources=membership
+        )
+    ]
+
+
+class ShardedGraph:
+    """N hash-partitioned :class:`PathIndex` shards over one graph.
+
+    Build with :meth:`build`; query through the PathIndex-compatible
+    facade (global scatter-gather) or the ``shard_*`` methods (one
+    shard's slice).  ``shards=1`` is legal but pointless — the API layer
+    keeps the plain unsharded engine for that case.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        shards: Sequence[PathIndex],
+        backend: str,
+        index_path: str | FilePath | None,
+        build_workers: int,
+        prune_empty: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.k = k
+        self._shards = list(shards)
+        self._backend = backend
+        self._index_path = index_path
+        self._build_workers = build_workers
+        self._prune_empty = prune_empty
+        #: Thread fan-out of scatter-gather plan execution (1 = serial).
+        self.query_workers = 1
+        #: The step vocabulary the shards were enumerated over.  A
+        #: mutation that changes it invalidates every shard's path set
+        #: at once — the API layer then forces a full rebuild.
+        self.alphabet = graph.labels()
+        # Per-shard owned-vertex lists, computed in one pass over the
+        # node ids and cached against the graph version (the id->shard
+        # map is pure, but the id space grows with the graph).
+        self._owned_version = -1
+        self._owned_lists: list[list[int]] = []
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        k: int,
+        shards: int,
+        backend: str = "memory",
+        index_path: str | FilePath | None = None,
+        workers: int | None = None,
+        prune_empty: bool = True,
+    ) -> "ShardedGraph":
+        """Partition ``graph`` and build every shard's index.
+
+        ``workers`` bounds the build pool: ``None`` picks
+        ``min(shards, cpu_count)``; ``1`` builds serially (still using
+        the columnar per-shard builder).  Workers are *processes* —
+        relation composition is pure Python/numpy compute, which
+        threads cannot overlap under the GIL — and any pool failure
+        (pickling, a sandboxed platform without ``fork``) falls back to
+        the serial build, so parallelism is only ever a speedup knob.
+        """
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        if backend == "disk" and index_path is None:
+            # Fail before the payload computation (the dominant build
+            # cost), exactly as the unsharded build would.
+            raise ValidationError("the disk backend requires a file path")
+        if workers is None and graph.edge_count < PARALLEL_MIN_EDGES:
+            workers = 1
+        resolved = cls._resolve_workers(workers, shards)
+        payloads = cls._compute_payloads(
+            graph, k, shards, list(range(shards)), resolved, prune_empty
+        )
+        indexes: list[PathIndex] = []
+        try:
+            for shard in range(shards):
+                indexes.append(
+                    cls._shard_index(
+                        graph, k, payloads[shard], backend, index_path, shard
+                    )
+                )
+        except BaseException:
+            for built in indexes:
+                built.close()
+            raise
+        return cls(
+            graph, k, indexes, backend, index_path, resolved, prune_empty
+        )
+
+    @staticmethod
+    def _resolve_workers(workers: int | None, shards: int) -> int:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, shards))
+
+    @classmethod
+    def _compute_payloads(
+        cls,
+        graph: Graph,
+        k: int,
+        shard_count: int,
+        shard_ids: list[int],
+        workers: int,
+        prune_empty: bool,
+    ) -> dict[int, ShardPayload]:
+        if workers > 1 and len(shard_ids) > 1:
+            try:
+                return cls._parallel_payloads(
+                    graph, k, shard_count, shard_ids, workers, prune_empty
+                )
+            except (BrokenExecutor, PicklingError):
+                # Pool infrastructure can fail on platforms without
+                # fork or with unpicklable payloads; the serial build
+                # below is the correctness path either way.  A genuine
+                # workload error raised *inside* a worker (a
+                # ValidationError, an OSError, a MemoryError)
+                # propagates instead — retrying it serially would only
+                # double time-to-fail.
+                pass
+        return {
+            shard: _shard_payload(graph, k, shard_count, shard, prune_empty)
+            for shard in shard_ids
+        }
+
+    @staticmethod
+    def _parallel_payloads(
+        graph: Graph,
+        k: int,
+        shard_count: int,
+        shard_ids: list[int],
+        workers: int,
+        prune_empty: bool,
+    ) -> dict[int, ShardPayload]:
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(shard_ids)), mp_context=context
+            )
+        except OSError as error:  # pragma: no cover - resource exhaustion
+            # Pool creation failing is an infrastructure problem; report
+            # it as such so the caller's fallback fires, while an
+            # OSError raised *inside* a worker (re-raised by result()
+            # below) still propagates as the workload error it is.
+            raise BrokenExecutor(str(error)) from error
+        with pool:
+            futures = {
+                shard: pool.submit(
+                    _shard_payload, graph, k, shard_count, shard, prune_empty
+                )
+                for shard in shard_ids
+            }
+            return {shard: future.result() for shard, future in futures.items()}
+
+    @classmethod
+    def _shard_index(
+        cls,
+        graph: Graph,
+        k: int,
+        payload: ShardPayload,
+        backend: str,
+        index_path: str | FilePath | None,
+        shard: int,
+    ) -> PathIndex:
+        path = cls.shard_index_path(index_path, shard)
+        if backend == "disk" and path is not None:
+            # The disk B+tree only bulk-loads into an empty file; a
+            # stale or partial shard file must go first.
+            FilePath(path).unlink(missing_ok=True)
+        relations = (
+            (LabelPath.decode(encoded), Relation(src, tgt, Order.BY_SRC))
+            for encoded, src, tgt in payload
+        )
+        return PathIndex.from_relations(
+            graph, k, relations, backend=backend, path=path
+        )
+
+    @staticmethod
+    def shard_index_path(
+        index_path: str | FilePath | None, shard: int
+    ) -> FilePath | None:
+        """Per-shard backing file for the disk backend."""
+        if index_path is None:
+            return None
+        return FilePath(f"{index_path}.shard{shard}")
+
+    # -- shard topology ---------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shard_indexes(self) -> tuple[PathIndex, ...]:
+        """The per-shard indexes (read-only view, for tests/benchmarks)."""
+        return tuple(self._shards)
+
+    def owner(self, node_id: int) -> int:
+        return shard_of(node_id, len(self._shards))
+
+    def owned_ids(self, shard: int) -> list[int]:
+        """All graph node ids the shard owns, ascending (cached).
+
+        One pass assigns every node to its shard; the lists are reused
+        until the graph version moves (every query's epsilon disjunct
+        asks for them, so rescanning per call would cost
+        O(nodes x shards) per query).
+        """
+        if self._owned_version != self.graph.version:
+            count = len(self._shards)
+            lists: list[list[int]] = [[] for _ in range(count)]
+            for node_id in self.graph.node_ids():
+                lists[shard_of(node_id, count)].append(node_id)
+            self._owned_lists = lists
+            self._owned_version = self.graph.version
+        return self._owned_lists[shard]
+
+    def shards_touching(self, vertices: Iterable[int]) -> set[int]:
+        """Shards whose relations can change when edges at ``vertices`` do.
+
+        A length-``<= k`` path using an edge at ``vertices`` on hop
+        ``i`` starts within ``i - 1 <= k - 1`` undirected hops of an
+        endpoint, so the owners of the radius-``k - 1`` undirected ball
+        around ``vertices`` are exactly the shards whose index entries
+        a mutation there can create or destroy.  Callers must evaluate
+        the ball on the graph that *contains* the edge: post-insert for
+        additions, pre-delete for removals.
+        """
+        count = len(self._shards)
+        frontier = set(vertices)
+        seen = set(frontier)
+        touched = {shard_of(node, count) for node in frontier}
+        for _ in range(self.k - 1):
+            if not frontier or len(touched) == count:
+                break
+            next_frontier: set[int] = set()
+            for node in frontier:
+                for neighbor in self.graph.undirected_neighbors(node):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        next_frontier.add(neighbor)
+                        touched.add(shard_of(neighbor, count))
+            frontier = next_frontier
+        return touched
+
+    def rebuild_shards(
+        self, shard_ids: Iterable[int], workers: int | None = None
+    ) -> None:
+        """Recompute the listed shards against the current graph.
+
+        All payloads are computed before any shard is swapped, so a
+        failing computation leaves every shard intact; a failing swap
+        propagates and the API layer discards the whole index (the same
+        all-or-nothing contract as a full rebuild).  Must not be used
+        across an alphabet change — the unlisted shards' path sets
+        would silently be stale (:attr:`alphabet` is the guard).
+        """
+        if self.alphabet != self.graph.labels():
+            raise ValidationError(
+                "edge-label vocabulary changed; rebuild the whole index"
+            )
+        shard_ids = sorted(set(shard_ids))
+        for shard in shard_ids:
+            if not 0 <= shard < len(self._shards):
+                raise ValidationError(f"no such shard {shard}")
+        resolved = self._resolve_workers(
+            workers if workers is not None else self._build_workers,
+            max(len(shard_ids), 1),
+        )
+        payloads = self._compute_payloads(
+            self.graph, self.k, len(self._shards), shard_ids, resolved,
+            self._prune_empty,
+        )
+        for shard in shard_ids:
+            old = self._shards[shard]
+            if self._backend == "disk":
+                # Release the stale file before the unlink+rebuild.
+                old.close()
+            replacement = self._shard_index(
+                self.graph, self.k, payloads[shard], self._backend,
+                self._index_path, shard,
+            )
+            self._shards[shard] = replacement
+            if self._backend != "disk":
+                old.close()
+
+    # -- PathIndex facade (global scatter-gather) -------------------------
+
+    def scan(self, path: LabelPath) -> Relation:
+        """``I_{G,k}(p)`` — the union of every shard's slice, BY_SRC.
+
+        Per-shard slices are disjoint (they partition by start owner),
+        so the packed-key union is a pure merge; sort order and
+        duplicate-freedom match the unsharded scan exactly.
+        """
+        return rel.union(shard.scan(path) for shard in self._shards)
+
+    def scan_swapped(self, path: LabelPath) -> Relation:
+        """The relation of ``p`` sorted by (tgt, src) — inverse-scan trick.
+
+        Exactly the unsharded implementation lifted over the merge:
+        scatter-gather the inverse path (itself indexed in every shard)
+        and swap the merged columns zero-copy.
+        """
+        return rel.swap(self.scan(path.inverted()))
+
+    def scan_from(self, path: LabelPath, source: int) -> list[int]:
+        """``I(p, a)`` routed to the one shard owning ``a``."""
+        return self._shards[self.owner(source)].scan_from(path, source)
+
+    def contains(self, path: LabelPath, source: int, target: int) -> bool:
+        """``I(p, a, b)`` routed to the one shard owning ``a``."""
+        return self._shards[self.owner(source)].contains(path, source, target)
+
+    def count(self, path: LabelPath) -> int:
+        return sum(shard.count(path) for shard in self._shards)
+
+    def counts_by_path(self) -> dict[str, int]:
+        """Merged exact counts (the statistics layer's input).
+
+        Keys are the union of the shards' catalogs.  A path pruned as
+        empty in *every* shard is absent here where the unsharded
+        catalog may record it with count 0; both sides estimate such a
+        path at 0, so statistics agree where it matters.
+        """
+        merged: dict[str, int] = {}
+        for shard in self._shards:
+            for encoded, count in shard.counts_by_path().items():
+                merged[encoded] = merged.get(encoded, 0) + count
+        return merged
+
+    def paths(self) -> Iterator[LabelPath]:
+        """Every cataloged label path, in first-seen (trie) order."""
+        seen: set[str] = set()
+        for shard in self._shards:
+            for encoded in shard.counts_by_path():
+                if encoded not in seen:
+                    seen.add(encoded)
+                    yield LabelPath.decode(encoded)
+
+    @property
+    def path_count(self) -> int:
+        return sum(1 for _ in self.paths())
+
+    @property
+    def entry_count(self) -> int:
+        return sum(shard.entry_count for shard in self._shards)
+
+    @property
+    def backend_name(self) -> str:
+        return f"sharded[{len(self._shards)}x{self._backend}]"
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedGraph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- per-shard slices (the scatter side of scatter-gather) ------------
+
+    def shard_scan(self, shard: int, path: LabelPath) -> Relation:
+        """One shard's slice of ``p(G)``, BY_SRC-sorted."""
+        return self._shards[shard].scan(path)
+
+    def shard_scan_swapped(self, shard: int, path: LabelPath) -> Relation:
+        """One shard's slice of ``p(G)``, re-sorted BY_TGT.
+
+        The inverse-path trick does not apply shard-locally — the
+        shard's ``p⁻`` entries are restricted by the *other* endpoint —
+        so the slice is explicitly re-sorted.  The slice is ``1/N`` of
+        the relation, so the per-shard sorts sum to one global sort.
+        """
+        return rel.dedup_sort(self._shards[shard].scan(path), Order.BY_TGT)
+
+    def shard_identity(self, shard: int) -> Relation:
+        """The identity relation over the shard's owned vertices."""
+        return rel.identity(self.owned_ids(shard))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedGraph(shards={len(self._shards)}, k={self.k}, "
+            f"backend={self._backend!r}, entries={self.entry_count})"
+        )

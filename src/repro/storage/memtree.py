@@ -231,6 +231,67 @@ class BPlusTree:
             current.values.append(value)
             count += 1
         leaves.append(current)
+        return cls._assemble(tree, leaves, count, order)
+
+    @classmethod
+    def bulk_load_runs(
+        cls, runs: Iterable[list[Key]], order: int = 64
+    ) -> "BPlusTree":
+        """Build a tree from pre-sorted key *runs* (all values ``None``).
+
+        The columnar twin of :meth:`bulk_load`: each run is a list of
+        strictly ascending keys (e.g. one path's ``(path_id, src, tgt)``
+        triples from a ``BY_SRC``-sorted relation), and runs arrive in
+        ascending order of their keys.  Leaves are packed by list
+        *slicing* instead of a per-entry append loop, so loading is
+        dominated by C-speed list copies — the fast path behind the
+        sharded index build, where per-shard relations come out of the
+        columnar kernels already sorted and duplicate-free.
+
+        Ordering *within* a run is trusted (the columnar kernels
+        guarantee it, exactly as :class:`repro.relation.Relation` order
+        flags are trusted); ordering *across* runs is still validated,
+        so interleaving two paths' runs fails loudly.
+        """
+        tree = cls(order=order)
+        leaves: list[_Leaf] = []
+        current = _Leaf()
+        previous_last: Key | None = None
+        count = 0
+        for run in runs:
+            if not run:
+                continue
+            if previous_last is not None and run[0] <= previous_last:
+                raise KeyOrderError(
+                    f"bulk_load_runs runs must be strictly ascending; "
+                    f"run starting {run[0]!r} follows {previous_last!r}"
+                )
+            previous_last = run[-1]
+            count += len(run)
+            position = 0
+            remaining = len(run)
+            while remaining:
+                space = order - len(current.keys)
+                if space == 0:
+                    leaves.append(current)
+                    fresh = _Leaf()
+                    current.next = fresh
+                    current = fresh
+                    space = order
+                take = space if space < remaining else remaining
+                current.keys.extend(run[position : position + take])
+                current.values.extend([None] * take)
+                position += take
+                remaining -= take
+        leaves.append(current)
+        return cls._assemble(tree, leaves, count, order)
+
+    @classmethod
+    def _assemble(
+        cls, tree: "BPlusTree", leaves: list["_Leaf"], count: int, order: int
+    ) -> "BPlusTree":
+        """Finish a bulk load: rebalance the tail leaf, build internal levels."""
+        leaf_capacity = order
         # Avoid an under-full final leaf (unless it is the only one).
         if len(leaves) > 1 and len(leaves[-1].keys) < leaf_capacity // 2:
             donor, last = leaves[-2], leaves[-1]

@@ -13,7 +13,6 @@ so files do not grow monotonically under churn.
 
 from __future__ import annotations
 
-import os
 import struct
 import threading
 from collections import OrderedDict

@@ -8,7 +8,6 @@ from repro.baselines import automaton_eval
 from repro.graph.examples import figure1_graph
 from repro.graph.generators import chain, cycle
 from repro.graph.graph import Graph, Step
-from repro.rpq import ast
 from repro.rpq.automaton import compile_ast
 from repro.rpq.parser import parse
 from repro.rpq.semantics import eval_ast

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import DatalogError
-from repro.datalog.ast import Atom, Const, Program, Rule, atom, rule, var
+from repro.datalog.ast import Atom, Const, Program, atom, rule, var
 
 
 class TestAtoms:

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.graph import Step
-from repro.rpq import dfa as dfa_module
 from repro.rpq.automaton import compile_ast
 from repro.rpq.dfa import compile_dfa, determinize, evaluate, minimize
 from repro.rpq.parser import parse

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import PathIndexError
-from repro.graph.examples import FIGURE1_EDGES, figure1_graph
+from repro.graph.examples import figure1_graph
 from repro.graph.graph import Graph, LabelPath
 from repro.indexes.dynamic import DynamicPathIndex, path_targets
 from repro.indexes.pathindex import PathIndex

@@ -7,7 +7,6 @@ import pytest
 from repro.errors import PlanningError
 from repro.graph.examples import figure1_graph
 from repro.graph.graph import LabelPath
-from repro.engine.cost import CostModel
 from repro.engine.operators import execute
 from repro.engine.plan import IndexScanPlan, JoinPlan, UnionPlan
 from repro.engine.planner import Planner, Strategy, _compositions

@@ -16,7 +16,6 @@ from hypothesis import strategies as st
 
 from repro import relation as rel
 from repro.errors import ExecutionError, ValidationError
-from repro.graph.graph import LabelPath
 from repro.indexes.pathindex import PathIndex
 from repro.relation import Order, Relation
 from repro.rpq.semantics import (

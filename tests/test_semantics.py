@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings
 
-from repro.graph.examples import figure1_graph, two_triangles
+from repro.graph.examples import figure1_graph
 from repro.graph.generators import chain, cycle, grid
 from repro.graph.graph import Graph, LabelPath
 from repro.rpq import ast

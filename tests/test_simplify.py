@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings
 
-from repro.rpq import ast
 from repro.rpq.parser import parse
 from repro.rpq.semantics import eval_ast
 from repro.rpq.simplify import nullable, simplify

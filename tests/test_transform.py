@@ -7,10 +7,8 @@ from hypothesis import given, settings
 
 from repro.errors import ValidationError
 from repro.graph import transform
-from repro.graph.examples import figure1_graph
 from repro.graph.generators import chain
 from repro.graph.graph import Graph
-from repro.rpq.parser import parse
 from repro.rpq.semantics import eval_ast, eval_query
 
 from tests.strategies import graphs, rpq_asts

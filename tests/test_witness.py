@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 
 from repro.graph.examples import diamond, figure1_graph
