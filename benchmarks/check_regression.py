@@ -54,9 +54,7 @@ def identity(row: dict) -> tuple:
     """The stable identity of a row: every non-float field, sorted."""
     return tuple(
         sorted(
-            (key, value)
-            for key, value in row.items()
-            if not isinstance(value, float)
+            (key, value) for key, value in row.items() if not isinstance(value, float)
         )
     )
 
@@ -79,13 +77,21 @@ def check_file(
     """Compare one export pair; return human-readable failures."""
     baseline_rows = load_rows(baseline_dir / name)
     fresh_rows = load_rows(fresh_dir / name)
-    columns = [
-        column
-        for column in ratio_columns(baseline_rows)
-        if column in ratio_columns(fresh_rows)
-    ]
-    baseline_by_id = {identity(row): row for row in baseline_rows}
+    baseline_columns = ratio_columns(baseline_rows)
+    fresh_columns = set(ratio_columns(fresh_rows))
     failures: list[str] = []
+    missing = [column for column in baseline_columns if column not in fresh_columns]
+    if missing:
+        # A committed baseline claiming a ratio the fresh export no
+        # longer measures is a gate silently turning itself off —
+        # a renamed column or a dropped benchmark must fail here, not
+        # skip.
+        failures.append(
+            f"{name}: baseline ratio column(s) {', '.join(missing)} "
+            "missing from the fresh export — the gate cannot check them"
+        )
+    columns = [column for column in baseline_columns if column in fresh_columns]
+    baseline_by_id = {identity(row): row for row in baseline_rows}
     matched = 0
     for row in fresh_rows:
         committed = baseline_by_id.get(identity(row))

@@ -17,6 +17,7 @@ Example
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -53,6 +54,29 @@ from repro.sharding import ShardedGraph
 #: index strategies plus the literature baselines (NFA and DFA product
 #: search, Datalog, reachability) and the reference evaluator.
 BASELINE_METHODS = ("automaton", "dfa", "datalog", "reachability", "reference")
+
+
+def default_shard_count() -> int:
+    """The shard count used when ``GraphDatabase(shards=None)``.
+
+    Reads ``REPRO_DEFAULT_SHARDS`` so a whole process — notably the CI
+    ``sharded-stress`` run of the test suite — can route every
+    default-configured database through the sharded engine without
+    touching call sites.  Unset or empty means 1 (unsharded); garbage
+    fails loudly rather than silently testing the wrong engine.
+    """
+    raw = os.environ.get("REPRO_DEFAULT_SHARDS", "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValidationError(
+            f"REPRO_DEFAULT_SHARDS must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValidationError(f"REPRO_DEFAULT_SHARDS must be >= 1, got {value}")
+    return value
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,12 +117,16 @@ class GraphDatabase:
         build: bool = True,
         query_cache_size: int = 128,
         query_cache_max_pairs: int = 1_000_000,
-        shards: int = 1,
+        shards: int | None = None,
         shard_build_workers: int | None = None,
         shard_query_workers: int = 1,
     ):
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
+        if shards is None:
+            # None means "deployment default": the REPRO_DEFAULT_SHARDS
+            # environment knob, or 1.  An explicit shards= always wins.
+            shards = default_shard_count()
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
         self.graph = graph
@@ -145,6 +173,13 @@ class GraphDatabase:
         # actually executed through the engine.
         self._scan_memo_hits = 0
         self._scan_memo_misses = 0
+        # Aggregated scatter-planning decisions (sharded engines):
+        # shard slices executed / skipped as provably empty / disjuncts
+        # re-planned per shard, summed over every executed query.
+        self._shards_scanned = 0
+        self._shards_pruned = 0
+        self._disjuncts_pruned = 0
+        self._shards_replanned = 0
         if build:
             self.build_index()
 
@@ -198,6 +233,13 @@ class GraphDatabase:
         """
         self.cache_clear()
         old_index = self._index
+        # Skew-planning knobs live on the ShardedGraph; a rebuild must
+        # not silently reset toggles the user set on the old instance.
+        old_knobs = (
+            (old_index.scatter_pruning, old_index.replan_divergence)
+            if isinstance(old_index, ShardedGraph)
+            else None
+        )
         try:
             if self._backend == "disk":
                 if old_index is not None:
@@ -219,23 +261,31 @@ class GraphDatabase:
                         shard_path.unlink(missing_ok=True)
             if self._shards > 1:
                 index = ShardedGraph.build(
-                    self.graph, self.k, shards=self._shards,
-                    backend=self._backend, index_path=self._index_path,
+                    self.graph,
+                    self.k,
+                    shards=self._shards,
+                    backend=self._backend,
+                    index_path=self._index_path,
                     workers=self._shard_build_workers,
                 )
                 index.query_workers = self._shard_query_workers
+                if old_knobs is not None:
+                    index.scatter_pruning, index.replan_divergence = old_knobs
+                exact_statistics, histogram = self._refresh_sharded_statistics(index)
             else:
                 index = PathIndex.build(
-                    self.graph, self.k, backend=self._backend,
+                    self.graph,
+                    self.k,
+                    backend=self._backend,
                     path=self._index_path,
                 )
-            exact_statistics = ExactStatistics.from_index(index, self.graph)
-            histogram = EquiDepthHistogram.from_counts(
-                index.counts_by_path(),
-                k=self.k,
-                total_paths_k=exact_statistics.total_paths_k,
-                buckets=self._histogram_buckets,
-            )
+                exact_statistics = ExactStatistics.from_index(index, self.graph)
+                histogram = EquiDepthHistogram.from_counts(
+                    index.counts_by_path(),
+                    k=self.k,
+                    total_paths_k=exact_statistics.total_paths_k,
+                    buckets=self._histogram_buckets,
+                )
         except BaseException:
             # Never leave a stale or partial triple behind a mutated
             # graph: clear everything so _ensure_built can rebuild and
@@ -251,6 +301,32 @@ class GraphDatabase:
         if old_index is not None:
             old_index.close()
         return index
+
+    def _refresh_sharded_statistics(
+        self, index: ShardedGraph
+    ) -> tuple[ExactStatistics, EquiDepthHistogram]:
+        """Derive the statistics pair from a (re)built sharded index.
+
+        One extra pass over each shard's catalog builds the per-shard
+        statistics alongside the index, and the merged view doubles as
+        the global exact statistics — ``|paths_k(G)|`` and the catalog
+        merge are computed once and shared by everything downstream.
+        The one recipe serves both the full build and the
+        partial-rebuild path, so the two can never drift.
+        """
+        counts = index.counts_by_path()
+        exact_statistics = ExactStatistics(
+            counts=counts, k=self.k, total_paths_k=index.total_paths_k()
+        )
+        for shard in range(index.shard_count):
+            index.shard_statistics(shard)
+        histogram = EquiDepthHistogram.from_counts(
+            counts,
+            k=self.k,
+            total_paths_k=exact_statistics.total_paths_k,
+            buckets=self._histogram_buckets,
+        )
+        return exact_statistics, histogram
 
     def _ensure_built(self) -> None:
         """Resolve lazy build *before* entering a read section.
@@ -302,7 +378,7 @@ class GraphDatabase:
         """Graph-level statistics (size, labels, degrees)."""
         return summarize(self.graph)
 
-    # -- queries -------------------------------------------------------------------------
+    # -- queries -----------------------------------------------------------------------
 
     def query(
         self,
@@ -345,8 +421,13 @@ class GraphDatabase:
             self._ensure_built()
         with self._lock.read_locked():
             return self._query_locked(
-                text, node, method, strategy, use_exact_statistics,
-                max_disjuncts, use_cache,
+                text,
+                node,
+                method,
+                strategy,
+                use_exact_statistics,
+                max_disjuncts,
+                use_cache,
             )
 
     def _query_locked(
@@ -362,7 +443,11 @@ class GraphDatabase:
         """Answer one parsed query; caller holds the read lock."""
         version = self.graph.version
         cache_key = self._cache_key(
-            text, method, strategy, use_exact_statistics, max_disjuncts,
+            text,
+            method,
+            strategy,
+            use_exact_statistics,
+            max_disjuncts,
             version,
         )
         if use_cache:
@@ -383,11 +468,14 @@ class GraphDatabase:
         else:
             index = self._require_index()
             statistics = (
-                self._exact_statistics if use_exact_statistics
-                else self._histogram
+                self._exact_statistics if use_exact_statistics else self._histogram
             )
             report = evaluate_ast(
-                node, index, self.graph, statistics, strategy,
+                node,
+                index,
+                self.graph,
+                statistics,
+                strategy,
                 max_disjuncts,
             )
             seconds = time.perf_counter() - started
@@ -402,6 +490,10 @@ class GraphDatabase:
             with self._cache_lock:
                 self._scan_memo_hits += report.scan_memo_hits
                 self._scan_memo_misses += report.scan_memo_misses
+                self._shards_scanned += report.shards_scanned
+                self._shards_pruned += report.shards_pruned
+                self._disjuncts_pruned += report.disjuncts_pruned
+                self._shards_replanned += report.shards_replanned
         if use_cache:
             with self._cache_lock:
                 self._cache_misses += 1
@@ -413,8 +505,7 @@ class GraphDatabase:
         index = self._index
         if index is None:
             raise PathIndexError(
-                "index unavailable: a previous rebuild failed; "
-                "call build_index()"
+                "index unavailable: a previous rebuild failed; call build_index()"
             )
         return index
 
@@ -437,7 +528,10 @@ class GraphDatabase:
         # "MIN_SUPPORT") share one entry — and match the method the
         # stored result reports.
         return (
-            text, strategy.value, use_exact_statistics, max_disjuncts,
+            text,
+            strategy.value,
+            use_exact_statistics,
+            max_disjuncts,
             version,
         )
 
@@ -534,13 +628,7 @@ class GraphDatabase:
         self.cache_clear()
         try:
             index.rebuild_shards(affected)
-            exact_statistics = ExactStatistics.from_index(index, self.graph)
-            histogram = EquiDepthHistogram.from_counts(
-                index.counts_by_path(),
-                k=self.k,
-                total_paths_k=exact_statistics.total_paths_k,
-                buckets=self._histogram_buckets,
-            )
+            exact_statistics, histogram = self._refresh_sharded_statistics(index)
         except BaseException:
             # Same contract as a failed full rebuild: never leave a
             # partially refreshed triple behind a mutated graph.  The
@@ -602,8 +690,12 @@ class GraphDatabase:
             slots: dict[tuple, list[int]] = {}
             for position, (text, _) in enumerate(parsed):
                 key = self._cache_key(
-                    text, method, strategy, use_exact_statistics,
-                    max_disjuncts, version,
+                    text,
+                    method,
+                    strategy,
+                    use_exact_statistics,
+                    max_disjuncts,
+                    version,
                 )
                 slots.setdefault(key, []).append(position)
             pending: list[tuple[tuple, str, Node]] = []
@@ -617,8 +709,13 @@ class GraphDatabase:
                     pending.append((key, text, node))
             if pending:
                 for key, result in self._run_batch(
-                    pending, method, strategy, use_exact_statistics,
-                    max_disjuncts, version, workers,
+                    pending,
+                    method,
+                    strategy,
+                    use_exact_statistics,
+                    max_disjuncts,
+                    version,
+                    workers,
                 ):
                     for position in slots[key]:
                         results[position] = result
@@ -657,8 +754,7 @@ class GraphDatabase:
         else:
             index = self._require_index()
             statistics = (
-                self._exact_statistics if use_exact_statistics
-                else self._histogram
+                self._exact_statistics if use_exact_statistics else self._histogram
             )
             memo = SharedScanMemo()
             items = [
@@ -666,8 +762,12 @@ class GraphDatabase:
                     key,
                     text,
                     prepare_ast(
-                        node, index, self.graph, statistics,
-                        strategy, max_disjuncts,
+                        node,
+                        index,
+                        self.graph,
+                        statistics,
+                        strategy,
+                        max_disjuncts,
                     ),
                 )
                 for key, text, node in pending
@@ -697,9 +797,17 @@ class GraphDatabase:
         if strategy is not None:
             # Aggregate the batch's memo traffic once, from the memo
             # itself (per-report deltas overlap under concurrency).
+            # Scatter counters are per-execution objects, so their
+            # per-report values sum exactly.
             with self._cache_lock:
                 self._scan_memo_hits += memo.hits
                 self._scan_memo_misses += memo.misses
+                for _, outcome in outcomes:
+                    if outcome.report is not None:
+                        self._shards_scanned += outcome.report.shards_scanned
+                        self._shards_pruned += outcome.report.shards_pruned
+                        self._disjuncts_pruned += outcome.report.disjuncts_pruned
+                        self._shards_replanned += outcome.report.shards_replanned
         return outcomes
 
     def _remember(self, key: tuple, result: QueryResult) -> None:
@@ -738,6 +846,12 @@ class GraphDatabase:
         ``scan_memo_hits``/``scan_memo_misses`` aggregate the executor's
         per-execution scan memo (index scans and shared subplans reused
         across union disjuncts and batches) over every executed query.
+        ``shards_scanned``/``shards_pruned``/``disjuncts_pruned``/
+        ``shards_replanned`` aggregate the sharded engine's
+        scatter-planning decisions — shard executions run, shard
+        executions skipped whole, individual disjunct slices skipped as
+        provably empty, and disjunct spines re-planned against
+        per-shard statistics (all zero on the unsharded engine).
         """
         with self._cache_lock:
             return {
@@ -749,6 +863,10 @@ class GraphDatabase:
                 "max_pairs": self._query_cache_max_pairs,
                 "scan_memo_hits": self._scan_memo_hits,
                 "scan_memo_misses": self._scan_memo_misses,
+                "shards_scanned": self._shards_scanned,
+                "shards_pruned": self._shards_pruned,
+                "disjuncts_pruned": self._disjuncts_pruned,
+                "shards_replanned": self._shards_replanned,
             }
 
     def cache_clear(self) -> None:
@@ -805,7 +923,11 @@ class GraphDatabase:
         _, node = self._parse(query)
         source_id = self.graph.node_id(source)
         targets = evaluate_from(
-            node, source_id, self.index, self.graph, self.histogram,
+            node,
+            source_id,
+            self.index,
+            self.graph,
+            self.histogram,
             max_disjuncts,
         )
         return frozenset(self.graph.node_name(t) for t in targets)
@@ -847,7 +969,7 @@ class GraphDatabase:
             max_disjuncts,
         )
 
-    # -- internals ------------------------------------------------------------------------
+    # -- internals ---------------------------------------------------------------------
 
     def _run_baseline(self, method: str, node: Node) -> set[tuple[int, int]]:
         if method == "automaton":

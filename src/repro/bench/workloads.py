@@ -98,9 +98,7 @@ def closure_base_pairs(
         pairs = []
         for cycle in range(count):
             base = cycle * length
-            pairs.extend(
-                (base + i, base + (i + 1) % length) for i in range(length)
-            )
+            pairs.extend((base + i, base + (i + 1) % length) for i in range(length))
         return count * length, pairs
     if kind == "chain":
         return edges + 1, [(i, i + 1) for i in range(edges)]
@@ -117,8 +115,7 @@ def closure_base_pairs(
             pool.append(node)
         return nodes, sorted(pairs)
     raise ValidationError(
-        f"unknown closure workload {kind!r}; "
-        "expected cyclic, chain or scale_free"
+        f"unknown closure workload {kind!r}; expected cyclic, chain or scale_free"
     )
 
 
@@ -139,9 +136,7 @@ def service_batch_queries(
     """
     rng = random.Random(seed)
     pool = [f"{a}/{b}" for a in labels for b in labels]
-    pool += [
-        "/".join(rng.choice(labels) for _ in range(3)) for _ in range(12)
-    ]
+    pool += ["/".join(rng.choice(labels) for _ in range(3)) for _ in range(12)]
     # Zipf-ish skew: squaring the uniform draw concentrates mass on the
     # head of the pool, as production query logs do.
     return [pool[int(len(pool) * rng.random() ** 2)] for _ in range(count)]
@@ -179,6 +174,99 @@ def sharding_queries(
         f"{b}/^{a}/{c}",
         f"{a}{{1,3}}",
         f"({a}|{b})*",
+    ]
+
+
+#: Labels of the skewed sharding workload: two heavy labels carrying
+#: most of the edge mass, plus rare labels whose edges *start only at
+#: vertices owned by one shard* — the regime where per-shard statistics
+#: beat global ones.
+SKEW_HEAVY_LABELS = ("h0", "h1")
+SKEW_RARE_LABELS = ("r0", "r1", "r2", "r3", "r4", "r5")
+
+
+def skewed_shard_graph(
+    scale: str = "bench", shards: int = 4, seed: int = 7
+) -> Graph:
+    """A graph with Zipfian label skew aligned with shard ownership.
+
+    Two axes of skew, both common in production graphs and both
+    invisible to *global* statistics:
+
+    * **label skew** — edge counts per label follow a Zipf-ish decay:
+      the heavy labels take most of the mass, each rare label a sliver.
+    * **start-vertex skew** — heavy-label edges start at hot vertices
+      (a cubed-uniform draw concentrates sources on a head set), and
+      each rare label's edges start *only* at vertices owned by one
+      shard of a ``shards``-way partition (``r0`` in shard 0, ``r1`` in
+      shard 1, ...).  Global counts see a nonzero path count; per-shard
+      counts prove the path empty in all but one shard.
+
+    The second property is constructed with :func:`repro.sharding.shard_of`
+    itself so it holds by definition, not by luck, at the given shard
+    count.  Used by ``benchmarks/bench_shard_stats.py`` to measure
+    shard pruning; answers are still pinned to the unsharded oracle
+    there, so the alignment is a performance property only.
+    """
+    from repro.sharding import shard_of
+
+    if scale not in SCALES:
+        raise ValidationError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    nodes, edges = SCALES[scale]
+    rng = random.Random(seed)
+    graph = Graph()
+    for index in range(nodes):
+        graph.add_node(f"n{index}")
+    owned: list[list[int]] = [[] for _ in range(shards)]
+    for node in range(nodes):
+        owned[shard_of(node, shards)].append(node)
+    labels = SKEW_HEAVY_LABELS + SKEW_RARE_LABELS
+    # Zipf-ish decay with a long tail: h0 ~ 1, h1 ~ 1/2, and every
+    # rare label a sliver (~1-2% of the mass) — rare enough that most
+    # rare-rare compositions are empty, the regime where per-shard
+    # exact zeros carry real information.
+    weights = [1.0, 0.5] + [0.06 / (i + 1) for i in range(len(SKEW_RARE_LABELS))]
+    total = sum(weights)
+    for label, weight in zip(labels, weights):
+        budget = max(8, int(edges * weight / total))
+        made = 0
+        attempts = 0
+        while made < budget and attempts < budget * 20:
+            attempts += 1
+            if label in SKEW_HEAVY_LABELS:
+                # Hot heads: cubing the uniform draw piles sources
+                # onto low-numbered vertices.
+                source = int(nodes * rng.random() ** 3)
+            else:
+                pool = owned[int(label[1:]) % shards]
+                source = pool[int(len(pool) * rng.random() ** 2)]
+            target = rng.randrange(nodes)
+            if target == source:
+                continue
+            if graph.add_edge(f"n{source}", label, f"n{target}"):
+                made += 1
+    return graph
+
+
+def skewed_shard_queries() -> list[str]:
+    """The pruning-ablation query set over the skewed graph.
+
+    Rare-led shapes a production log would call "selective queries":
+    high-fan-in unions and bounded repeats over the rare alphabet
+    (normalization explodes them into dozens of disjuncts, nearly all
+    provably empty per shard — the shape pruning wins hardest on),
+    plus single-disjunct rare-led join spines (whole-shard pruning).
+    """
+    r0, r1, r2, r3, r4, r5 = SKEW_RARE_LABELS
+    h0, h1 = SKEW_HEAVY_LABELS
+    return [
+        f"({r0}|{r1}|{r2}|{r3}){{1,3}}",
+        f"({r0}|{r2}|{r4}){{1,2}}/{h1}",
+        f"({r0}|{r1}|{r2}|{r3}|{r4}|{r5}){{2,3}}",
+        f"({r0}|{r1}|{r2}|{r3}|{r4}|{r5})/{h0}",
+        f"{r1}/{h0}/{h1}",
     ]
 
 

@@ -73,9 +73,7 @@ class CostModel:
         """Estimated ``|p(G)|``; long paths decompose by independence."""
         if len(path) <= self._statistics.k:
             return self._statistics.estimated_count(path)
-        estimate = self._statistics.estimated_count(
-            path.prefix(self._statistics.k)
-        )
+        estimate = self._statistics.estimated_count(path.prefix(self._statistics.k))
         remainder = path.subpath(self._statistics.k, len(path))
         return self.join_cardinality(estimate, self.path_cardinality(remainder))
 

@@ -29,6 +29,8 @@ from repro.errors import RewriteError
 from repro.engine.cost import CostedPlan
 from repro.engine.operators import (
     ScanMemo,
+    ScatterCounters,
+    ScatterPolicy,
     SharedScanMemo,
     execute,
     execute_scattered,
@@ -66,9 +68,16 @@ class ExecutionReport:
     #: subtrees, and AST subtrees in the hybrid fallback).
     scan_memo_hits: int = 0
     scan_memo_misses: int = 0
-    _pairs: frozenset | None = field(
-        default=None, repr=False, compare=False
-    )
+    #: Scatter-planning decisions (sharded engines only; all zero on
+    #: the unsharded path): shard slices executed, slices skipped as
+    #: provably empty, and disjunct spines re-planned against a
+    #: shard's own statistics.  Aggregated across every scatter this
+    #: execution performed (the hybrid fallback can perform several).
+    shards_scanned: int = 0
+    shards_pruned: int = 0
+    disjuncts_pruned: int = 0
+    shards_replanned: int = 0
+    _pairs: frozenset | None = field(default=None, repr=False, compare=False)
 
     @property
     def pairs(self) -> frozenset:
@@ -134,9 +143,7 @@ def evaluate_ast(
     — exactly what :meth:`repro.api.GraphDatabase.query_batch` runs per
     query, so single and batched execution can never drift.
     """
-    prepared = prepare_ast(
-        node, index, graph, statistics, strategy, max_disjuncts
-    )
+    prepared = prepare_ast(node, index, graph, statistics, strategy, max_disjuncts)
     return execute_prepared(prepared, index, graph, statistics)
 
 
@@ -157,6 +164,9 @@ class PreparedQuery:
     max_disjuncts: int
     costed: CostedPlan | None
     planning_seconds: float
+    #: Disjunct plan subtree -> source label path (epsilon omitted);
+    #: what the scatter policy needs to re-plan one disjunct per shard.
+    disjunct_paths: dict | None = None
 
 
 def prepare_ast(
@@ -171,15 +181,65 @@ def prepare_ast(
     started = time.perf_counter()
     normal_form = _try_normalize(node, graph, max_disjuncts)
     costed = None
+    disjunct_paths = None
     if normal_form is not None:
         planner = Planner(index.k, statistics, graph, strategy)
-        costed = planner.plan(normal_form)
+        parts = planner.disjunct_plans(normal_form)
+        costed = planner.assemble(parts)
+        disjunct_paths = _disjunct_map(parts)
     return PreparedQuery(
         node=node,
         strategy=strategy,
         max_disjuncts=max_disjuncts,
         costed=costed,
         planning_seconds=time.perf_counter() - started,
+        disjunct_paths=disjunct_paths,
+    )
+
+
+def _disjunct_map(parts) -> dict:
+    """Tagged disjunct plans -> {plan subtree: source label path}."""
+    return {costed.plan: path for path, costed in parts if path is not None}
+
+
+def _scatter_policy(
+    index,
+    graph: Graph,
+    statistics,
+    strategy: Strategy,
+    disjunct_paths: dict | None,
+    counters: ScatterCounters | None,
+) -> ScatterPolicy | None:
+    """The skew-aware scatter policy for one execution (or ``None``).
+
+    ``None`` only for unsharded indexes.  With both skew features
+    switched off the policy still runs — it decides nothing, but it
+    keeps the ``shards_scanned`` counter truthful (one count per shard
+    execution), so an A/B of the knobs reads consistently.
+    """
+    if not isinstance(index, ShardedGraph):
+        return None
+    planner = Planner(index.k, statistics, graph, strategy)
+
+    def replan(shard, path, provider):
+        # A shard's statistics only change on rebuild, so its re-plans
+        # are cached on the index (dropped with the statistics caches).
+        # Concurrent readers may race to fill a key; the values are
+        # equal plans, so last-store-wins is harmless.
+        key = (shard, path.encode(), strategy.value, type(provider).__name__)
+        cached = index.replan_cache.get(key)
+        if cached is None:
+            cached = planner.with_statistics(provider).plan_path(path).plan
+            index.replan_cache[key] = cached
+        return cached
+
+    return ScatterPolicy(
+        index,
+        statistics,
+        disjunct_paths=disjunct_paths,
+        replan=replan,
+        counters=counters,
+        cache_tag=(strategy.value, type(statistics).__name__),
     )
 
 
@@ -202,21 +262,40 @@ def execute_prepared(
         # Scatter-gather fan-out populates the memo from several
         # threads; the locked memo is only paid for when that happens.
         memo = SharedScanMemo() if shard_workers > 1 else ScanMemo()
+    counters = ScatterCounters() if sharded else None
     hits_before, misses_before = memo.hits, memo.misses
     started = time.perf_counter()
     if prepared.costed is not None:
         if sharded:
+            policy = _scatter_policy(
+                index,
+                graph,
+                statistics,
+                prepared.strategy,
+                prepared.disjunct_paths,
+                counters,
+            )
             relation = execute_scattered(
-                prepared.costed.plan, index, graph, memo,
+                prepared.costed.plan,
+                index,
+                graph,
+                memo,
                 workers=shard_workers,
+                policy=policy,
             )
         else:
             relation = execute(prepared.costed.plan, index, graph, memo)
         used_fallback = False
     else:
         relation = _hybrid(
-            push_inverse(prepared.node), index, graph, statistics,
-            prepared.strategy, prepared.max_disjuncts, memo,
+            push_inverse(prepared.node),
+            index,
+            graph,
+            statistics,
+            prepared.strategy,
+            prepared.max_disjuncts,
+            memo,
+            counters,
         )
         used_fallback = True
     finished = time.perf_counter()
@@ -229,6 +308,10 @@ def execute_prepared(
         used_fallback=used_fallback,
         scan_memo_hits=memo.hits - hits_before,
         scan_memo_misses=memo.misses - misses_before,
+        shards_scanned=counters.scanned if counters else 0,
+        shards_pruned=counters.pruned if counters else 0,
+        disjuncts_pruned=counters.disjuncts_pruned if counters else 0,
+        shards_replanned=counters.replanned if counters else 0,
     )
 
 
@@ -247,6 +330,7 @@ def _hybrid(
     strategy: Strategy,
     max_disjuncts: int,
     memo: ScanMemo | None = None,
+    counters: ScatterCounters | None = None,
 ) -> Relation:
     """Structural evaluation with planner acceleration on bounded parts.
 
@@ -257,7 +341,8 @@ def _hybrid(
     :class:`ScanMemo` spans the whole traversal: repeated AST subtrees
     (the normalized ``(a|b)*`` shape repeats its base under every
     disjunct) and repeated plan subtrees inside bounded parts are each
-    evaluated once.
+    evaluated once.  ``counters`` likewise spans the traversal,
+    summing the scatter decisions of every bounded subtree.
     """
     if memo is None:
         memo = ScanMemo()
@@ -265,7 +350,7 @@ def _hybrid(
     if cached is not None:
         return cached
     result = _hybrid_uncached(
-        node, index, graph, statistics, strategy, max_disjuncts, memo
+        node, index, graph, statistics, strategy, max_disjuncts, memo, counters
     )
     memo.store_ast(node, result)
     return result
@@ -279,16 +364,24 @@ def _hybrid_uncached(
     strategy: Strategy,
     max_disjuncts: int,
     memo: ScanMemo,
+    counters: ScatterCounters | None,
 ) -> Relation:
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
         if isinstance(index, ShardedGraph):
-            costed = Planner(index.k, statistics, graph, strategy).plan(
-                normal_form
+            planner = Planner(index.k, statistics, graph, strategy)
+            parts = planner.disjunct_plans(normal_form)
+            costed = planner.assemble(parts)
+            policy = _scatter_policy(
+                index, graph, statistics, strategy, _disjunct_map(parts), counters
             )
             return execute_scattered(
-                costed.plan, index, graph, memo,
+                costed.plan,
+                index,
+                graph,
+                memo,
                 workers=index.query_workers,
+                policy=policy,
             )
         report = evaluate_normal_form(
             normal_form, index, graph, statistics, strategy, memo
@@ -301,12 +394,25 @@ def _hybrid_uncached(
         return index.scan(_single_step_path(node))
     if isinstance(node, Inverse):
         return _hybrid(
-            push_inverse(node), index, graph, statistics, strategy,
-            max_disjuncts, memo,
+            push_inverse(node),
+            index,
+            graph,
+            statistics,
+            strategy,
+            max_disjuncts,
+            memo,
+            counters,
         )
     if isinstance(node, Concat):
         result = _hybrid(
-            node.parts[0], index, graph, statistics, strategy, max_disjuncts, memo
+            node.parts[0],
+            index,
+            graph,
+            statistics,
+            strategy,
+            max_disjuncts,
+            memo,
+            counters,
         )
         for part in node.parts[1:]:
             if not result:
@@ -314,18 +420,41 @@ def _hybrid_uncached(
             result = rel.compose(
                 result,
                 _hybrid(
-                    part, index, graph, statistics, strategy, max_disjuncts, memo
+                    part,
+                    index,
+                    graph,
+                    statistics,
+                    strategy,
+                    max_disjuncts,
+                    memo,
+                    counters,
                 ),
             )
         return result
     if isinstance(node, Union):
         return rel.union(
-            _hybrid(part, index, graph, statistics, strategy, max_disjuncts, memo)
+            _hybrid(
+                part,
+                index,
+                graph,
+                statistics,
+                strategy,
+                max_disjuncts,
+                memo,
+                counters,
+            )
             for part in node.parts
         )
     if isinstance(node, Star):
         parts = _closure_base_parts(
-            node.child, index, graph, statistics, strategy, max_disjuncts, memo
+            node.child,
+            index,
+            graph,
+            statistics,
+            strategy,
+            max_disjuncts,
+            memo,
+            counters,
         )
         return csr.partitioned_closure(
             graph.node_ids(), parts, low=0, workers=_closure_workers(index)
@@ -333,15 +462,28 @@ def _hybrid_uncached(
     if isinstance(node, Repeat):
         if node.high is None:
             parts = _closure_base_parts(
-                node.child, index, graph, statistics, strategy,
-                max_disjuncts, memo,
+                node.child,
+                index,
+                graph,
+                statistics,
+                strategy,
+                max_disjuncts,
+                memo,
+                counters,
             )
             return csr.partitioned_closure(
                 graph.node_ids(), parts, low=node.low,
                 workers=_closure_workers(index),
             )
         base = _hybrid(
-            node.child, index, graph, statistics, strategy, max_disjuncts, memo
+            node.child,
+            index,
+            graph,
+            statistics,
+            strategy,
+            max_disjuncts,
+            memo,
+            counters,
         )
         return rel.bounded_powers(graph.node_ids(), base, node.low, node.high)
     raise RewriteError(f"unknown AST node {type(node).__name__}")
@@ -362,29 +504,46 @@ def _closure_base_parts(
     strategy: Strategy,
     max_disjuncts: int,
     memo: ScanMemo,
+    counters: ScatterCounters | None,
 ) -> list[Relation]:
     """The operand of a Kleene closure, as per-shard slices when possible.
 
     Sharded engines evaluate a bounded closure operand once per shard
     (the gather is subsumed by the closure's own merge —
     :func:`repro.csr.partitioned_closure`); the closure itself always
-    runs globally, because recursive paths hop shards freely.  The
-    unsharded engine — and any operand the planner cannot bound — keeps
-    the single-relation path, memoized under the operand's AST node as
-    before.
+    runs globally, because recursive paths hop shards freely.  Pruned
+    shards simply contribute no slice.  The unsharded engine — and any
+    operand the planner cannot bound — keeps the single-relation path,
+    memoized under the operand's AST node as before.
     """
     if isinstance(index, ShardedGraph):
         normal_form = _try_normalize(node, graph, max_disjuncts)
         if normal_form is not None:
-            costed = Planner(index.k, statistics, graph, strategy).plan(
-                normal_form
+            planner = Planner(index.k, statistics, graph, strategy)
+            parts = planner.disjunct_plans(normal_form)
+            costed = planner.assemble(parts)
+            policy = _scatter_policy(
+                index, graph, statistics, strategy, _disjunct_map(parts), counters
             )
             return scattered_parts(
-                costed.plan, index, graph, memo,
+                costed.plan,
+                index,
+                graph,
+                memo,
                 workers=index.query_workers,
+                policy=policy,
             )
     return [
-        _hybrid(node, index, graph, statistics, strategy, max_disjuncts, memo)
+        _hybrid(
+            node,
+            index,
+            graph,
+            statistics,
+            strategy,
+            max_disjuncts,
+            memo,
+            counters,
+        )
     ]
 
 

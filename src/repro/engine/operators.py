@@ -207,12 +207,227 @@ def _run(
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
 
+class ScatterCounters:
+    """Mutable tally of scatter-planning decisions for one execution.
+
+    One instance spans a whole query execution (every
+    :func:`execute_scattered` call the hybrid fallback makes shares
+    it), and its totals land on
+    :class:`repro.engine.executor.ExecutionReport` — the observable
+    that makes shard pruning auditable instead of silent.
+    """
+
+    __slots__ = ("scanned", "pruned", "disjuncts_pruned", "replanned")
+
+    def __init__(self) -> None:
+        #: Shard executions that actually ran.
+        self.scanned = 0
+        #: Shard executions skipped outright (whole slice provably empty).
+        self.pruned = 0
+        #: Individual disjunct slices skipped (a skipped shard counts
+        #: all of its disjuncts) — the finer-grained signal: a union
+        #: query can prune most of its work in every shard without any
+        #: shard being skipped whole.
+        self.disjuncts_pruned = 0
+        #: Disjunct join spines re-planned against a shard's statistics.
+        self.replanned = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ScatterCounters(scanned={self.scanned}, "
+            f"pruned={self.pruned}, "
+            f"disjuncts_pruned={self.disjuncts_pruned}, "
+            f"replanned={self.replanned})"
+        )
+
+
+#: Size bound on the per-index scatter-decision cache: decisions and
+#: re-plans are tiny, but distinct ad-hoc queries would otherwise pin
+#: plan trees forever.  Crossing the bound drops the whole cache — it
+#: repopulates in one execution of whatever is running.
+DECISION_CACHE_MAX = 4096
+
+
+class ScatterPolicy:
+    """Per-shard planning decisions for scatter-gather execution.
+
+    Built by the executor from the sharded engine's per-shard
+    statistics (:meth:`repro.sharding.ShardedGraph.shard_statistics`)
+    and consulted once per (plan, shard) before the slice runs:
+
+    * **shard pruning** — a slice whose leftmost leaf has per-shard
+      *exact* count zero is skipped.  Sound, not heuristic: the
+      leftmost leaf pinned to the shard is exactly the shard's slice
+      of that path, and composition/union with an empty leftmost
+      input restricted to the shard produces nothing.  Union plans
+      prune per disjunct; a shard with no live disjunct is skipped
+      entirely.
+    * **per-shard re-planning** — when a shard's *estimate* for some
+      length-k window of a disjunct diverges from its uniform share
+      of the global estimate beyond
+      :attr:`~repro.sharding.ShardedGraph.replan_divergence`, the
+      disjunct's join spine is re-costed against the shard's own
+      statistics (``replan`` callback, supplied by the executor so
+      this module stays planner-agnostic).  Any plan for the disjunct
+      executes to the same shard slice, so re-planning is a pure
+      performance decision — the shards=1 oracle pins that.
+
+    Per-shard statistics only change on rebuild, so the whole
+    (plan, shard) decision — result plan plus counter deltas — is
+    cached on the index (:attr:`ShardedGraph.replan_cache`, dropped by
+    ``rebuild_shards``): repeated queries pay one dictionary hit per
+    shard instead of re-walking every disjunct.  ``cache_tag`` carries
+    everything else the decision depends on (strategy, statistics
+    flavor, the pruning/divergence knobs).  Decisions are made
+    serially (before any thread fan-out), so the counters need no
+    lock; concurrent readers racing to fill a cache key store equal
+    values.
+    """
+
+    __slots__ = (
+        "_sharded",
+        "_statistics",
+        "_disjunct_paths",
+        "_replan",
+        "_tag",
+        "counters",
+    )
+
+    def __init__(
+        self,
+        sharded,
+        statistics,
+        disjunct_paths: dict[PlanNode, object] | None = None,
+        replan=None,
+        counters: ScatterCounters | None = None,
+        cache_tag: tuple = (),
+    ) -> None:
+        self._sharded = sharded
+        self._statistics = statistics
+        self._disjunct_paths = disjunct_paths or {}
+        self._replan = replan
+        self._tag = cache_tag + (
+            sharded.scatter_pruning,
+            sharded.replan_divergence,
+        )
+        self.counters = counters if counters is not None else ScatterCounters()
+
+    def shard_plan(self, shard: int, plan: PlanNode) -> PlanNode | None:
+        """The plan this shard should execute, or ``None`` to skip it."""
+        cache = self._sharded.replan_cache
+        key = (shard, self._tag, plan)
+        decided = cache.get(key)
+        if decided is None:
+            decided = self._decide(shard, plan)
+            if len(cache) >= DECISION_CACHE_MAX:
+                cache.clear()
+            cache[key] = decided
+        result, scanned, pruned, disjuncts_pruned, replanned = decided
+        self.counters.scanned += scanned
+        self.counters.pruned += pruned
+        self.counters.disjuncts_pruned += disjuncts_pruned
+        self.counters.replanned += replanned
+        return result
+
+    def _decide(
+        self, shard: int, plan: PlanNode
+    ) -> tuple[PlanNode | None, int, int, int, int]:
+        """Uncached decision: (plan or None, counter deltas)."""
+        statistics = self._sharded.shard_statistics(shard)
+        pruning = self._sharded.scatter_pruning
+        if isinstance(plan, UnionPlan):
+            kept: list[PlanNode] = []
+            disjuncts_pruned = 0
+            replanned = 0
+            for part in plan.parts:
+                if pruning and self._slice_empty(part, shard, statistics):
+                    disjuncts_pruned += 1
+                    continue
+                replacement, changed = self._maybe_replan(part, shard, statistics)
+                replanned += changed
+                kept.append(replacement)
+            if not kept:
+                return None, 0, 1, disjuncts_pruned, replanned
+            if tuple(kept) == plan.parts:
+                return plan, 1, 0, disjuncts_pruned, replanned
+            return UnionPlan(tuple(kept)), 1, 0, disjuncts_pruned, replanned
+        if pruning and self._slice_empty(plan, shard, statistics):
+            return None, 0, 1, 1, 0
+        replacement, changed = self._maybe_replan(plan, shard, statistics)
+        return replacement, 1, 0, 0, changed
+
+    # -- pruning ---------------------------------------------------------
+
+    def _slice_empty(self, plan: PlanNode, shard: int, statistics) -> bool:
+        """Is this shard's slice of ``plan`` provably empty?
+
+        Only the leftmost leaf is consulted — it is the one input the
+        scatter executor pins to the shard, and its exact per-shard
+        count is ground truth, not an estimate.
+        """
+        if isinstance(plan, JoinPlan):
+            return self._slice_empty(plan.left, shard, statistics)
+        if isinstance(plan, UnionPlan):
+            return all(
+                self._slice_empty(part, shard, statistics) for part in plan.parts
+            )
+        if isinstance(plan, IndexScanPlan):
+            # Direct and inverse scans both read the shard's slice of
+            # plan.path itself (the inverse trick re-sorts, it does not
+            # change which pairs the slice holds).
+            return statistics.exact_count(plan.path) == 0
+        if isinstance(plan, IdentityPlan):
+            return not self._sharded.owned_ids(shard)
+        return False  # unknown node: never prune what we cannot prove
+
+    # -- re-planning -----------------------------------------------------
+
+    def _maybe_replan(
+        self, plan: PlanNode, shard: int, statistics
+    ) -> tuple[PlanNode, int]:
+        """``(plan to run, 1 if it was re-planned else 0)``."""
+        divergence = self._sharded.replan_divergence
+        if divergence is None or self._replan is None:
+            return plan, 0
+        path = self._disjunct_paths.get(plan)
+        if path is None or len(path) <= self._sharded.k:
+            # Unknown provenance, or a single-scan disjunct: there is
+            # no join spine to reorder.
+            return plan, 0
+        if not self._diverges(path, statistics, divergence):
+            return plan, 0
+        replanned = self._replan(shard, path, statistics.provider(self._statistics))
+        if replanned == plan:
+            return plan, 0
+        return replanned, 1
+
+    def _diverges(self, path, statistics, divergence: float) -> bool:
+        """Does the shard's distribution of ``path`` defy uniform 1/N?
+
+        Compares, window by length-k window (the units every strategy
+        costs with), the shard estimate against the global estimate's
+        uniform share.  Additive-one smoothing keeps empty windows from
+        dividing by zero and tiny counts from screaming skew.
+        """
+        k = self._sharded.k
+        share = 1.0 / self._sharded.shard_count
+        for offset in range(len(path) - k + 1):
+            window = path.subpath(offset, offset + k)
+            expected = self._statistics.estimated_count(window) * share
+            observed = statistics.estimated_count(window)
+            ratio = (observed + 1.0) / (expected + 1.0)
+            if ratio > divergence or ratio < 1.0 / divergence:
+                return True
+        return False
+
+
 def execute_scattered(
     plan: PlanNode,
     sharded,
     graph: Graph,
     memo: ScanMemo | None = None,
     workers: int = 1,
+    policy: ScatterPolicy | None = None,
 ) -> Relation:
     """Run a plan against every shard and merge the slices.
 
@@ -227,12 +442,16 @@ def execute_scattered(
     relation by start owner, the final union is exact: it equals the
     unsharded execution of the same plan.
 
+    ``policy`` (a :class:`ScatterPolicy`) makes the scatter skew-aware:
+    provably-empty shard slices are skipped and skewed disjuncts are
+    re-planned per shard — answers are unchanged either way.
+
     ``workers > 1`` fans the per-shard executions out over threads;
     this requires a :class:`SharedScanMemo` (the per-shard traversals
     populate the memo concurrently) and silently stays serial
     otherwise.
     """
-    return rel.union(scattered_parts(plan, sharded, graph, memo, workers))
+    return rel.union(scattered_parts(plan, sharded, graph, memo, workers, policy))
 
 
 def scattered_parts(
@@ -241,34 +460,43 @@ def scattered_parts(
     graph: Graph,
     memo: ScanMemo | None = None,
     workers: int = 1,
+    policy: ScatterPolicy | None = None,
 ) -> list[Relation]:
     """The per-shard slices of a plan's result, unmerged.
 
     What the recursive operators want: the slices of a ``Star``
     operand go straight into the *global* closure
     (:func:`repro.csr.partitioned_closure`), whose packed-key merge
-    subsumes the union this module would otherwise perform.  Thread
-    fan-out follows the same rule as :func:`execute_scattered`:
-    ``workers > 1`` requires a :class:`SharedScanMemo`.
+    subsumes the union this module would otherwise perform.  Pruned
+    shards contribute no slice at all (an empty list is a legal
+    closure operand).  Thread fan-out follows the same rule as
+    :func:`execute_scattered`: ``workers > 1`` requires a
+    :class:`SharedScanMemo`; policy decisions are always taken
+    serially first, so the policy counters stay unsynchronized.
     """
     if memo is None:
         memo = ScanMemo()
-    shard_ids = range(sharded.shard_count)
-    if workers > 1 and sharded.shard_count > 1 and isinstance(memo, SharedScanMemo):
+    if policy is None:
+        live = [(shard, plan) for shard in range(sharded.shard_count)]
+    else:
+        live = []
+        for shard in range(sharded.shard_count):
+            shard_plan = policy.shard_plan(shard, plan)
+            if shard_plan is not None:
+                live.append((shard, shard_plan))
+    if workers > 1 and len(live) > 1 and isinstance(memo, SharedScanMemo):
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(
-            max_workers=min(workers, sharded.shard_count)
-        ) as pool:
+        with ThreadPoolExecutor(max_workers=min(workers, len(live))) as pool:
             return list(
                 pool.map(
-                    lambda shard: _run_on_shard(plan, sharded, shard, graph, memo),
-                    shard_ids,
+                    lambda pair: _run_on_shard(pair[1], sharded, pair[0], graph, memo),
+                    live,
                 )
             )
     return [
-        _run_on_shard(plan, sharded, shard, graph, memo)
-        for shard in shard_ids
+        _run_on_shard(shard_plan, sharded, shard, graph, memo)
+        for shard, shard_plan in live
     ]
 
 
@@ -316,8 +544,7 @@ def _run_on_shard_uncached(
         return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
         return rel.union(
-            _run_on_shard(part, sharded, shard, graph, memo)
-            for part in plan.parts
+            _run_on_shard(part, sharded, shard, graph, memo) for part in plan.parts
         )
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 

@@ -75,27 +75,57 @@ class Planner:
             raise PlanningError(f"k must be >= 1, got {k}")
         self.k = k
         self.strategy = strategy
+        self._graph = graph
         self._cost_model = CostModel(statistics, graph)
         self._statistics = statistics
+
+    def with_statistics(self, statistics) -> "Planner":
+        """This planner re-anchored on another statistics provider.
+
+        The scatter executor re-plans a disjunct against one shard's
+        statistics slice this way: same k, same strategy, same graph —
+        only the estimates change.
+        """
+        return Planner(self.k, statistics, self._graph, self.strategy)
 
     # -- entry points ----------------------------------------------------------
 
     def plan(self, normal_form: NormalForm) -> CostedPlan:
         """Plan a whole query: a union over per-disjunct plans."""
-        parts: list[CostedPlan] = []
+        return self.assemble(self.disjunct_plans(normal_form))
+
+    def disjunct_plans(
+        self, normal_form: NormalForm
+    ) -> list[tuple[LabelPath | None, CostedPlan]]:
+        """Per-disjunct plans, each tagged with its source label path.
+
+        The epsilon disjunct carries ``None``.  The tagging is what the
+        scatter executor needs to re-plan one disjunct against a
+        shard's statistics without re-deriving which path a plan
+        subtree came from.
+        """
+        parts: list[tuple[LabelPath | None, CostedPlan]] = []
         if normal_form.has_epsilon:
-            parts.append(self._cost_model.identity())
+            parts.append((None, self._cost_model.identity()))
         for path in normal_form.paths:
-            parts.append(self.plan_path(path))
+            parts.append((path, self.plan_path(path)))
         if not parts:
             raise PlanningError("cannot plan an empty query")
-        if len(parts) == 1:
-            return parts[0]
-        union = UnionPlan(tuple(costed.plan for costed in parts))
+        return parts
+
+    @staticmethod
+    def assemble(
+        parts: list[tuple[LabelPath | None, CostedPlan]],
+    ) -> CostedPlan:
+        """Fold tagged disjunct plans into the whole-query plan."""
+        costed = [part for _, part in parts]
+        if len(costed) == 1:
+            return costed[0]
+        union = UnionPlan(tuple(part.plan for part in costed))
         return CostedPlan(
             plan=union,
-            cardinality=sum(costed.cardinality for costed in parts),
-            cost=sum(costed.cost for costed in parts),
+            cardinality=sum(part.cardinality for part in costed),
+            cost=sum(part.cost for part in costed),
         )
 
     def plan_path(self, path: LabelPath) -> CostedPlan:
@@ -140,9 +170,7 @@ class Planner:
         left_part = path.subpath(0, window) if window > 0 else None
         right_start = window + self.k
         right_part = (
-            path.subpath(right_start, len(path))
-            if right_start < len(path)
-            else None
+            path.subpath(right_start, len(path)) if right_start < len(path) else None
         )
         pivot = path.subpath(window, window + self.k)
         pivot_candidates = [
@@ -198,7 +226,7 @@ class Planner:
                 best_offset = offset
         return best_offset
 
-    # -- minJoin ---------------------------------------------------------------------------
+    # -- minJoin -----------------------------------------------------------------------
 
     def _min_join(self, path: LabelPath) -> CostedPlan:
         """Minimal-join planning: cheapest ⌈n/k⌉-chunking + join-order DP."""
@@ -218,9 +246,7 @@ class Planner:
             for size in split:
                 chunks.append(path.subpath(offset, offset + size))
                 offset += size
-            volume = sum(
-                self._statistics.estimated_count(chunk) for chunk in chunks
-            )
+            volume = sum(self._statistics.estimated_count(chunk) for chunk in chunks)
             if best is None or volume < best[0]:
                 best = (volume, chunks)
         assert best is not None
@@ -246,7 +272,7 @@ class Planner:
                 table[(start, end)] = {best.order: best}
         return self._cheapest(table[(0, count - 1)])
 
-    # -- shared helpers -------------------------------------------------------------------------
+    # -- shared helpers ----------------------------------------------------------------
 
     def _cheapest(self, candidates: dict[object, CostedPlan]) -> CostedPlan:
         return self._cost_model.cheapest(list(candidates.values()))

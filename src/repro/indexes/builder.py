@@ -54,7 +54,9 @@ def count_label_paths(label_count: int, k: int) -> int:
 
 
 def path_relations(
-    graph: Graph, k: int, prune_empty: bool = True,
+    graph: Graph,
+    k: int,
+    prune_empty: bool = True,
     sources: Container[int] | None = None,
 ) -> Iterator[tuple[LabelPath, list[Pair]]]:
     """Yield ``(path, sorted relation)`` for every label path up to k.
@@ -72,9 +74,7 @@ def path_relations(
     """
     _check_k(k)
     steps = _sorted_steps(graph.labels())
-    step_adjacency = {
-        step: _adjacency(graph, step) for step in steps
-    }
+    step_adjacency = {step: _adjacency(graph, step) for step in steps}
 
     def expand(
         prefix: tuple[Step, ...], relation: set[Pair]
@@ -86,9 +86,7 @@ def path_relations(
             else:
                 extended = set(graph.step_pairs(step))
                 if sources is not None:
-                    extended = {
-                        pair for pair in extended if pair[0] in sources
-                    }
+                    extended = {pair for pair in extended if pair[0] in sources}
             yield LabelPath(path_steps), sorted(extended)
             if len(path_steps) < k:
                 if extended or not prune_empty:
@@ -98,7 +96,9 @@ def path_relations(
 
 
 def path_relations_columnar(
-    graph: Graph, k: int, prune_empty: bool = True,
+    graph: Graph,
+    k: int,
+    prune_empty: bool = True,
     sources: Container[int] | None = None,
 ) -> Iterator[tuple[LabelPath, Relation]]:
     """Columnar twin of :func:`path_relations`: yields ``Relation`` values.
@@ -116,9 +116,7 @@ def path_relations_columnar(
     _check_k(k)
     steps = _sorted_steps(graph.labels())
     step_relations = {
-        step: rel.dedup_sort(
-            Relation.from_pairs(graph.step_pairs(step)), Order.BY_SRC
-        )
+        step: rel.dedup_sort(Relation.from_pairs(graph.step_pairs(step)), Order.BY_SRC)
         for step in steps
     }
     if sources is None:
@@ -204,9 +202,7 @@ def estimate_index_entries(graph: Graph, k: int) -> int:
 
 def path_counts(graph: Graph, k: int) -> dict[str, int]:
     """Map encoded path -> ``|p(G)|`` for every enumerated path."""
-    return {
-        path.encode(): len(pairs) for path, pairs in path_relations(graph, k)
-    }
+    return {path.encode(): len(pairs) for path, pairs in path_relations(graph, k)}
 
 
 def _sorted_steps(labels: tuple[str, ...]) -> tuple[Step, ...]:

@@ -235,9 +235,7 @@ class DynamicPathIndex:
 
     def _check(self, path: LabelPath) -> None:
         if len(path) > self.k:
-            raise PathIndexError(
-                f"path {path} has length {len(path)} > k={self.k}"
-            )
+            raise PathIndexError(f"path {path} has length {len(path)} > k={self.k}")
 
     def __repr__(self) -> str:
         return (

@@ -130,7 +130,7 @@ class EquiDepthHistogram:
         """The paper's ``sel_{G,k}(p)``."""
         return self.estimated_count(path) / self.total_paths_k
 
-    # -- persistence --------------------------------------------------------------------
+    # -- persistence -------------------------------------------------------------------
 
     _SCHEMA = (
         Column("bucket", "int"),
@@ -167,7 +167,7 @@ class EquiDepthHistogram:
             bucket_totals.append(total)
         return cls(boundaries, bucket_paths, bucket_totals, k, total_paths_k)
 
-    # -- diagnostics ----------------------------------------------------------------------
+    # -- diagnostics -------------------------------------------------------------------
 
     def mean_absolute_error(self, counts: dict[str, int]) -> float:
         """Average |estimate - truth| over the given exact counts."""

@@ -75,11 +75,10 @@ class _DiskBackend:
 
     name = "disk"
 
-    def __init__(self, path: str | FilePath, page_size: int = 4096,
-                 cache_pages: int = 256):
-        self._tree = DiskBPlusTree(
-            path, page_size=page_size, cache_pages=cache_pages
-        )
+    def __init__(
+        self, path: str | FilePath, page_size: int = 4096, cache_pages: int = 256
+    ):
+        self._tree = DiskBPlusTree(path, page_size=page_size, cache_pages=cache_pages)
 
     def bulk_load(self, entries: Iterator[tuple[int, int, int]]) -> None:
         self._tree.bulk_load((encode_key(key), b"") for key in entries)
@@ -162,7 +161,10 @@ class PathIndex:
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         store = cls._make_backend(
-            backend, order=order, path=path, page_size=page_size,
+            backend,
+            order=order,
+            path=path,
+            page_size=page_size,
             cache_pages=cache_pages,
         )
         index = cls(graph, k, store)
@@ -213,7 +215,10 @@ class PathIndex:
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         store = cls._make_backend(
-            backend, order=order, path=path, page_size=page_size,
+            backend,
+            order=order,
+            path=path,
+            page_size=page_size,
             cache_pages=cache_pages,
         )
         index = cls(graph, k, store)
@@ -251,9 +256,7 @@ class PathIndex:
         if backend == "disk":
             if path is None:
                 raise ValidationError("the disk backend requires a file path")
-            return _DiskBackend(
-                path, page_size=page_size, cache_pages=cache_pages
-            )
+            return _DiskBackend(path, page_size=page_size, cache_pages=cache_pages)
         if backend == "compressed":
             from repro.indexes.compressed import CompressedBackend
 
@@ -365,11 +368,13 @@ class PathIndex:
         payload = json.loads(FilePath(catalog_path).read_text(encoding="utf-8"))
         store = _DiskBackend(index_path, page_size=page_size, cache_pages=cache_pages)
         index = cls(graph, int(payload["k"]), store)
-        index._path_ids = {key: int(value) for key, value in payload["path_ids"].items()}
+        index._path_ids = {
+            key: int(value) for key, value in payload["path_ids"].items()
+        }
         index._counts = {key: int(value) for key, value in payload["counts"].items()}
         return index
 
-    # -- internals -----------------------------------------------------------------------
+    # -- internals ---------------------------------------------------------------------
 
     def _path_id(self, path: LabelPath) -> int | None:
         self._check_length(path)
@@ -377,9 +382,7 @@ class PathIndex:
 
     def _check_length(self, path: LabelPath) -> None:
         if len(path) > self.k:
-            raise PathIndexError(
-                f"path {path} has length {len(path)} > k={self.k}"
-            )
+            raise PathIndexError(f"path {path} has length {len(path)} > k={self.k}")
 
     def __repr__(self) -> str:
         return (

@@ -55,8 +55,14 @@ from typing import Iterable, Iterator, Sequence
 from repro import relation as rel
 from repro.errors import ValidationError
 from repro.graph.graph import Graph, LabelPath
+from repro.graph.stats import count_paths_k
 from repro.indexes.builder import path_relations_columnar
 from repro.indexes.pathindex import PathIndex
+from repro.indexes.statistics import (
+    ExactStatistics,
+    ShardStatistics,
+    merge_shard_counts,
+)
 from repro.relation import Order, Relation
 
 #: Fibonacci-style multiplicative mixer: consecutive dense ids spread
@@ -69,6 +75,18 @@ _SHARD_SHIFT = 17
 #: composition work is too small to amortize process startup and graph
 #: pickling.  An explicit ``workers=`` always wins.
 PARALLEL_MIN_EDGES = 512
+
+#: Default re-planning trigger: a shard's estimate for some length-k
+#: window of a disjunct must diverge from its uniform share of the
+#: global estimate by more than this factor (either direction) before
+#: the join spine is re-costed against the shard's own statistics.
+#: Loose by design — per-shard and global histograms bucket
+#: differently, so small disagreements are synopsis noise, not skew.
+REPLAN_DIVERGENCE = 4.0
+
+#: Bucket count of the per-shard equi-depth histograms.  A shard holds
+#: ~1/N of every relation, so the global default of 64 stays plenty.
+SHARD_STATISTICS_BUCKETS = 64
 
 
 def shard_of(node_id: int, shard_count: int) -> int:
@@ -149,6 +167,15 @@ class ShardedGraph:
         self._prune_empty = prune_empty
         #: Thread fan-out of scatter-gather plan execution (1 = serial).
         self.query_workers = 1
+        #: Skip scatter slices whose leftmost-leaf slice is *provably*
+        #: empty (per-shard exact count 0).  Sound by construction —
+        #: composition and union with an empty leftmost input restricted
+        #: to the shard contribute nothing — and surfaced per query on
+        #: :class:`repro.engine.executor.ExecutionReport`.
+        self.scatter_pruning = True
+        #: Divergence factor that triggers per-shard re-planning of a
+        #: disjunct's join spine (``None`` disables re-planning).
+        self.replan_divergence: float | None = REPLAN_DIVERGENCE
         #: The step vocabulary the shards were enumerated over.  A
         #: mutation that changes it invalidates every shard's path set
         #: at once — the API layer then forces a full rebuild.
@@ -158,6 +185,27 @@ class ShardedGraph:
         # map is pure, but the id space grows with the graph).
         self._owned_version = -1
         self._owned_lists: list[list[int]] = []
+        # Statistics caches.  The merged catalog and |paths_k(G)| are
+        # shared by every planner costing pass, so both are computed
+        # once and invalidated only when shard contents can change
+        # (rebuild_shards; a full rebuild constructs a new instance).
+        # Per-shard ShardStatistics are built lazily per shard — the
+        # catalogs they read already exist, so construction is one
+        # pass over each shard's counts, exactly the "one extra pass"
+        # the build pays for skew-aware planning.
+        self._merged_counts: dict[str, int] | None = None
+        self._total_paths_k: int | None = None
+        self._shard_statistics: list[ShardStatistics | None] = [
+            None for _ in self._shards
+        ]
+        #: Re-planned disjunct spines, keyed on
+        #: ``(shard, encoded path, strategy, statistics flavor)``.
+        #: A shard's statistics are immutable between rebuilds, so the
+        #: re-plan is too — caching it keeps skew-aware planning a
+        #: per-*rebuild* cost instead of a per-execution one.  Written
+        #: by the executor's replan callback, dropped with the other
+        #: statistics caches in :meth:`rebuild_shards`.
+        self.replan_cache: dict = {}
 
     # -- construction ----------------------------------------------------
 
@@ -208,9 +256,7 @@ class ShardedGraph:
             for built in indexes:
                 built.close()
             raise
-        return cls(
-            graph, k, indexes, backend, index_path, resolved, prune_empty
-        )
+        return cls(graph, k, indexes, backend, index_path, resolved, prune_empty)
 
     @staticmethod
     def _resolve_workers(workers: int | None, shards: int) -> int:
@@ -397,7 +443,11 @@ class ShardedGraph:
             max(len(shard_ids), 1),
         )
         payloads = self._compute_payloads(
-            self.graph, self.k, len(self._shards), shard_ids, resolved,
+            self.graph,
+            self.k,
+            len(self._shards),
+            shard_ids,
+            resolved,
             self._prune_empty,
         )
         for shard in shard_ids:
@@ -406,12 +456,23 @@ class ShardedGraph:
                 # Release the stale file before the unlink+rebuild.
                 old.close()
             replacement = self._shard_index(
-                self.graph, self.k, payloads[shard], self._backend,
-                self._index_path, shard,
+                self.graph,
+                self.k,
+                payloads[shard],
+                self._backend,
+                self._index_path,
+                shard,
             )
             self._shards[shard] = replacement
             if self._backend != "disk":
                 old.close()
+        # Every statistics cache is stale now: rebuilt shards changed
+        # their catalogs, and the graph mutation behind the rebuild
+        # moved |paths_k(G)| for *all* shards' selectivities.
+        self._merged_counts = None
+        self._total_paths_k = None
+        self._shard_statistics = [None for _ in self._shards]
+        self.replan_cache.clear()
 
     # -- PathIndex facade (global scatter-gather) -------------------------
 
@@ -451,12 +512,18 @@ class ShardedGraph:
         empty in *every* shard is absent here where the unsharded
         catalog may record it with count 0; both sides estimate such a
         path at 0, so statistics agree where it matters.
+
+        The merge is cached: planner costing probes this per query, and
+        re-summing N shard catalogs each time was pure waste.  The cache
+        is invalidated by :meth:`rebuild_shards` (the only way shard
+        contents change under one instance); a defensive copy is
+        returned so callers cannot corrupt it.
         """
-        merged: dict[str, int] = {}
-        for shard in self._shards:
-            for encoded, count in shard.counts_by_path().items():
-                merged[encoded] = merged.get(encoded, 0) + count
-        return merged
+        if self._merged_counts is None:
+            self._merged_counts = merge_shard_counts(
+                [shard.counts_by_path() for shard in self._shards]
+            )
+        return dict(self._merged_counts)
 
     def paths(self) -> Iterator[LabelPath]:
         """Every cataloged label path, in first-seen (trie) order."""
@@ -488,6 +555,52 @@ class ShardedGraph:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- statistics (global merge + per-shard slices) ---------------------
+
+    def total_paths_k(self) -> int:
+        """``|paths_k(G)|`` — the shared selectivity denominator (cached)."""
+        if self._total_paths_k is None:
+            self._total_paths_k = count_paths_k(self.graph, self.k)
+        return self._total_paths_k
+
+    def merged_statistics(self) -> ExactStatistics:
+        """Exact global statistics from the merged shard catalogs.
+
+        Agrees with ``ExactStatistics.from_index(unsharded_index)`` on
+        every path estimate: per-shard slices partition each relation,
+        so their counts sum to the global catalog (paths empty in every
+        shard estimate to 0 on both sides).  The API layer uses this in
+        place of a fresh global recount, reusing both caches.
+        """
+        return ExactStatistics(
+            counts=self.counts_by_path(),
+            k=self.k,
+            total_paths_k=self.total_paths_k(),
+        )
+
+    def shard_statistics(self, shard: int) -> ShardStatistics:
+        """One shard's statistics slice (exact counts + histogram).
+
+        Built on first use from the shard's already-materialized
+        catalog — one pass over its counts — and cached until
+        :meth:`rebuild_shards` invalidates it.  The scatter planner
+        reads this per slice: exact zeros drive shard pruning,
+        histogram estimates drive per-shard join-order re-planning.
+        """
+        if not 0 <= shard < len(self._shards):
+            raise ValidationError(f"no such shard {shard}")
+        cached = self._shard_statistics[shard]
+        if cached is None:
+            cached = ShardStatistics(
+                shard=shard,
+                counts=self._shards[shard].counts_by_path(),
+                k=self.k,
+                total_paths_k=self.total_paths_k(),
+                buckets=SHARD_STATISTICS_BUCKETS,
+            )
+            self._shard_statistics[shard] = cached
+        return cached
 
     # -- per-shard slices (the scatter side of scatter-gather) ------------
 

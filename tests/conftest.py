@@ -1,13 +1,42 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The ``REPRO_DEFAULT_SHARDS`` knob (read by
+:func:`repro.api.default_shard_count`) reroutes every database the
+suite builds without an explicit ``shards=`` through the sharded
+engine — CI's ``sharded-stress`` step runs the whole tier-1 suite
+under ``REPRO_DEFAULT_SHARDS=4`` so the scatter-gather path is
+exercised by every test, not just ``test_sharding.py``.  Tests that
+deliberately poke unsharded internals pin ``shards=1`` at their call
+site; oracles in transparency tests do the same.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.api import GraphDatabase
+from repro.api import GraphDatabase, default_shard_count
 from repro.graph.examples import diamond, figure1_graph, two_triangles
 from repro.graph.generators import advogato_like, erdos_renyi
 from repro.graph.graph import Graph
+
+
+def pytest_report_header(config) -> str:
+    """Make the sharded-stress mode visible in every pytest run header."""
+    shards = default_shard_count()
+    if shards > 1:
+        return (
+            f"repro: REPRO_DEFAULT_SHARDS={os.environ['REPRO_DEFAULT_SHARDS']}"
+            f" — default-configured databases run the sharded engine"
+        )
+    return "repro: unsharded default engine (set REPRO_DEFAULT_SHARDS to stress)"
+
+
+@pytest.fixture(scope="session")
+def default_shards() -> int:
+    """The shard count default-configured databases resolve to."""
+    return default_shard_count()
 
 
 @pytest.fixture(scope="session")

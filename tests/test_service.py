@@ -295,7 +295,10 @@ class TestServiceMutations:
         from repro.errors import PathIndexError
         from repro.indexes.pathindex import PathIndex
 
-        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2)
+        # shards=1 pinned: the failure is injected into the unsharded
+        # PathIndex.build (the sharded engine rebuilds via
+        # from_relations and has its own failure-path tests).
+        database = GraphDatabase.from_edges(FIGURE1_EDGES, k=2, shards=1)
         original_build = PathIndex.build
 
         def exploding_build(*args, **kwargs):
@@ -581,9 +584,11 @@ class TestConcurrentHammer:
         and one LRU across readers — concurrent queries interleaved
         seek/read and could serve torn pages.  A tiny page cache forces
         constant misses/evictions while threads query and mutate."""
+        # shards=1 pinned: the test reaches into the *unsharded* disk
+        # backend's pager (the shared handle under test).
         database = GraphDatabase.from_edges(
             FIGURE1_EDGES, k=2, backend="disk",
-            index_path=str(tmp_path / "index.db"),
+            index_path=str(tmp_path / "index.db"), shards=1,
         )
         # Shrink the pager cache so nearly every read goes to the file.
         database.index._backend._tree._pager._cache_pages = 4

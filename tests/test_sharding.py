@@ -202,7 +202,7 @@ def test_every_hop_crosses_shards():
     owners = [shard_of(node, shards) for node in ids]
     assert all(x != y for x, y in zip(owners, owners[1:]))
     database = GraphDatabase(graph, k=2, shards=shards)
-    oracle = GraphDatabase(graph, k=2)
+    oracle = GraphDatabase(graph, k=2, shards=1)
     for query in ("a/a", "a/a/a", "a/a/a/a/a", "a*", "^a/a"):
         for method in STRATEGIES:
             assert (
@@ -262,7 +262,7 @@ def test_disk_backend_shards_and_rebuilds(tmp_path):
     )
     for shard in range(3):
         assert ShardedGraph.shard_index_path(base, shard).exists()
-    oracle = GraphDatabase(advogato_like(nodes=40, edges=200, seed=2), k=2)
+    oracle = GraphDatabase(advogato_like(nodes=40, edges=200, seed=2), k=2, shards=1)
     query = "master/^journeyer"
     assert (
         database.query(query, use_cache=False).pairs
@@ -281,7 +281,9 @@ def test_disk_backend_shards_and_rebuilds(tmp_path):
 
 
 def mutation_oracle(graph: Graph, database: GraphDatabase, queries):
-    fresh = GraphDatabase(graph, k=database.k)
+    # shards=1 pinned: the oracle must stay the unsharded engine even
+    # under the REPRO_DEFAULT_SHARDS stress knob.
+    fresh = GraphDatabase(graph, k=database.k, shards=1)
     for query in queries:
         assert (
             database.query(query, use_cache=False).pairs
@@ -450,7 +452,7 @@ def test_sharded_answers_equal_unsharded_oracle(
     """
     query = "/".join(str(step) for step in path)
     with forced_path(pure_python):
-        oracle = GraphDatabase(graph, k=2)
+        oracle = GraphDatabase(graph, k=2, shards=1)
         sharded = GraphDatabase(graph, k=2, shards=shards)
         expected = oracle.query(query, method=method, use_cache=False).pairs
         answer = sharded.query(query, method=method, use_cache=False).pairs
@@ -469,7 +471,7 @@ def test_sharded_star_and_point_lookups_equal_oracle(
 ):
     """Recursive queries and the point-lookup API agree with shards=1."""
     with forced_path(pure_python):
-        oracle = GraphDatabase(graph, k=2)
+        oracle = GraphDatabase(graph, k=2, shards=1)
         sharded = GraphDatabase(graph, k=2, shards=shards)
         for query in ("(a|b)*", "a*/b", "c{0,2}"):
             assert (
