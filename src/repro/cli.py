@@ -73,6 +73,41 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_binding(text: str) -> dict[str, int | str]:
+    """One ``name=value[,name=value...]`` binding; ints stay ints."""
+    binding: dict[str, int | str] = {}
+    for part in text.split(","):
+        name, separator, value = part.partition("=")
+        if not separator or not name:
+            raise ReproError(
+                f"binding {part!r} must look like name=value "
+                f"(e.g. n=3 or v=alice,n=2)"
+            )
+        binding[name.strip()] = (
+            int(value) if value.strip().lstrip("-").isdigit() else value.strip()
+        )
+    return binding
+
+
+def _cmd_prepared(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    statement = database.prepare(args.template, method=args.method)
+    for text in args.bindings:
+        binding = _parse_binding(text)
+        result = statement.bind(**binding).run()
+        print(
+            f"{text}: {len(result.pairs)} pairs in "
+            f"{result.seconds * 1000.0:.2f} ms  ({result.query})"
+        )
+    info = database.cache_info()
+    print(
+        f"# plans computed {info['plans_computed']}, cache hits "
+        f"{info['prepared_hits']}, artifact loads {info['artifact_loads']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_figure2(args: argparse.Namespace) -> int:
     prepared = advogato_workload(scale=args.scale, ks=tuple(args.ks))
     measurements = harness.run_figure2(
@@ -138,6 +173,22 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query")
     explain.add_argument("--method", default="minsupport")
     explain.set_defaults(handler=_cmd_explain)
+
+    prepared = commands.add_parser(
+        "prepared", help="prepare a template once, run many bindings"
+    )
+    _add_graph_arguments(prepared)
+    prepared.add_argument(
+        "template",
+        help="RPQ template, e.g. 'from($v): knows{1,$n}/worksFor'",
+    )
+    prepared.add_argument(
+        "bindings",
+        nargs="+",
+        help="one binding per argument: 'n=2' or 'v=alice,n=3'",
+    )
+    prepared.add_argument("--method", default="minsupport")
+    prepared.set_defaults(handler=_cmd_prepared)
 
     figure2 = commands.add_parser("figure2", help="reproduce Figure 2")
     figure2.add_argument("--scale", choices=sorted(SCALES), default="bench")

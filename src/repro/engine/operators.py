@@ -41,6 +41,7 @@ from repro.engine.plan import (
 from repro.graph.graph import Graph
 from repro.indexes.pathindex import PathIndex
 from repro.relation import Relation
+from repro.sharding import DECISION_CACHE_MAX  # noqa: F401  (re-export)
 
 
 def merge_join(left, right) -> Relation:
@@ -241,11 +242,6 @@ class ScatterCounters:
         )
 
 
-#: Size bound on the per-index scatter-decision cache: decisions and
-#: re-plans are tiny, but distinct ad-hoc queries would otherwise pin
-#: plan trees forever.  Crossing the bound drops the whole cache — it
-#: repopulates in one execution of whatever is running.
-DECISION_CACHE_MAX = 4096
 
 
 class ScatterPolicy:
@@ -319,8 +315,8 @@ class ScatterPolicy:
         decided = cache.get(key)
         if decided is None:
             decided = self._decide(shard, plan)
-            if len(cache) >= DECISION_CACHE_MAX:
-                cache.clear()
+            # The cache bounds itself (BoundedCache evicts FIFO), so a
+            # template-heavy workload cannot grow it without limit.
             cache[key] = decided
         result, scanned, pruned, disjuncts_pruned, replanned = decided
         self.counters.scanned += scanned
@@ -450,8 +446,19 @@ def execute_scattered(
     this requires a :class:`SharedScanMemo` (the per-shard traversals
     populate the memo concurrently) and silently stays serial
     otherwise.
+
+    The gather is the fused kernel
+    :func:`repro.relation.union_into` with ``disjoint=True``: every
+    slice's sources are owned by the producing shard (the leftmost
+    leaf is pinned to the shard, and a subtree's output sources come
+    from its leftmost input), owner sets partition the vertices, and
+    each slice is individually duplicate-free — so the merge can skip
+    duplicate elimination entirely.
     """
-    return rel.union(scattered_parts(plan, sharded, graph, memo, workers, policy))
+    return rel.union_into(
+        scattered_parts(plan, sharded, graph, memo, workers, policy),
+        disjoint=True,
+    )
 
 
 def scattered_parts(

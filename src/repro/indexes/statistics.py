@@ -74,6 +74,15 @@ class ExactStatistics:
             total_paths_k=count_paths_k(graph, index.k),
         )
 
+    @property
+    def counts(self) -> dict[str, int]:
+        """Per-path counts keyed by encoded label path (defensive copy).
+
+        The full catalog view backs content fingerprints (the persisted
+        plan-artifact cache keys its validity on exactly these counts).
+        """
+        return dict(self._counts)
+
     def estimated_count(self, path: LabelPath) -> float:
         self._check(path)
         return float(self._counts.get(path.encode(), 0))

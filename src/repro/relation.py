@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import enum
 from array import array
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
 from repro.errors import ExecutionError, ValidationError
@@ -293,6 +294,18 @@ def _column(values) -> array:
 
 def _pack_np(high, low):
     return (high.astype(_np.uint64) << _SHIFT) | low.astype(_np.uint64)
+
+
+def _pack_into(high, low, out) -> None:
+    """Pack two int64 id vectors into a preallocated uint64 key slice.
+
+    The allocation-free twin of :func:`_pack_np` for the fused gather:
+    both ufuncs write straight into ``out``, so an N-way merge packs
+    every part into one buffer with zero per-part temporaries.  Ids are
+    nonnegative, so the unsafe int64→uint64 casts cannot change values.
+    """
+    _np.left_shift(high, _SHIFT, out=out, casting="unsafe")
+    _np.bitwise_or(out, low.view(_np.uint64), out=out)
 
 
 def _np_sorted_unique(values):
@@ -556,6 +569,98 @@ def union(parts: Iterable[Relation]) -> Relation:
     for part in parts:
         keys.update(part.packed())
     return _from_packed_sorted(sorted(keys), Order.BY_SRC)
+
+
+#: Test hook: set True to verify the ``disjoint=True`` contract of
+#: :func:`union_into` on every call (one extra pass; off in production).
+_CHECK_DISJOINT = False
+
+
+def union_into(parts: Iterable[Relation], disjoint: bool = False) -> Relation:
+    """Fused N-way union into one preallocated packed-key buffer.
+
+    The gather-side merge of scatter-gather execution: instead of
+    concatenating per-part packed temporaries and re-scanning for
+    duplicates (:func:`union`), the exact output size is known up front
+    (each part is already materialized and duplicate-free), so every
+    part packs straight into one buffer which is then sorted in place.
+
+    ``disjoint=True`` additionally skips duplicate elimination — sound
+    exactly when the parts are pairwise disjoint *and* individually
+    duplicate-free.  Shard slices pinned to owner shards satisfy both:
+    every pair's source is owned by the producing shard and owner sets
+    partition the vertices (see
+    :func:`repro.engine.operators.execute_scattered`).  Output is
+    sorted ``BY_SRC`` either way.
+    """
+    parts = [part for part in parts if len(part)]
+    if not parts:
+        return Relation.empty(Order.BY_SRC)
+    if len(parts) == 1:
+        only = parts[0]
+        if only.order is Order.BY_SRC:
+            return only
+        if not disjoint:
+            return dedup_sort(only)
+    total = sum(len(part) for part in parts)
+    if _vectorize(total):
+        buffer = _np.empty(total, dtype=_np.uint64)
+        offset = 0
+        for part in parts:
+            _pack_into(
+                _view(part.src),
+                _view(part.tgt),
+                buffer[offset : offset + len(part)],
+            )
+            offset += len(part)
+        buffer.sort()
+        if _CHECK_DISJOINT and disjoint and len(buffer) > 1:
+            if bool((buffer[1:] == buffer[:-1]).any()):
+                raise ExecutionError(
+                    "union_into(disjoint=True) received overlapping parts"
+                )
+        if not disjoint:
+            keep = _np.empty(total, dtype=bool)
+            keep[0] = True
+            _np.not_equal(buffer[1:], buffer[:-1], out=keep[1:])
+            buffer = buffer[keep]
+        return _unpack_np(buffer, Order.BY_SRC)
+    keys: list[int] = []
+    for part in parts:
+        keys.extend(part.packed())
+    keys.sort()
+    if _CHECK_DISJOINT and disjoint and any(
+        keys[i] == keys[i - 1] for i in range(1, len(keys))
+    ):
+        raise ExecutionError(
+            "union_into(disjoint=True) received overlapping parts"
+        )
+    if not disjoint:
+        keys = [key for i, key in enumerate(keys) if i == 0 or key != keys[i - 1]]
+    return _from_packed_sorted(keys, Order.BY_SRC)
+
+
+def restrict_src(relation: Relation, source: int) -> Relation:
+    """The pairs of ``relation`` whose source is exactly ``source``.
+
+    A ``BY_SRC`` relation answers with two binary searches and a
+    zero-copy-ish column slice; any other order pays one scan.  Used by
+    the prepared-statement layer to apply a ``from($v):`` anchor to an
+    already-executed full relation.
+    """
+    if relation.order is Order.BY_SRC:
+        low = bisect_left(relation.src, source)
+        high = bisect_right(relation.src, source, low)
+        return Relation(
+            relation.src[low:high], relation.tgt[low:high], Order.BY_SRC
+        )
+    src = array("q")
+    tgt = array("q")
+    for i in range(len(relation)):
+        if relation.src[i] == source:
+            src.append(source)
+            tgt.append(relation.tgt[i])
+    return Relation(src, tgt, Order.NONE)
 
 
 def _from_packed_unordered(keys: set[int]) -> Relation:

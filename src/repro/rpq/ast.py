@@ -136,6 +136,48 @@ class Repeat(Node):
 
 
 @dataclass(frozen=True, slots=True)
+class ParamRepeat(Node):
+    """Bounded recursion with ``$name`` placeholder bounds.
+
+    The template form of :class:`Repeat`: either bound may be a
+    parameter name (a ``str``) instead of a literal.  Templates are
+    never evaluated directly — :func:`substitute_params` resolves every
+    placeholder into a concrete :class:`Repeat` before rewriting, and
+    the rewriter fails loudly on an unsubstituted node.
+    """
+
+    child: Node
+    low: int | str
+    high: int | str | None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.low, str) and not isinstance(self.high, str):
+            raise ValidationError(
+                "ParamRepeat needs at least one parameter bound; "
+                "use Repeat for literal bounds"
+            )
+        if isinstance(self.low, int) and self.low < 0:
+            raise ValidationError(
+                f"Repeat lower bound must be >= 0, got {self.low}"
+            )
+        if isinstance(self.high, int) and self.high < 0:
+            raise ValidationError(
+                f"Repeat upper bound must be >= 0, got {self.high}"
+            )
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def __str__(self) -> str:
+        body = _wrap(self.child, tight=True)
+        low = f"${self.low}" if isinstance(self.low, str) else str(self.low)
+        if self.high is None:
+            return f"{body}{{{low},}}"
+        high = f"${self.high}" if isinstance(self.high, str) else str(self.high)
+        return f"{body}{{{low},{high}}}"
+
+
+@dataclass(frozen=True, slots=True)
 class Star(Node):
     """Unbounded Kleene star ``R*`` (sugar for ``R{0,}``)."""
 
@@ -169,7 +211,7 @@ def _wrap(node: Node, for_concat: bool = False, tight: bool = False) -> str:
     """
     needs_parens = isinstance(node, Union) or (
         (for_concat or tight) and isinstance(node, Concat)
-    ) or (tight and isinstance(node, (Repeat, Star, Inverse)))
+    ) or (tight and isinstance(node, (Repeat, ParamRepeat, Star, Inverse)))
     text = str(node)
     return f"({text})" if needs_parens else text
 
@@ -239,3 +281,71 @@ def optional(child: Node) -> Repeat:
 def from_label_path(path: LabelPath) -> Node:
     """An AST that is exactly one label path (concat of its steps)."""
     return concat(*(Label(step) for step in path))
+
+
+# -- template parameters -------------------------------------------------------
+
+
+def params_used(node: Node) -> frozenset[str]:
+    """Every ``$name`` placeholder mentioned in the (template) AST."""
+    names: set[str] = set()
+    for part in node.walk():
+        if isinstance(part, ParamRepeat):
+            if isinstance(part.low, str):
+                names.add(part.low)
+            if isinstance(part.high, str):
+                names.add(part.high)
+    return frozenset(names)
+
+
+def substitute_params(
+    node: Node, params: dict[str, int], max_bound: int | None = None
+) -> Node:
+    """Resolve every :class:`ParamRepeat` placeholder to a literal bound.
+
+    ``params`` maps placeholder names to integer bounds; the result is
+    a concrete, evaluable AST.  Bound validation (non-negative,
+    ``low <= high``, optional ``max_bound`` cap) happens here — bind
+    time — so a bad binding fails before any planning or execution.
+    """
+
+    def resolve(bound: int | str | None) -> int | None:
+        if not isinstance(bound, str):
+            return bound
+        if bound not in params:
+            raise ValidationError(f"missing value for parameter ${bound}")
+        value = params[bound]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValidationError(
+                f"parameter ${bound} must be an integer repetition bound, "
+                f"got {value!r}"
+            )
+        if value < 0:
+            raise ValidationError(
+                f"parameter ${bound} must be >= 0, got {value}"
+            )
+        if max_bound is not None and value > max_bound:
+            raise ValidationError(
+                f"parameter ${bound}={value} exceeds the maximum "
+                f"repetition bound {max_bound}"
+            )
+        return value
+
+    def rebuild(part: Node) -> Node:
+        if isinstance(part, ParamRepeat):
+            return Repeat(
+                rebuild(part.child), resolve(part.low), resolve(part.high)
+            )
+        if isinstance(part, Concat):
+            return Concat(tuple(rebuild(p) for p in part.parts))
+        if isinstance(part, Union):
+            return Union(tuple(rebuild(p) for p in part.parts))
+        if isinstance(part, Repeat):
+            return Repeat(rebuild(part.child), part.low, part.high)
+        if isinstance(part, Star):
+            return Star(rebuild(part.child))
+        if isinstance(part, Inverse):
+            return Inverse(rebuild(part.child))
+        return part
+
+    return rebuild(node)

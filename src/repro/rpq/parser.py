@@ -19,6 +19,19 @@ Examples (all from the paper, Section 2.2 / Section 4)::
 any parenthesized expression, not just labels.  ``R{i}`` abbreviates
 ``R{i,i}``; ``R{i,}`` and ``R*``/``R+`` are unbounded and are bounded
 against a concrete graph during rewriting.
+
+:func:`parse_template` additionally accepts ``$name`` placeholders —
+as repetition bounds and as the subject of an optional ``from(...):``
+source anchor::
+
+    template := ('from' '(' (IDENT | '$'IDENT) ')' ':')? union
+    bounds   := '{' (INT | '$'IDENT) (',' (INT | '$'IDENT)?)? '}'
+
+    from($v): knows{1,$n}/worksFor
+
+Placeholders are resolved at *bind* time by the prepared-statement
+layer (:meth:`repro.api.GraphDatabase.prepare`); :func:`parse` rejects
+them with a pointed error.
 """
 
 from __future__ import annotations
@@ -36,7 +49,8 @@ _TOKEN_RE = re.compile(
   | (?P<eps><eps>|ε)
   | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
   | (?P<int>\d+)
-  | (?P<sym>[\^/|*+?{},()])
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[\^/|*+?{},():])
     """,
     re.VERBOSE,
 )
@@ -77,10 +91,11 @@ def tokenize(text: str) -> list[_Token]:
 
 
 class _Parser:
-    def __init__(self, text: str):
+    def __init__(self, text: str, allow_params: bool = False):
         self._text = text
         self._tokens = tokenize(text)
         self._index = 0
+        self._allow_params = allow_params
 
     # -- token plumbing -----------------------------------------------------
 
@@ -160,16 +175,18 @@ class _Parser:
 
     def _bounds(self, node: Node) -> Node:
         open_token = self._expect("{")
-        low = self._int()
-        high: int | None
+        low = self._bound()
+        high: int | str | None
         if self._accept(","):
-            if self._peek() is not None and self._peek().kind == "int":
-                high = self._int()
+            if self._peek() is not None and self._peek().kind in ("int", "param"):
+                high = self._bound()
             else:
                 high = None
         else:
             high = low
         self._expect("}")
+        if isinstance(low, str) or isinstance(high, str):
+            return ast.ParamRepeat(node, low, high)
         if high is not None and high < low:
             raise ParseError(
                 f"repetition bounds {{{low},{high}}} are inverted "
@@ -177,6 +194,21 @@ class _Parser:
                 position=open_token.position,
             )
         return ast.repeat(node, low, high)
+
+    def _bound(self) -> int | str:
+        """One repetition bound: a literal, or ``$name`` in templates."""
+        token = self._peek()
+        if token is not None and token.kind == "param":
+            self._next()
+            if not self._allow_params:
+                raise ParseError(
+                    f"parameter {token.text!r} is only allowed in templates "
+                    f"(parse with parse_template / GraphDatabase.prepare) "
+                    f"at offset {token.position}",
+                    position=token.position,
+                )
+            return token.text[1:]
+        return self._int()
 
     def _int(self) -> int:
         token = self._expect("int")
@@ -204,6 +236,13 @@ class _Parser:
             node = self._union()
             self._expect(")")
             return node
+        if token.kind == "param":
+            raise ParseError(
+                f"parameter {token.text!r} may only appear as a repetition "
+                f"bound or a from(...) anchor, not as a path atom, "
+                f"at offset {token.position}",
+                position=token.position,
+            )
         raise ParseError(
             f"expected a label, '<eps>' or '(' but found {token.text!r} "
             f"at offset {token.position}",
@@ -222,3 +261,93 @@ def parse(text: str) -> Node:
     if not isinstance(text, str) or not text.strip():
         raise ParseError("empty query text")
     return _Parser(text).parse()
+
+
+@dataclass(frozen=True, slots=True)
+class Template:
+    """A parsed RPQ template: a body with placeholders, plus an anchor.
+
+    ``node`` may contain :class:`repro.rpq.ast.ParamRepeat` placeholder
+    bounds; ``anchor_param`` / ``anchor_name`` capture an optional
+    ``from($v):`` / ``from(alice):`` source anchor (at most one is
+    set).  Parameter resolution lives in
+    :func:`repro.rpq.ast.substitute_params`; the prepared-statement
+    layer (:mod:`repro.engine.prepared`) does the binding.
+    """
+
+    text: str
+    node: Node
+    anchor_param: str | None = None
+    anchor_name: str | None = None
+
+    @property
+    def bound_params(self) -> frozenset[str]:
+        """Placeholder names appearing as repetition bounds."""
+        return ast.params_used(self.node)
+
+    @property
+    def params(self) -> frozenset[str]:
+        """Every placeholder name a binding must supply."""
+        if self.anchor_param is None:
+            return self.bound_params
+        return self.bound_params | {self.anchor_param}
+
+    @property
+    def anchored(self) -> bool:
+        return self.anchor_param is not None or self.anchor_name is not None
+
+    def __str__(self) -> str:
+        if self.anchor_param is not None:
+            return f"from(${self.anchor_param}): {self.node}"
+        if self.anchor_name is not None:
+            return f"from({self.anchor_name}): {self.node}"
+        return str(self.node)
+
+
+def parse_template(text: str) -> Template:
+    """Parse template text: ``$name`` bounds and a ``from(...):`` anchor.
+
+    >>> template = parse_template("from($v): knows{1,$n}/worksFor")
+    >>> sorted(template.params)
+    ['n', 'v']
+    >>> str(parse_template("knows{1,$n}").node)
+    'knows{1,$n}'
+
+    A template with no placeholders is legal (preparing a fixed query
+    still skips re-planning on every run).
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ParseError("empty template text")
+    parser = _Parser(text, allow_params=True)
+    anchor_param: str | None = None
+    anchor_name: str | None = None
+    head = parser._peek()
+    if (
+        head is not None
+        and head.kind == "ident"
+        and head.text == "from"
+        and parser._index + 1 < len(parser._tokens)
+        and parser._tokens[parser._index + 1].kind == "("
+    ):
+        parser._next()  # 'from'
+        parser._next()  # '('
+        subject = parser._next()
+        if subject.kind == "param":
+            anchor_param = subject.text[1:]
+        elif subject.kind == "ident":
+            anchor_name = subject.text
+        else:
+            raise ParseError(
+                f"expected a node name or $parameter inside from(...), "
+                f"found {subject.text!r} at offset {subject.position}",
+                position=subject.position,
+            )
+        parser._expect(")")
+        parser._expect(":")
+    node = parser.parse()
+    return Template(
+        text=text,
+        node=node,
+        anchor_param=anchor_param,
+        anchor_name=anchor_name,
+    )

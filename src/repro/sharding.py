@@ -47,6 +47,8 @@ per-shard scan methods to keep join fan-in partitioned.
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from pathlib import Path as FilePath
 from pickle import PicklingError
@@ -87,6 +89,60 @@ REPLAN_DIVERGENCE = 4.0
 #: Bucket count of the per-shard equi-depth histograms.  A shard holds
 #: ~1/N of every relation, so the global default of 64 stays plenty.
 SHARD_STATISTICS_BUCKETS = 64
+
+#: Size bound on the per-index scatter-decision / re-plan cache:
+#: decisions and re-planned spines are tiny, but a template-heavy
+#: workload of distinct queries would otherwise pin plan trees forever.
+DECISION_CACHE_MAX = 4096
+
+
+class BoundedCache:
+    """A size-capped mapping with FIFO eviction.
+
+    Holds the sharded engine's scatter-planning decisions and
+    re-planned disjunct spines.  Both are pure functions of state that
+    only changes on rebuild, so eviction merely costs a re-derivation —
+    insertion order is as good an eviction policy as any, and it keeps
+    every operation O(1).  Writes can race between reader threads
+    (queries are readers); each mutation is guarded by a lock so the
+    size invariant holds under concurrency, and racing writers of the
+    same key store equal values.
+    """
+
+    __slots__ = ("_data", "_maxsize", "_lock")
+
+    def __init__(self, maxsize: int = DECISION_CACHE_MAX) -> None:
+        if maxsize < 1:
+            raise ValidationError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._data: OrderedDict = OrderedDict()
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __setitem__(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
 
 
 def shard_of(node_id: int, shard_count: int) -> int:
@@ -198,14 +254,17 @@ class ShardedGraph:
         self._shard_statistics: list[ShardStatistics | None] = [
             None for _ in self._shards
         ]
-        #: Re-planned disjunct spines, keyed on
-        #: ``(shard, encoded path, strategy, statistics flavor)``.
-        #: A shard's statistics are immutable between rebuilds, so the
-        #: re-plan is too — caching it keeps skew-aware planning a
-        #: per-*rebuild* cost instead of a per-execution one.  Written
-        #: by the executor's replan callback, dropped with the other
-        #: statistics caches in :meth:`rebuild_shards`.
-        self.replan_cache: dict = {}
+        #: Scatter decisions and re-planned disjunct spines, keyed on
+        #: ``(shard, tag, plan)`` and
+        #: ``(shard, encoded path, strategy, statistics flavor)``
+        #: respectively.  A shard's statistics are immutable between
+        #: rebuilds, so the decisions are too — caching them keeps
+        #: skew-aware planning a per-*rebuild* cost instead of a
+        #: per-execution one.  Bounded (FIFO eviction) so a
+        #: template-heavy workload of distinct queries cannot grow it
+        #: without limit; dropped wholesale with the other statistics
+        #: caches in :meth:`rebuild_shards`.
+        self.replan_cache = BoundedCache(DECISION_CACHE_MAX)
 
     # -- construction ----------------------------------------------------
 

@@ -264,3 +264,72 @@ def test_scan_columns_on_memory_tree():
         assert list(zip(sources, targets)) == [(s, t) for _, s, t in expected]
     empty_a, empty_b = tree.prefix_scan_columns((99,))
     assert len(empty_a) == len(empty_b) == 0
+
+
+class TestUnionInto:
+    """The fused N-way gather kernel (:func:`repro.relation.union_into`)."""
+
+    @BOTH_PATHS
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(PAIRS, max_size=5))
+    def test_matches_pairwise_union(self, pure_python, parts):
+        relations = [by_src(pairs) for pairs in parts]
+        expected = sorted({pair for pairs in parts for pair in pairs})
+        with forced_path(pure_python):
+            fused = rel.union_into(relations)
+        assert fused.order is Order.BY_SRC
+        assert list(fused) == expected
+
+    @BOTH_PATHS
+    def test_accepts_unsorted_parts(self, pure_python):
+        messy = Relation.from_pairs([(3, 1), (1, 2), (3, 1)], Order.NONE)
+        with forced_path(pure_python):
+            fused = rel.union_into([messy, by_src([(0, 9)])])
+        assert list(fused) == [(0, 9), (1, 2), (3, 1)]
+
+    @BOTH_PATHS
+    def test_disjoint_skips_dedup_soundly(self, pure_python):
+        """Disjoint inputs: the fast path equals the deduping path."""
+        left = by_src([(0, 1), (0, 2), (2, 5)])
+        right = by_src([(1, 1), (3, 0)])
+        with forced_path(pure_python):
+            fused = rel.union_into([left, right], disjoint=True)
+            plain = rel.union_into([left, right])
+        assert list(fused) == list(plain)
+
+    @BOTH_PATHS
+    def test_check_hook_catches_broken_disjoint_contract(self, pure_python):
+        overlapping = [by_src([(1, 2)]), by_src([(1, 2), (3, 4)])]
+        old = rel._CHECK_DISJOINT
+        rel._CHECK_DISJOINT = True
+        try:
+            with forced_path(pure_python):
+                with pytest.raises(ExecutionError, match="overlapping"):
+                    rel.union_into(overlapping, disjoint=True)
+        finally:
+            rel._CHECK_DISJOINT = old
+
+    @BOTH_PATHS
+    def test_empty_and_single_part(self, pure_python):
+        with forced_path(pure_python):
+            assert len(rel.union_into([])) == 0
+            assert len(rel.union_into([Relation.empty()])) == 0
+            only = by_src([(1, 2), (3, 4)])
+            # A single sorted part is returned as-is (zero copy).
+            assert rel.union_into([only]) is only
+            assert rel.union_into([only], disjoint=True) is only
+
+
+class TestRestrictSrc:
+    @BOTH_PATHS
+    @settings(max_examples=40, deadline=None)
+    @given(PAIRS, st.integers(0, 12))
+    def test_matches_filter(self, pure_python, pairs, source):
+        expected = [pair for pair in sorted(pairs) if pair[0] == source]
+        with forced_path(pure_python):
+            sliced = rel.restrict_src(by_src(pairs), source)
+            unsorted = rel.restrict_src(
+                Relation.from_pairs(pairs, Order.NONE), source
+            )
+        assert list(sliced) == expected
+        assert sorted(unsorted) == expected

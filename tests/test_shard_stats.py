@@ -314,3 +314,37 @@ class TestDefaultShardsKnob:
         monkeypatch.setenv("REPRO_DEFAULT_SHARDS", "0")
         with pytest.raises(ValidationError):
             default_shard_count()
+
+
+# -- the bounded decision cache -----------------------------------------------
+
+
+class TestBoundedCache:
+    def test_fifo_eviction_caps_size(self):
+        from repro.sharding import BoundedCache
+
+        cache = BoundedCache(maxsize=3)
+        for i in range(10):
+            cache[i] = i * i
+        assert len(cache) == 3
+        assert 6 not in cache and 9 in cache
+        assert cache[9] == 81
+        assert cache.get(0) is None and cache.get(9) == 81
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_maxsize_validated(self):
+        from repro.sharding import BoundedCache
+
+        with pytest.raises(ValidationError):
+            BoundedCache(maxsize=0)
+
+    def test_replan_cache_is_bounded(self):
+        from repro.sharding import DECISION_CACHE_MAX
+
+        graph = interleaved_chain(2, 4)
+        sharded = ShardedGraph.build(graph, k=2, shards=2)
+        assert sharded.replan_cache.maxsize == DECISION_CACHE_MAX
+        for i in range(DECISION_CACHE_MAX + 50):
+            sharded.replan_cache[("synthetic", i)] = object()
+        assert len(sharded.replan_cache) == DECISION_CACHE_MAX
