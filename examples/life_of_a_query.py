@@ -6,9 +6,12 @@ execution".  This script narrates exactly that pipeline for the
 Section 4 worked example  R = knows . (knows . worksFor){2,4} . worksFor.
 
 The final stages show the same query as a *prepared template*
-(`prepare` / `bind` / `run`: plan once, sweep the repetition bound) and
+(`prepare` / `bind` / `run`: plan once, sweep the repetition bound),
 the persisted plan artifact that lets a restarted disk-backed database
-answer its first prepared query with zero planning.
+answer its first prepared query with zero planning, and what happens
+when things go wrong: a deadline that expires mid-query, a shard that
+keeps failing, and the degraded (subset) answer the engine can still
+give.
 
 Run:  python examples/life_of_a_query.py
 """
@@ -18,6 +21,8 @@ from pathlib import Path
 
 from repro import GraphDatabase
 from repro.engine.executor import evaluate_normal_form
+from repro.errors import QueryTimeoutError, ShardUnavailableError
+from repro.faults import FaultPlan, FaultRule, armed
 from repro.engine.plan import render
 from repro.engine.planner import Planner, Strategy
 from repro.graph.examples import FIGURE1_EDGES
@@ -132,6 +137,39 @@ def main() -> None:
         print("the revived service answered its first prepared query "
               "with ZERO planning")
         revived.close()
+    print()
+
+    print("=" * 72)
+    print("8. WHEN THINGS GO WRONG (deadlines & degraded answers)")
+    print("=" * 72)
+    sharded = GraphDatabase.from_edges(FIGURE1_EDGES, k=3, shards=2)
+    demo = "knows{1,3}"
+    full = sharded.query(demo, use_cache=False)
+    print(f"query {demo!r} on shards=2: {len(full.pairs)} pairs")
+    try:
+        sharded.query(demo, timeout_ms=1e-6, use_cache=False)
+    except QueryTimeoutError as exc:
+        print(f"timeout_ms=1e-6  -> {type(exc).__name__}: {exc}")
+    # Arm a fault plan under which shard 0's scans *always* fail: the
+    # retries exhaust, so strict queries surface a typed error while
+    # degraded queries drop the dead slice and still answer.
+    outage = FaultPlan([FaultRule("shard.scan", "transient", shard=0)], seed=3)
+    with armed(outage):
+        try:
+            sharded.query(demo, use_cache=False)
+        except ShardUnavailableError as exc:
+            print(f"strict query     -> {type(exc).__name__} "
+                  f"(shard {exc.shard} down)")
+        partial = sharded.query(demo, degraded=True, use_cache=False)
+    print(f"degraded query   -> {len(partial.pairs)} of "
+          f"{len(full.pairs)} pairs, "
+          f"partial={partial.report.partial}, "
+          f"shards_failed={partial.report.shards_failed}")
+    assert partial.report.partial
+    assert set(partial.pairs) <= set(full.pairs)
+    print("a degraded answer is a labelled SUBSET of the true answer —")
+    print("every operator is monotone, so a dropped slice can only")
+    print("remove pairs, never invent them")
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@ from repro.engine.prepared import (
     PreparedStatement,
 )
 from repro.errors import PathIndexError, ValidationError
+from repro.faults import Deadline, RunContext
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.io import load_csv, load_edgelist, load_json
 from repro.graph.stats import GraphSummary, star_bound, summarize
@@ -188,6 +189,10 @@ class GraphDatabase:
         self._shards_pruned = 0
         self._disjuncts_pruned = 0
         self._shards_replanned = 0
+        # Shard slices dropped by degraded-mode queries (see
+        # ``query(degraded=True)``): every increment corresponds to one
+        # answer that was served partial instead of failing.
+        self._shards_failed = 0
         # Prepared-statement traffic (repro.engine.prepared): per-binding
         # plan-cache hits/misses/invalidations, plans revived from the
         # persistent artifact store, and plans actually computed.  The
@@ -419,12 +424,28 @@ class GraphDatabase:
         use_exact_statistics: bool = False,
         max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
         use_cache: bool = True,
+        timeout_ms: float | None = None,
+        degraded: bool = False,
     ) -> QueryResult:
         """Answer an RPQ.
 
         ``method`` is one of the paper's strategies (``naive``,
         ``semi-naive``, ``minsupport``, ``minjoin``) or a baseline
         (``automaton``, ``datalog``, ``reachability``, ``reference``).
+
+        ``timeout_ms`` puts a deadline on the whole execution: the
+        engine checks it cooperatively at operator, scatter, and
+        closure-round boundaries and raises
+        :class:`~repro.errors.QueryTimeoutError` (carrying the partial
+        scatter counters) rather than running arbitrarily long.
+        ``degraded=True`` opts into partial answers: if a shard stays
+        down after retries, its slice is dropped and the result comes
+        back with ``report.partial=True`` and ``report.shards_failed``
+        counting the dropped slices — every returned pair is still a
+        true answer pair (the operators are monotone), the answer is
+        just possibly incomplete.  Partial answers are never stored in
+        the query cache.  Both knobs apply to the index strategies
+        only; baselines run outside the resilient engine.
 
         Repeated queries are answered from an LRU cache keyed on
         ``(query, method, graph version)`` — heavy-traffic workloads
@@ -449,6 +470,18 @@ class GraphDatabase:
         # Validate the method before touching any shared state, so a
         # raising method name never skews the cache counters.
         strategy = None if method in BASELINE_METHODS else Strategy.parse(method)
+        context = None
+        if timeout_ms is not None or degraded:
+            if strategy is None:
+                raise ValidationError(
+                    f"timeout_ms/degraded apply to the index strategies; "
+                    f"baseline {method!r} runs outside the resilient engine"
+                )
+            # The deadline clock starts at submission, before the build
+            # check and lock wait — a caller's timeout bounds the whole
+            # call, not just the execution core.
+            deadline = Deadline(timeout_ms) if timeout_ms is not None else None
+            context = RunContext(deadline=deadline, degraded=degraded)
         if strategy is not None:
             self._ensure_built()
         with self._lock.read_locked():
@@ -460,6 +493,7 @@ class GraphDatabase:
                 use_exact_statistics,
                 max_disjuncts,
                 use_cache,
+                context,
             )
 
     def _query_locked(
@@ -471,6 +505,7 @@ class GraphDatabase:
         use_exact_statistics: bool,
         max_disjuncts: int,
         use_cache: bool,
+        context: RunContext | None = None,
     ) -> QueryResult:
         """Answer one parsed query; caller holds the read lock."""
         version = self.graph.version
@@ -509,6 +544,7 @@ class GraphDatabase:
                 statistics,
                 strategy,
                 max_disjuncts,
+                context=context,
             )
             seconds = time.perf_counter() - started
             result = QueryResult(
@@ -526,6 +562,7 @@ class GraphDatabase:
                 self._shards_pruned += report.shards_pruned
                 self._disjuncts_pruned += report.disjuncts_pruned
                 self._shards_replanned += report.shards_replanned
+                self._shards_failed += report.shards_failed
         if use_cache:
             with self._cache_lock:
                 self._cache_misses += 1
@@ -842,6 +879,7 @@ class GraphDatabase:
                         self._shards_pruned += outcome.report.shards_pruned
                         self._disjuncts_pruned += outcome.report.disjuncts_pruned
                         self._shards_replanned += outcome.report.shards_replanned
+                        self._shards_failed += outcome.report.shards_failed
         return outcomes
 
     # -- prepared statements -------------------------------------------------------
@@ -943,6 +981,7 @@ class GraphDatabase:
                 self._shards_pruned += report.shards_pruned
                 self._disjuncts_pruned += report.disjuncts_pruned
                 self._shards_replanned += report.shards_replanned
+                self._shards_failed += report.shards_failed
             return result
 
     def _note_prepared(
@@ -994,6 +1033,11 @@ class GraphDatabase:
     def _remember_locked(self, key: tuple, result: QueryResult) -> None:
         if self._query_cache_size == 0:
             return
+        if result.report is not None and result.report.partial:
+            # A degraded answer is a subset of the true answer, not the
+            # answer — caching it would serve incomplete pairs to later
+            # strict queries under the same key.
+            return
         size = len(result.pairs)
         if size > self._query_cache_max_pairs:
             return  # one answer would blow the whole memory budget
@@ -1029,6 +1073,9 @@ class GraphDatabase:
         executions skipped whole, individual disjunct slices skipped as
         provably empty, and disjunct spines re-planned against
         per-shard statistics (all zero on the unsharded engine).
+        ``shards_failed`` counts shard slices dropped by
+        ``query(degraded=True)`` — nonzero means some answers were
+        served partial.
         ``prepared_hits``/``prepared_misses``/``prepared_invalidations``
         count per-binding plan-cache traffic across every
         :meth:`prepare`\\ d statement; ``artifact_loads`` counts plans
@@ -1052,6 +1099,7 @@ class GraphDatabase:
                 "shards_pruned": self._shards_pruned,
                 "disjuncts_pruned": self._disjuncts_pruned,
                 "shards_replanned": self._shards_replanned,
+                "shards_failed": self._shards_failed,
                 "prepared_hits": self._prepared_hits,
                 "prepared_misses": self._prepared_misses,
                 "prepared_invalidations": self._prepared_invalidations,

@@ -56,12 +56,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     database = _load_database(args)
-    result = database.query(args.query, method=args.method)
+    result = database.query(
+        args.query,
+        method=args.method,
+        timeout_ms=args.timeout_ms,
+        degraded=args.degraded,
+    )
     for source, target in sorted(result.pairs):
         print(f"{source}\t{target}")
+    partial = ", PARTIAL" if result.report is not None and result.report.partial else ""
     print(
         f"# {len(result.pairs)} pairs in {result.seconds * 1000.0:.2f} ms "
-        f"({result.method}, k={database.k})",
+        f"({result.method}, k={database.k}{partial})",
         file=sys.stderr,
     )
     return 0
@@ -166,6 +172,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(query)
     query.add_argument("query", help="RPQ text, e.g. 'master/journeyer'")
     query.add_argument("--method", default="minsupport")
+    query.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="fail with a typed timeout error past this deadline",
+    )
+    query.add_argument(
+        "--degraded",
+        action="store_true",
+        help="accept a partial answer if a shard is down (sharded engine)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     explain = commands.add_parser("explain", help="show the physical plan")

@@ -209,7 +209,7 @@ def supports(node_ids, base: Relation) -> bool:
 
 def transitive_fixpoint(
     node_ids, base: Relation, low: int, bound: int | None = None,
-    workers: int = 1,
+    workers: int = 1, deadline=None,
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` by frontier-based closure.
 
@@ -218,13 +218,16 @@ def transitive_fixpoint(
     is an optional precomputed :func:`dense_bound`.  ``workers > 1``
     partitions the source schedule across threads (see
     :func:`closure_bitsets`); the sequential path is the default and
-    the oracle the parallel path is tested against.
+    the oracle the parallel path is tested against.  ``deadline`` (a
+    :class:`repro.faults.Deadline`) is checked cooperatively inside the
+    closure loops — the one place a query's running time is not bounded
+    by the plan shape.
     """
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     if not len(base):
         return rel.identity(ids) if low == 0 else Relation.empty()
     csr = CSR.from_relation(base, bound if bound is not None else dense_bound(ids, base))
-    reach = closure_bitsets(csr, workers=workers)
+    reach = closure_bitsets(csr, workers=workers, deadline=deadline)
     if low <= 1:
         answers = reach
     else:
@@ -240,7 +243,8 @@ def transitive_fixpoint(
 
 
 def partitioned_closure(
-    node_ids, parts: Sequence[Relation], low: int = 0, workers: int = 1
+    node_ids, parts: Sequence[Relation], low: int = 0, workers: int = 1,
+    deadline=None,
 ) -> Relation:
     """Kleene closure of a base relation scattered across shards.
 
@@ -262,7 +266,9 @@ def partitioned_closure(
         ids = node_ids if isinstance(node_ids, range) else list(node_ids)
         return rel.identity(ids) if low == 0 else Relation.empty()
     base = parts[0] if len(parts) == 1 else rel.union(parts)
-    return rel.transitive_fixpoint(node_ids, base, low, workers=workers)
+    return rel.transitive_fixpoint(
+        node_ids, base, low, workers=workers, deadline=deadline
+    )
 
 
 def relation_power(
@@ -286,21 +292,23 @@ def relation_power(
 
 
 def bounded_powers(
-    node_ids, base: Relation, low: int, high: int, bound: int | None = None
+    node_ids, base: Relation, low: int, high: int, bound: int | None = None,
+    deadline=None,
 ) -> Relation:
     """``base^low ∪ ... ∪ base^high`` with early saturation.
 
     Mirrors the oracle exactly: the level set of each power is advanced
     through the CSR, and iteration stops as soon as a whole power
     repeats (powers over a finite node set are eventually periodic).
+    ``deadline`` is checked once per power round.
     """
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     if not len(base):
         return rel.identity(ids) if low == 0 else Relation.empty()
     csr = CSR.from_relation(base, bound if bound is not None else dense_bound(ids, base))
     if _vectorize(len(base)):
-        return _np_bounded_powers(csr, ids, low, high)
-    return _py_bounded_powers(csr, ids, low, high)
+        return _np_bounded_powers(csr, ids, low, high, deadline)
+    return _py_bounded_powers(csr, ids, low, high, deadline)
 
 
 # -- pure-Python path: big-int visited bitsets ---------------------------------
@@ -351,7 +359,7 @@ def _postorder(csr: CSR) -> list[int]:
     return order
 
 
-def closure_bitsets(csr: CSR, workers: int = 1) -> dict[int, int]:
+def closure_bitsets(csr: CSR, workers: int = 1, deadline=None) -> dict[int, int]:
     """``reach(s)`` (targets of paths of length >= 1) for every source.
 
     Per-source breadth-first frontier expansion with two twists:
@@ -376,7 +384,7 @@ def closure_bitsets(csr: CSR, workers: int = 1) -> dict[int, int]:
     """
     schedule = _postorder(csr)
     if workers <= 1 or len(schedule) < 2:
-        return _close_slice(csr, schedule, {})
+        return _close_slice(csr, schedule, {}, deadline)
     workers = min(workers, len(schedule))
     chunk = (len(schedule) + workers - 1) // workers
     slices = [
@@ -388,7 +396,8 @@ def closure_bitsets(csr: CSR, workers: int = 1) -> dict[int, int]:
     reach: dict[int, int] = {}
     with ThreadPoolExecutor(max_workers=len(slices)) as pool:
         futures = [
-            pool.submit(_close_slice, csr, piece, {}) for piece in slices
+            pool.submit(_close_slice, csr, piece, {}, deadline)
+            for piece in slices
         ]
         for future in futures:
             # Final absorption merge: slice tables are disjoint by
@@ -398,11 +407,18 @@ def closure_bitsets(csr: CSR, workers: int = 1) -> dict[int, int]:
 
 
 def _close_slice(
-    csr: CSR, sources: Sequence[int], reach: dict[int, int]
+    csr: CSR, sources: Sequence[int], reach: dict[int, int], deadline=None
 ) -> dict[int, int]:
-    """Close every source in ``sources``, absorbing through ``reach``."""
+    """Close every source in ``sources``, absorbing through ``reach``.
+
+    The deadline is checked per source and per frontier round — the
+    granularities that bound how late a cooperative timeout can fire
+    without putting a check inside the word-parallel inner loops.
+    """
     offsets, targets = csr.offsets, csr.targets
     for source in sources:
+        if deadline is not None:
+            deadline.check()
         visited = 0
         frontier: list[int] = []
         for position in range(offsets[source], offsets[source + 1]):
@@ -417,6 +433,8 @@ def _close_slice(
             else:
                 frontier.append(node)
         while frontier:
+            if deadline is not None:
+                deadline.check()
             next_frontier: list[int] = []
             for node in frontier:
                 for position in range(offsets[node], offsets[node + 1]):
@@ -462,7 +480,9 @@ def _py_power_bitsets(csr: CSR, exponent: int) -> dict[int, int]:
     return current
 
 
-def _py_bounded_powers(csr: CSR, ids, low: int, high: int) -> Relation:
+def _py_bounded_powers(
+    csr: CSR, ids, low: int, high: int, deadline=None
+) -> Relation:
     adjacency = csr.adjacency_bitsets()
     if low == 0:
         power = {node: 1 << node for node in ids}
@@ -471,6 +491,8 @@ def _py_bounded_powers(csr: CSR, ids, low: int, high: int) -> Relation:
     accumulated = dict(power)
     seen_powers = {frozenset(power.items())}
     for _ in range(low, high):
+        if deadline is not None:
+            deadline.check()
         if not power:
             break
         power = _advance_levels(adjacency, power)
@@ -587,19 +609,25 @@ def _np_identity_packed(numpy, ids):
     return rel._pack_np(column, column)
 
 
-def _np_bounded_powers(csr: CSR, ids, low: int, high: int) -> Relation:
+def _np_bounded_powers(
+    csr: CSR, ids, low: int, high: int, deadline=None
+) -> Relation:
     numpy = _np()
     if low == 0:
         power = numpy.sort(_np_identity_packed(numpy, ids))
     else:
         power = _np_base_packed(csr)
         for _ in range(low - 1):
+            if deadline is not None:
+                deadline.check()
             if not len(power):
                 break
             power = _np_step(csr, power)
     levels = [power]
     seen_powers = {power.tobytes()}
     for _ in range(low, high):
+        if deadline is not None:
+            deadline.check()
         if not len(power):
             break
         power = _np_step(csr, power)

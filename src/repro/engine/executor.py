@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 from repro import csr
 from repro import relation as rel
-from repro.errors import RewriteError
+from repro.errors import QueryTimeoutError, RewriteError
+from repro.faults import RunContext
 from repro.engine.cost import CostedPlan
 from repro.engine.operators import (
     ScanMemo,
@@ -77,6 +78,12 @@ class ExecutionReport:
     shards_pruned: int = 0
     disjuncts_pruned: int = 0
     shards_replanned: int = 0
+    #: Shard slices dropped after exhausting retries (degraded runs
+    #: only — strict runs raise instead of dropping).
+    shards_failed: int = 0
+    #: ``True`` exactly when slices were dropped: the relation is a
+    #: *subset* of the full answer, flagged rather than silent.
+    partial: bool = False
     _pairs: frozenset | None = field(default=None, repr=False, compare=False)
 
     @property
@@ -102,12 +109,14 @@ def evaluate_normal_form(
     statistics,
     strategy: Strategy,
     memo: ScanMemo | None = None,
+    deadline=None,
 ) -> ExecutionReport:
     """Plan and execute a query already in normal form.
 
     ``memo`` shares a scan memo with an enclosing execution (the hybrid
     fallback passes its own so disjuncts of *different* bounded subtrees
     still share scans); by default each call gets a fresh one.
+    ``deadline`` bounds the execution phase cooperatively.
     """
     if memo is None:
         memo = ScanMemo()
@@ -115,7 +124,7 @@ def evaluate_normal_form(
     started = time.perf_counter()
     costed = planner.plan(normal_form)
     planned = time.perf_counter()
-    pairs = execute(costed.plan, index, graph, memo)
+    pairs = execute(costed.plan, index, graph, memo, deadline)
     finished = time.perf_counter()
     return ExecutionReport(
         strategy=strategy,
@@ -136,6 +145,7 @@ def evaluate_ast(
     statistics,
     strategy: Strategy,
     max_disjuncts: int = DEFAULT_MAX_DISJUNCTS,
+    context: RunContext | None = None,
 ) -> ExecutionReport:
     """Evaluate an arbitrary RPQ AST through the index where possible.
 
@@ -144,7 +154,7 @@ def evaluate_ast(
     query, so single and batched execution can never drift.
     """
     prepared = prepare_ast(node, index, graph, statistics, strategy, max_disjuncts)
-    return execute_prepared(prepared, index, graph, statistics)
+    return execute_prepared(prepared, index, graph, statistics, context=context)
 
 
 @dataclass(frozen=True, slots=True)
@@ -249,12 +259,19 @@ def execute_prepared(
     graph: Graph,
     statistics,
     memo: ScanMemo | None = None,
+    context: RunContext | None = None,
 ) -> ExecutionReport:
     """Execute a :class:`PreparedQuery`, optionally under a shared memo.
 
     The report's memo counters are the memo's traffic delta while this
     query ran; under a concurrently shared memo they attribute overlap
     loosely (batch totals are aggregated from the memo itself).
+
+    ``context`` carries the execution's resilience settings (deadline,
+    degraded mode, retry policy).  A deadline that fires gets this
+    execution's partial :class:`ScatterCounters` attached to the
+    :class:`QueryTimeoutError` — the caller sees how far the scatter
+    got before time ran out.
     """
     sharded = isinstance(index, ShardedGraph)
     shard_workers = index.query_workers if sharded else 1
@@ -263,42 +280,53 @@ def execute_prepared(
         # threads; the locked memo is only paid for when that happens.
         memo = SharedScanMemo() if shard_workers > 1 else ScanMemo()
     counters = ScatterCounters() if sharded else None
+    deadline = context.deadline if context is not None else None
     hits_before, misses_before = memo.hits, memo.misses
     started = time.perf_counter()
-    if prepared.costed is not None:
-        if sharded:
-            policy = _scatter_policy(
+    try:
+        if prepared.costed is not None:
+            if sharded:
+                policy = _scatter_policy(
+                    index,
+                    graph,
+                    statistics,
+                    prepared.strategy,
+                    prepared.disjunct_paths,
+                    counters,
+                )
+                relation = execute_scattered(
+                    prepared.costed.plan,
+                    index,
+                    graph,
+                    memo,
+                    workers=shard_workers,
+                    policy=policy,
+                    context=context,
+                )
+            else:
+                relation = execute(
+                    prepared.costed.plan, index, graph, memo, deadline
+                )
+            used_fallback = False
+        else:
+            relation = _hybrid(
+                push_inverse(prepared.node),
                 index,
                 graph,
                 statistics,
                 prepared.strategy,
-                prepared.disjunct_paths,
-                counters,
-            )
-            relation = execute_scattered(
-                prepared.costed.plan,
-                index,
-                graph,
+                prepared.max_disjuncts,
                 memo,
-                workers=shard_workers,
-                policy=policy,
+                counters,
+                context,
             )
-        else:
-            relation = execute(prepared.costed.plan, index, graph, memo)
-        used_fallback = False
-    else:
-        relation = _hybrid(
-            push_inverse(prepared.node),
-            index,
-            graph,
-            statistics,
-            prepared.strategy,
-            prepared.max_disjuncts,
-            memo,
-            counters,
-        )
-        used_fallback = True
+            used_fallback = True
+    except QueryTimeoutError as error:
+        if error.counters is None:
+            error.counters = counters
+        raise
     finished = time.perf_counter()
+    failed = counters.failed if counters else 0
     return ExecutionReport(
         strategy=prepared.strategy,
         plan=prepared.costed,
@@ -312,6 +340,8 @@ def execute_prepared(
         shards_pruned=counters.pruned if counters else 0,
         disjuncts_pruned=counters.disjuncts_pruned if counters else 0,
         shards_replanned=counters.replanned if counters else 0,
+        shards_failed=failed,
+        partial=failed > 0,
     )
 
 
@@ -331,6 +361,7 @@ def _hybrid(
     max_disjuncts: int,
     memo: ScanMemo | None = None,
     counters: ScatterCounters | None = None,
+    context: RunContext | None = None,
 ) -> Relation:
     """Structural evaluation with planner acceleration on bounded parts.
 
@@ -342,15 +373,26 @@ def _hybrid(
     (the normalized ``(a|b)*`` shape repeats its base under every
     disjunct) and repeated plan subtrees inside bounded parts are each
     evaluated once.  ``counters`` likewise spans the traversal,
-    summing the scatter decisions of every bounded subtree.
+    summing the scatter decisions of every bounded subtree; ``context``
+    threads the deadline into every structural step and closure loop.
     """
     if memo is None:
         memo = ScanMemo()
+    if context is not None and context.deadline is not None:
+        context.deadline.check()
     cached = memo.lookup_ast(node)
     if cached is not None:
         return cached
     result = _hybrid_uncached(
-        node, index, graph, statistics, strategy, max_disjuncts, memo, counters
+        node,
+        index,
+        graph,
+        statistics,
+        strategy,
+        max_disjuncts,
+        memo,
+        counters,
+        context,
     )
     memo.store_ast(node, result)
     return result
@@ -365,7 +407,9 @@ def _hybrid_uncached(
     max_disjuncts: int,
     memo: ScanMemo,
     counters: ScatterCounters | None,
+    context: RunContext | None = None,
 ) -> Relation:
+    deadline = context.deadline if context is not None else None
     normal_form = _try_normalize(node, graph, max_disjuncts)
     if normal_form is not None:
         if isinstance(index, ShardedGraph):
@@ -382,9 +426,10 @@ def _hybrid_uncached(
                 memo,
                 workers=index.query_workers,
                 policy=policy,
+                context=context,
             )
         report = evaluate_normal_form(
-            normal_form, index, graph, statistics, strategy, memo
+            normal_form, index, graph, statistics, strategy, memo, deadline
         )
         return report.relation
 
@@ -402,6 +447,7 @@ def _hybrid_uncached(
             max_disjuncts,
             memo,
             counters,
+            context,
         )
     if isinstance(node, Concat):
         result = _hybrid(
@@ -413,6 +459,7 @@ def _hybrid_uncached(
             max_disjuncts,
             memo,
             counters,
+            context,
         )
         for part in node.parts[1:]:
             if not result:
@@ -428,6 +475,7 @@ def _hybrid_uncached(
                     max_disjuncts,
                     memo,
                     counters,
+                    context,
                 ),
             )
         return result
@@ -442,6 +490,7 @@ def _hybrid_uncached(
                 max_disjuncts,
                 memo,
                 counters,
+                context,
             )
             for part in node.parts
         )
@@ -455,9 +504,14 @@ def _hybrid_uncached(
             max_disjuncts,
             memo,
             counters,
+            context,
         )
         return csr.partitioned_closure(
-            graph.node_ids(), parts, low=0, workers=_closure_workers(index)
+            graph.node_ids(),
+            parts,
+            low=0,
+            workers=_closure_workers(index),
+            deadline=deadline,
         )
     if isinstance(node, Repeat):
         if node.high is None:
@@ -470,10 +524,12 @@ def _hybrid_uncached(
                 max_disjuncts,
                 memo,
                 counters,
+                context,
             )
             return csr.partitioned_closure(
                 graph.node_ids(), parts, low=node.low,
                 workers=_closure_workers(index),
+                deadline=deadline,
             )
         base = _hybrid(
             node.child,
@@ -484,8 +540,11 @@ def _hybrid_uncached(
             max_disjuncts,
             memo,
             counters,
+            context,
         )
-        return rel.bounded_powers(graph.node_ids(), base, node.low, node.high)
+        return rel.bounded_powers(
+            graph.node_ids(), base, node.low, node.high, deadline=deadline
+        )
     raise RewriteError(f"unknown AST node {type(node).__name__}")
 
 
@@ -505,6 +564,7 @@ def _closure_base_parts(
     max_disjuncts: int,
     memo: ScanMemo,
     counters: ScatterCounters | None,
+    context: RunContext | None = None,
 ) -> list[Relation]:
     """The operand of a Kleene closure, as per-shard slices when possible.
 
@@ -532,6 +592,7 @@ def _closure_base_parts(
                 memo,
                 workers=index.query_workers,
                 policy=policy,
+                context=context,
             )
     return [
         _hybrid(
@@ -543,6 +604,7 @@ def _closure_base_parts(
             max_disjuncts,
             memo,
             counters,
+            context,
         )
     ]
 

@@ -27,9 +27,16 @@ repeat is a dictionary hit.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import BrokenExecutor
 
 from repro import relation as rel
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    ShardUnavailableError,
+    StorageError,
+    TransientError,
+)
+from repro.faults import RunContext, fire, retry_call
 from repro.engine.plan import (
     IdentityPlan,
     IndexScanPlan,
@@ -42,6 +49,10 @@ from repro.graph.graph import Graph
 from repro.indexes.pathindex import PathIndex
 from repro.relation import Relation
 from repro.sharding import DECISION_CACHE_MAX  # noqa: F401  (re-export)
+
+#: The resilience contract applied when the caller sets nothing up:
+#: default retries, no deadline, strict (non-degraded) answers.
+_DEFAULT_CONTEXT = RunContext()
 
 
 def merge_join(left, right) -> Relation:
@@ -170,25 +181,35 @@ def execute(
     index: PathIndex,
     graph: Graph,
     memo: ScanMemo | None = None,
+    deadline=None,
 ) -> Relation:
     """Run a plan tree, returning the (deduplicated) result relation.
 
     With a ``memo``, every subtree result — index scans first among
     them — is computed at most once per execution (or per batch, when
     the memo is a :class:`SharedScanMemo` spanning one).
+
+    ``deadline`` (a :class:`repro.faults.Deadline`) is checked once per
+    plan node — operator granularity, the cooperative-timeout contract.
     """
+    if deadline is not None:
+        deadline.check()
     if memo is not None:
         cached = memo.lookup_plan(plan)
         if cached is not None:
             return cached
-    result = _run(plan, index, graph, memo)
+    result = _run(plan, index, graph, memo, deadline)
     if memo is not None:
         memo.store_plan(plan, result)
     return result
 
 
 def _run(
-    plan: PlanNode, index: PathIndex, graph: Graph, memo: ScanMemo | None
+    plan: PlanNode,
+    index: PathIndex,
+    graph: Graph,
+    memo: ScanMemo | None,
+    deadline=None,
 ) -> Relation:
     if isinstance(plan, IndexScanPlan):
         if plan.via_inverse:
@@ -197,14 +218,16 @@ def _run(
     if isinstance(plan, IdentityPlan):
         return _checked(plan, rel.identity(graph.node_ids()))
     if isinstance(plan, JoinPlan):
-        left = execute(plan.left, index, graph, memo)
-        right = execute(plan.right, index, graph, memo)
+        left = execute(plan.left, index, graph, memo, deadline)
+        right = execute(plan.right, index, graph, memo, deadline)
         if plan.algorithm == "merge":
             _check_merge_inputs(plan)
             return rel.merge_join(left, right)
         return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
-        return rel.union(execute(part, index, graph, memo) for part in plan.parts)
+        return rel.union(
+            execute(part, index, graph, memo, deadline) for part in plan.parts
+        )
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 
 
@@ -218,7 +241,7 @@ class ScatterCounters:
     that makes shard pruning auditable instead of silent.
     """
 
-    __slots__ = ("scanned", "pruned", "disjuncts_pruned", "replanned")
+    __slots__ = ("scanned", "pruned", "disjuncts_pruned", "replanned", "failed")
 
     def __init__(self) -> None:
         #: Shard executions that actually ran.
@@ -232,13 +255,18 @@ class ScatterCounters:
         self.disjuncts_pruned = 0
         #: Disjunct join spines re-planned against a shard's statistics.
         self.replanned = 0
+        #: Shard slices dropped because the shard stayed down through
+        #: retries and the execution ran ``degraded`` — nonzero exactly
+        #: when the answer is partial.
+        self.failed = 0
 
     def __repr__(self) -> str:
         return (
             f"ScatterCounters(scanned={self.scanned}, "
             f"pruned={self.pruned}, "
             f"disjuncts_pruned={self.disjuncts_pruned}, "
-            f"replanned={self.replanned})"
+            f"replanned={self.replanned}, "
+            f"failed={self.failed})"
         )
 
 
@@ -424,6 +452,7 @@ def execute_scattered(
     memo: ScanMemo | None = None,
     workers: int = 1,
     policy: ScatterPolicy | None = None,
+    context=None,
 ) -> Relation:
     """Run a plan against every shard and merge the slices.
 
@@ -454,11 +483,22 @@ def execute_scattered(
     from its leftmost input), owner sets partition the vertices, and
     each slice is individually duplicate-free — so the merge can skip
     duplicate elimination entirely.
+
+    ``context`` (a :class:`repro.faults.RunContext`) adds the
+    resilience semantics: per-slice retry with backoff, degraded
+    (partial) answers, and cooperative deadline checks.  The gather
+    itself is pure over already-collected slices, so a transient fault
+    at its injection point is simply retried.
     """
-    return rel.union_into(
-        scattered_parts(plan, sharded, graph, memo, workers, policy),
-        disjoint=True,
-    )
+    parts = scattered_parts(plan, sharded, graph, memo, workers, policy, context)
+    deadline = context.deadline if context is not None else None
+    retry = context.retry if context is not None else None
+
+    def merge() -> Relation:
+        fire("gather.merge", shards=len(parts))
+        return rel.union_into(parts, disjoint=True)
+
+    return retry_call(merge, policy=retry, deadline=deadline)
 
 
 def scattered_parts(
@@ -468,6 +508,7 @@ def scattered_parts(
     memo: ScanMemo | None = None,
     workers: int = 1,
     policy: ScatterPolicy | None = None,
+    context=None,
 ) -> list[Relation]:
     """The per-shard slices of a plan's result, unmerged.
 
@@ -480,9 +521,21 @@ def scattered_parts(
     :func:`execute_scattered`: ``workers > 1`` requires a
     :class:`SharedScanMemo`; policy decisions are always taken
     serially first, so the policy counters stay unsynchronized.
+
+    With a ``context``, each slice retries transient failures with
+    capped backoff; a slice still failing is a *permanent* shard
+    outage — :class:`ShardUnavailableError` in strict mode, a dropped
+    slice (counted on ``policy.counters.failed``) in degraded mode.
+    Dropping a slice is sound for *subset* semantics because every
+    operator downstream (join, union, closure) is monotone: an answer
+    computed from fewer slices is always a subset of the full answer,
+    never a wrong pair.
     """
     if memo is None:
         memo = ScanMemo()
+    deadline = context.deadline if context is not None else None
+    if deadline is not None:
+        deadline.check()
     if policy is None:
         live = [(shard, plan) for shard in range(sharded.shard_count)]
     else:
@@ -495,20 +548,84 @@ def scattered_parts(
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=min(workers, len(live))) as pool:
-            return list(
+            parts = list(
                 pool.map(
-                    lambda pair: _run_on_shard(pair[1], sharded, pair[0], graph, memo),
+                    lambda pair: _guarded_slice(
+                        pair[1], sharded, pair[0], graph, memo, context
+                    ),
                     live,
                 )
             )
-    return [
-        _run_on_shard(shard_plan, sharded, shard, graph, memo)
-        for shard, shard_plan in live
-    ]
+    else:
+        parts = [
+            _guarded_slice(shard_plan, sharded, shard, graph, memo, context)
+            for shard, shard_plan in live
+        ]
+    if context is not None and context.degraded:
+        # Dropped slices are counted serially here rather than racing
+        # increments inside the thread fan-out above.
+        failed = parts.count(None)
+        if failed:
+            if policy is not None:
+                policy.counters.failed += failed
+            parts = [part for part in parts if part is not None]
+    return parts
+
+
+def _guarded_slice(
+    plan: PlanNode,
+    sharded,
+    shard: int,
+    graph: Graph,
+    memo: ScanMemo,
+    context,
+) -> Relation | None:
+    """One shard slice under the execution's resilience contract.
+
+    Transient faults retry with backoff (deadline-clipped); what
+    survives the retries is permanent *for this execution*.  Strict
+    mode converts it to a typed :class:`ShardUnavailableError` naming
+    the shard; degraded mode returns ``None`` (the caller drops and
+    counts the slice).  Timeouts are never degraded away — a deadline
+    is a promise to the caller, not a shard failure.
+
+    ``context=None`` (a query with no explicit deadline or degraded
+    opt-in) still retries: transient-fault recovery is engine default
+    behavior, not something a caller must ask for.
+    """
+    if context is None:
+        context = _DEFAULT_CONTEXT
+    try:
+        return retry_call(
+            lambda: _run_on_shard(
+                plan, sharded, shard, graph, memo, context.deadline
+            ),
+            policy=context.retry,
+            deadline=context.deadline,
+        )
+    except (BrokenExecutor, TransientError) as error:
+        if context.degraded:
+            return None
+        raise ShardUnavailableError(
+            f"shard {shard} unavailable after retries: {error}", shard=shard
+        ) from error
+    except StorageError:
+        # Permanent storage failure (corrupt page, bad magic): the
+        # shard's backing file is unusable, which degraded mode treats
+        # as one more downed shard; strict mode reports the storage
+        # fault itself — it names the real problem.
+        if context.degraded:
+            return None
+        raise
 
 
 def _run_on_shard(
-    plan: PlanNode, sharded, shard: int, graph: Graph, memo: ScanMemo
+    plan: PlanNode,
+    sharded,
+    shard: int,
+    graph: Graph,
+    memo: ScanMemo,
+    deadline=None,
 ) -> Relation:
     """One shard's slice of a plan: restrict along the leftmost spine.
 
@@ -525,16 +642,24 @@ def _run_on_shard(
     the ``R`` slice and the ``R·R`` join under every power — runs once
     per shard, exactly as the unsharded path runs it once.
     """
+    if deadline is not None:
+        deadline.check()
     cached = memo.lookup_plan((plan, shard))
     if cached is not None:
         return cached
     return memo.store_plan(
-        (plan, shard), _run_on_shard_uncached(plan, sharded, shard, graph, memo)
+        (plan, shard),
+        _run_on_shard_uncached(plan, sharded, shard, graph, memo, deadline),
     )
 
 
 def _run_on_shard_uncached(
-    plan: PlanNode, sharded, shard: int, graph: Graph, memo: ScanMemo
+    plan: PlanNode,
+    sharded,
+    shard: int,
+    graph: Graph,
+    memo: ScanMemo,
+    deadline=None,
 ) -> Relation:
     if isinstance(plan, IndexScanPlan):
         if plan.via_inverse:
@@ -543,15 +668,16 @@ def _run_on_shard_uncached(
     if isinstance(plan, IdentityPlan):
         return sharded.shard_identity(shard)
     if isinstance(plan, JoinPlan):
-        left = _run_on_shard(plan.left, sharded, shard, graph, memo)
-        right = execute(plan.right, sharded, graph, memo)
+        left = _run_on_shard(plan.left, sharded, shard, graph, memo, deadline)
+        right = execute(plan.right, sharded, graph, memo, deadline)
         if plan.algorithm == "merge":
             _check_merge_inputs(plan)
             return rel.merge_join(left.sorted_by(Order.BY_TGT), right)
         return rel.hash_join(left, right)
     if isinstance(plan, UnionPlan):
         return rel.union(
-            _run_on_shard(part, sharded, shard, graph, memo) for part in plan.parts
+            _run_on_shard(part, sharded, shard, graph, memo, deadline)
+            for part in plan.parts
         )
     raise ExecutionError(f"unknown plan node {type(plan).__name__}")
 

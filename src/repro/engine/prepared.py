@@ -45,7 +45,8 @@ from repro.engine.plan import (
     UnionPlan,
 )
 from repro.engine.planner import Strategy
-from repro.errors import ValidationError
+from repro.errors import TransientError, ValidationError
+from repro.faults import fire
 from repro.graph.graph import LabelPath
 from repro.rpq.ast import Node, substitute_params
 from repro.rpq.parser import MAX_REPEAT_BOUND, Template, parse
@@ -61,6 +62,13 @@ ARTIFACT_FORMAT = 1
 #: statement swept over an unbounded parameter domain keeps its
 #: hottest bindings planned and re-derives the rest.
 PLAN_CACHE_MAX = 256
+
+#: Cap on persisted artifacts per fingerprint file.  Stores evict the
+#: oldest entries past the cap, and because every store rewrites the
+#: whole document, eviction doubles as compaction — the file's size is
+#: bounded for the life of the deployment instead of growing with
+#: every distinct (template, binding) ever prepared.
+ARTIFACT_STORE_MAX = 512
 
 
 # -- plan (de)serialization ----------------------------------------------------
@@ -212,6 +220,7 @@ class PlanArtifactStore:
             if self._path is None:
                 return 0
             try:
+                fire("prepared.artifact_load", stage="open")
                 obj = json.loads(self._path.read_text(encoding="utf-8"))
                 if (
                     isinstance(obj, dict)
@@ -220,11 +229,21 @@ class PlanArtifactStore:
                     and isinstance(obj.get("entries"), dict)
                 ):
                     self._entries = obj["entries"]
-            except (OSError, ValueError):
+            except (OSError, ValueError, TransientError):
                 pass
+            # Adopt at most the cap: an oversized file from an older
+            # build (or a hand-grown one) is trimmed to its newest
+            # entries, and the next store() compacts it on disk.
+            while len(self._entries) > ARTIFACT_STORE_MAX:
+                del self._entries[next(iter(self._entries))]
             return len(self._entries)
 
     def load(self, key: str) -> dict | None:
+        try:
+            fire("prepared.artifact_load", stage="load")
+        except TransientError:
+            # Fail open: a flaky artifact probe re-plans, never raises.
+            return None
         with self._lock:
             return self._entries.get(key)
 
@@ -232,7 +251,12 @@ class PlanArtifactStore:
         if self._path is None or self._fingerprint is None:
             return
         with self._lock:
+            # Re-storing a key refreshes its age; eviction drops the
+            # oldest insertions first (the dict preserves that order).
+            self._entries.pop(key, None)
             self._entries[key] = payload
+            while len(self._entries) > ARTIFACT_STORE_MAX:
+                del self._entries[next(iter(self._entries))]
             document = {
                 "format": ARTIFACT_FORMAT,
                 "fingerprint": self._fingerprint,

@@ -59,6 +59,57 @@ class KeyOrderError(StorageError):
     """Keys supplied to a bulk-load were not in strictly ascending order."""
 
 
+class TransientError(Exception):
+    """Mixin marking a failure as safe to retry.
+
+    Not raised directly: concrete errors multiply-inherit it next to
+    their domain base (e.g. :class:`TransientStorageError`), so retry
+    loops can classify by ``isinstance(error, TransientError)`` while
+    API boundaries keep catching the domain hierarchy.  Anything *not*
+    carrying this mixin is permanent by definition — retrying it would
+    only repeat the failure.
+    """
+
+
+class TransientStorageError(TransientError, StorageError):
+    """A storage failure expected to succeed on retry (I/O hiccup,
+    injected fault, contended handle) — as opposed to a permanent
+    :class:`StorageError` like a corrupt page or a bad magic number."""
+
+
+class QueryTimeoutError(ReproError):
+    """A query exceeded its cooperative deadline (``timeout_ms``).
+
+    Attributes
+    ----------
+    counters:
+        The partial :class:`repro.engine.operators.ScatterCounters` at
+        the moment the deadline fired, or ``None`` when the timeout hit
+        outside a counted execution (e.g. on the unsharded path).
+    """
+
+    def __init__(self, message: str, counters=None):
+        super().__init__(message)
+        self.counters = counters
+
+
+class ShardUnavailableError(ReproError):
+    """A shard stayed down after retries (crash or exhausted transients).
+
+    Permanent for the current execution: ``query(degraded=True)`` turns
+    it into a partial answer; the default strict mode propagates it.
+
+    Attributes
+    ----------
+    shard:
+        The shard that failed, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
 class DatalogError(ReproError):
     """Invalid Datalog program or evaluation failure."""
 

@@ -78,11 +78,39 @@ class _DiskBackend:
     def __init__(
         self, path: str | FilePath, page_size: int = 4096, cache_pages: int = 256
     ):
+        self._path = FilePath(path)
+        self._page_size = page_size
+        self._cache_pages = cache_pages
         self._tree = DiskBPlusTree(path, page_size=page_size, cache_pages=cache_pages)
 
     def bulk_load(self, entries: Iterator[tuple[int, int, int]]) -> None:
-        self._tree.bulk_load((encode_key(key), b"") for key in entries)
-        self._tree.flush()
+        """Crash-safe load: build a sibling file, atomically swap it in.
+
+        The tree is written to ``<path>.build`` and renamed over the
+        real path only after a successful flush, so a crash mid-build
+        leaves whatever was at the path before (for a fresh build, a
+        valid empty tree) instead of a torn file that fails every
+        subsequent open.  Same contract the plan-artifact store already
+        had; the index was the remaining gap.
+        """
+        temp_path = self._path.with_name(self._path.name + ".build")
+        temp_path.unlink(missing_ok=True)
+        temp = DiskBPlusTree(
+            temp_path, page_size=self._page_size, cache_pages=self._cache_pages
+        )
+        try:
+            temp.bulk_load((encode_key(key), b"") for key in entries)
+            temp.flush()
+        except BaseException:
+            temp.close()
+            temp_path.unlink(missing_ok=True)
+            raise
+        temp.close()
+        self._tree.close()
+        temp_path.replace(self._path)
+        self._tree = DiskBPlusTree(
+            self._path, page_size=self._page_size, cache_pages=self._cache_pages
+        )
 
     def bulk_load_runs(self, runs: Iterator[list[tuple[int, int, int]]]) -> None:
         """No columnar fast path on disk: flatten the runs."""
@@ -345,15 +373,21 @@ class PathIndex:
     # -- catalog persistence (disk backend) --------------------------------------------
 
     def save_catalog(self, path: str | FilePath) -> None:
-        """Persist the path-id catalog and counts next to a disk index."""
+        """Persist the path-id catalog and counts next to a disk index.
+
+        Written via temp file + atomic rename: a crash mid-write must
+        not leave a torn catalog that poisons every future open of an
+        otherwise healthy index file.
+        """
         payload = {
             "k": self.k,
             "path_ids": self._path_ids,
             "counts": self._counts,
         }
-        FilePath(path).write_text(
-            json.dumps(payload, indent=1) + "\n", encoding="utf-8"
-        )
+        target = FilePath(path)
+        temp = target.with_name(target.name + ".tmp")
+        temp.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+        temp.replace(target)
 
     @classmethod
     def open_disk(

@@ -682,7 +682,8 @@ def _from_packed_unordered(keys: set[int]) -> Relation:
 
 
 def transitive_fixpoint(
-    node_ids: Iterable[int], base: Relation, low: int, workers: int = 1
+    node_ids: Iterable[int], base: Relation, low: int, workers: int = 1,
+    deadline=None,
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` to fixpoint.
 
@@ -690,15 +691,16 @@ def transitive_fixpoint(
     (:func:`repro.csr.transitive_fixpoint`); falls back to packed-pair
     delta iteration when ids are too sparse for bitsets.  ``workers``
     partitions the closure's source schedule across threads (sequential
-    by default; see :func:`repro.csr.closure_bitsets`).
+    by default; see :func:`repro.csr.closure_bitsets`).  ``deadline``
+    bounds both paths cooperatively (checked per source / per round).
     """
     from repro import csr
 
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     bound = csr.dense_bound(ids, base)
     if bound <= csr.MAX_DENSE_NODE:
-        return csr.transitive_fixpoint(ids, base, low, bound, workers)
-    return delta_transitive_fixpoint(ids, base, low)
+        return csr.transitive_fixpoint(ids, base, low, bound, workers, deadline)
+    return delta_transitive_fixpoint(ids, base, low, deadline)
 
 
 def relation_power(
@@ -715,7 +717,8 @@ def relation_power(
 
 
 def bounded_powers(
-    node_ids: Iterable[int], base: Relation, low: int, high: int
+    node_ids: Iterable[int], base: Relation, low: int, high: int,
+    deadline=None,
 ) -> Relation:
     """``base^low ∪ ... ∪ base^high`` with early saturation."""
     from repro import csr
@@ -723,7 +726,7 @@ def bounded_powers(
     ids = node_ids if isinstance(node_ids, range) else list(node_ids)
     bound = csr.dense_bound(ids, base)
     if bound <= csr.MAX_DENSE_NODE:
-        return csr.bounded_powers(ids, base, low, high, bound)
+        return csr.bounded_powers(ids, base, low, high, bound, deadline)
     return delta_bounded_powers(ids, base, low, high)
 
 
@@ -758,12 +761,13 @@ def _expand(
 
 
 def delta_transitive_fixpoint(
-    node_ids: Iterable[int], base: Relation, low: int
+    node_ids: Iterable[int], base: Relation, low: int, deadline=None
 ) -> Relation:
     """``base^low ∪ base^{low+1} ∪ ...`` by packed delta iteration.
 
     Only newly discovered pairs are re-expanded, so cyclic graphs
     terminate; ``low == 0`` seeds the accumulator with the identity.
+    The deadline is checked once per delta round.
     """
     if _vectorize(len(base)):
         return _np_transitive_fixpoint(node_ids, base, low)
@@ -780,6 +784,8 @@ def delta_transitive_fixpoint(
         accumulated = set(power.packed())
         delta = list(accumulated)
     while delta:
+        if deadline is not None:
+            deadline.check()
         delta = _expand(delta, by_source, accumulated)
     return _from_packed_sorted(sorted(accumulated), Order.BY_SRC)
 

@@ -55,7 +55,8 @@ from pickle import PicklingError
 from typing import Iterable, Iterator, Sequence
 
 from repro import relation as rel
-from repro.errors import ValidationError
+from repro.errors import ShardUnavailableError, TransientError, ValidationError
+from repro.faults import fire, retry_call
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.stats import count_paths_k
 from repro.indexes.builder import path_relations_columnar
@@ -335,10 +336,14 @@ class ShardedGraph:
     ) -> dict[int, ShardPayload]:
         if workers > 1 and len(shard_ids) > 1:
             try:
+                # Injection seam for the whole-pool stage: a crash here
+                # models the pool itself dying (fork failure, OOM kill)
+                # and exercises the serial fallback below.
+                fire("shard.build", stage="pool")
                 return cls._parallel_payloads(
                     graph, k, shard_count, shard_ids, workers, prune_empty
                 )
-            except (BrokenExecutor, PicklingError):
+            except (BrokenExecutor, PicklingError, TransientError):
                 # Pool infrastructure can fail on platforms without
                 # fork or with unpicklable payloads; the serial build
                 # below is the correctness path either way.  A genuine
@@ -348,9 +353,44 @@ class ShardedGraph:
                 # double time-to-fail.
                 pass
         return {
-            shard: _shard_payload(graph, k, shard_count, shard, prune_empty)
+            shard: cls._serial_payload(graph, k, shard_count, shard, prune_empty)
             for shard in shard_ids
         }
+
+    @staticmethod
+    def _serial_payload(
+        graph: Graph,
+        k: int,
+        shard_count: int,
+        shard: int,
+        prune_empty: bool,
+    ) -> ShardPayload:
+        """One shard's payload on the serial path, with build retry.
+
+        Transient faults retry with backoff *per shard* — one flaky
+        shard no longer restarts the whole build.  A worker-crash fault
+        that persists through the retries is permanent for this build
+        and surfaces as a typed :class:`ShardUnavailableError` naming
+        the shard (degraded *query* answers exist; degraded *builds* do
+        not — an index missing a shard would silently under-answer
+        every future query).
+        """
+
+        def attempt() -> ShardPayload:
+            fire("shard.build", shard=shard)
+            return _shard_payload(graph, k, shard_count, shard, prune_empty)
+
+        try:
+            return retry_call(attempt)
+        except TransientError as error:
+            raise ShardUnavailableError(
+                f"shard {shard} build failed after retries: {error}",
+                shard=shard,
+            ) from error
+        except BrokenExecutor as error:
+            raise ShardUnavailableError(
+                f"shard {shard} build worker crashed: {error}", shard=shard
+            ) from error
 
     @staticmethod
     def _parallel_payloads(
@@ -664,8 +704,19 @@ class ShardedGraph:
     # -- per-shard slices (the scatter side of scatter-gather) ------------
 
     def shard_scan(self, shard: int, path: LabelPath) -> Relation:
-        """One shard's slice of ``p(G)``, BY_SRC-sorted."""
-        return self._shards[shard].scan(path)
+        """One shard's slice of ``p(G)``, BY_SRC-sorted.
+
+        Retried at scan granularity: a scan is the finest idempotent
+        unit, so a transient fault capped per ``(shard, path)`` always
+        recovers on the immediate retry — a whole-slice retry would
+        re-roll every *other* path's fault dice and can cascade.
+        """
+
+        def attempt() -> Relation:
+            fire("shard.scan", shard=shard, path=path.encode())
+            return self._shards[shard].scan(path)
+
+        return retry_call(attempt)
 
     def shard_scan_swapped(self, shard: int, path: LabelPath) -> Relation:
         """One shard's slice of ``p(G)``, re-sorted BY_TGT.
@@ -675,7 +726,12 @@ class ShardedGraph:
         so the slice is explicitly re-sorted.  The slice is ``1/N`` of
         the relation, so the per-shard sorts sum to one global sort.
         """
-        return rel.dedup_sort(self._shards[shard].scan(path), Order.BY_TGT)
+
+        def attempt() -> Relation:
+            fire("shard.scan", shard=shard, path=path.encode())
+            return rel.dedup_sort(self._shards[shard].scan(path), Order.BY_TGT)
+
+        return retry_call(attempt)
 
     def shard_identity(self, shard: int) -> Relation:
         """The identity relation over the shard's owned vertices."""

@@ -19,7 +19,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientStorageError
+from repro.faults import fire
 
 MAGIC = b"RPQPAGES"
 HEADER_FORMAT = ">8sIIQ"  # magic, page_size, page_count, freelist head
@@ -182,8 +183,19 @@ class Pager:
                 self.stats.hits += 1
                 return cached
             self.stats.misses += 1
-            self._file.seek(page_no * self._page_size)
-            raw = self._file.read(self._page_size)
+            try:
+                self._file.seek(page_no * self._page_size)
+                raw = self._file.read(self._page_size)
+            except OSError as error:
+                # An I/O hiccup on a read is retryable: the page on disk
+                # is intact, only this fetch failed.
+                raise TransientStorageError(
+                    f"{self._path}: read of page {page_no} failed: {error}"
+                ) from error
+            # Fault-injection seam: may raise a transient error or hand
+            # back deliberately corrupted bytes (which the B+tree node
+            # decoder then rejects as a typed StorageError).
+            raw = fire("storage.read_page", raw, page=page_no)
             page = bytearray(raw.ljust(self._page_size, b"\x00"))
             self._cache_put(page_no, page, dirty=False)
             return page
@@ -205,12 +217,19 @@ class Pager:
         """Write all dirty pages and the header to disk."""
         self._check_open()
         with self._lock:
-            for page_no in sorted(self._dirty):
-                self._file.seek(page_no * self._page_size)
-                self._file.write(self._cache[page_no])
-            self._dirty.clear()
-            self._write_header()
-            self._file.flush()
+            try:
+                for page_no in sorted(self._dirty):
+                    self._file.seek(page_no * self._page_size)
+                    self._file.write(self._cache[page_no])
+                self._dirty.clear()
+                self._write_header()
+                self._file.flush()
+            except OSError as error:
+                # Dirty pages stay cached and marked dirty, so a retry
+                # of flush() rewrites everything that did not land.
+                raise TransientStorageError(
+                    f"{self._path}: flush failed: {error}"
+                ) from error
 
     def close(self) -> None:
         """Flush and release the file handle (idempotent)."""
