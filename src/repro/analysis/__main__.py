@@ -1,0 +1,106 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when every finding is covered by the committed baseline
+and no baseline entry went stale; 1 on new findings, stale entries, or
+unparsable files; 2 on usage errors.  ``--report`` writes the full
+machine-readable result (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.core import (
+    analyze_paths,
+    apply_baseline,
+    default_rules,
+    load_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro invariant checker (lock/error/fault/order/"
+        "deadline/dual-path contracts)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="analysis-baseline.json",
+        help="justified-suppressions file (default: analysis-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="write the full JSON report to this path (CI artifact)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    rules = default_rules()
+    # Baseline entries store repo-root-relative paths, so when a
+    # baseline file is in play its directory anchors the relpaths —
+    # `repro lint` then matches from any working directory.
+    baseline_path = Path(arguments.baseline)
+    root = baseline_path.resolve().parent if baseline_path.exists() else None
+    findings, errors = analyze_paths(arguments.paths, rules, root=root)
+    entries: list[dict] = []
+    if not arguments.no_baseline and baseline_path.exists():
+        try:
+            entries = load_baseline(baseline_path)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: bad baseline {arguments.baseline}: {error}")
+            return 2
+    new_findings, stale_entries = apply_baseline(findings, entries)
+
+    if arguments.report is not None:
+        report = {
+            "rules": {rule.id: rule.description for rule in rules},
+            "findings": [found.to_obj() for found in findings],
+            "new": [found.to_obj() for found in new_findings],
+            "stale_baseline": stale_entries,
+            "errors": errors,
+        }
+        Path(arguments.report).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    for message in errors:
+        print(f"error: {message}")
+    for found in new_findings:
+        print(found.format())
+    for entry in stale_entries:
+        print(
+            "stale baseline entry (no finding matches it any more — "
+            "remove it, the baseline only shrinks): "
+            f"[{entry['rule']}] {entry['file']} :: {entry['symbol']}"
+        )
+    baselined = len(findings) - len(new_findings)
+    print(
+        f"{len(new_findings)} new finding(s), {baselined} baselined, "
+        f"{len(stale_entries)} stale baseline entr(y/ies), "
+        f"{len(errors)} file error(s)"
+    )
+    if new_findings or stale_entries or errors:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

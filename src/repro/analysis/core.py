@@ -1,0 +1,308 @@
+"""Visitor framework for the repo's own invariant checker.
+
+The engine has accreted contracts that ordinary linters cannot see:
+lock sections around ``GraphDatabase`` state, fault-injection seams at
+every I/O boundary, declared sort orders on :class:`repro.relation`
+kernels, cooperative deadlines inside fixpoint loops.  This module is
+the machinery those rules share — it knows nothing about any specific
+invariant:
+
+* :class:`Finding` — one violation: rule id, file, line, and the
+  enclosing symbol (``Class.method`` qualname) that anchors baseline
+  matching across unrelated line churn.
+* :class:`Module` — a parsed source file with parent links, qualname
+  scope tracking, and the inline-suppression table.
+* :class:`Rule` — the base class every rule in
+  :mod:`repro.analysis.rules` extends.
+* baseline handling — ``analysis-baseline.json`` entries are keyed by
+  ``(rule, file, symbol)`` and must each carry a ``justification``;
+  entries no new finding matches are *stale* and fail the run, which
+  is what makes the baseline shrink-only.
+
+Suppression syntax: a ``# repro: ignore[rule-id]`` comment on the
+flagged line (the ``while``/``except``/call line itself) or on its own
+line directly above silences that rule there; ``ignore[*]`` silences
+every rule at that location.  Text after the closing bracket is
+free-form justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: ``# repro: ignore[rule-id]`` or ``ignore[rule-a, rule-b]`` or
+#: ``ignore[*]``; anything after the bracket is justification prose.
+_SUPPRESS = re.compile(r"#\s*repro:\s*ignore\[([a-z0-9*,\- ]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    file: str
+    line: int
+    symbol: str
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """The baseline-matching key (line numbers churn; symbols don't)."""
+        return (self.rule, self.file, self.symbol)
+
+    def format(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_obj(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+
+class Module:
+    """A parsed file plus the navigation aids every rule needs."""
+
+    def __init__(self, relpath: str, source: str) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.tree = ast.parse(source, filename=relpath)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        self._scopes: dict[ast.AST, str] = {}
+        self._link(self.tree, None, "<module>")
+        self.suppressions = self._suppressions(source)
+
+    def _link(self, node: ast.AST, parent: ast.AST | None, scope: str) -> None:
+        if parent is not None:
+            self._parents[node] = parent
+        self._scopes[node] = scope
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            scope = node.name if scope == "<module>" else f"{scope}.{node.name}"
+        for child in ast.iter_child_nodes(node):
+            self._link(child, node, scope)
+
+    @staticmethod
+    def _suppressions(source: str) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for line_no, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS.search(text)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                table[line_no] = rules
+        return table
+
+    # -- navigation -----------------------------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Enclosing nodes, innermost first."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def scope_of(self, node: ast.AST) -> str:
+        """Qualname of the innermost function/class enclosing ``node``."""
+        return self._scopes.get(node, "<module>")
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        for candidate in (line, line - 1):
+            rules = self.suppressions.get(candidate)
+            if rules is not None and (rule_id in rules or "*" in rules):
+                return True
+        return False
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``id``/``description``, narrow ``applies`` to the
+    files the invariant governs, and yield :class:`Finding` objects
+    from ``check``.  Suppression and baseline filtering happen in the
+    driver — rules report everything they see.
+    """
+
+    id = ""
+    description = ""
+
+    def applies(self, relpath: str) -> bool:
+        return "repro/" in relpath and relpath.endswith(".py")
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            file=module.relpath,
+            line=getattr(node, "lineno", 0),
+            symbol=module.scope_of(node),
+            message=message,
+        )
+
+
+# -- shared AST helpers (used by several rules) --------------------------------
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> ``f``; ``obj.m(...)`` -> ``m``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def contains_call(tree: ast.AST, names: set[str]) -> bool:
+    """Whether any call to one of ``names`` appears under ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and call_name(node) in names:
+            return True
+    return False
+
+
+def names_in(tree: ast.AST) -> set[str]:
+    return {node.id for node in ast.walk(tree) if isinstance(node, ast.Name)}
+
+
+# -- the driver ----------------------------------------------------------------
+
+
+def default_rules() -> list[Rule]:
+    from repro.analysis.rules import ALL_RULES
+
+    return [rule_class() for rule_class in ALL_RULES]
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through directly)."""
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Run the rules over one in-memory source blob (the test entry)."""
+    rules = rules if rules is not None else default_rules()
+    module = Module(relpath, source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(relpath):
+            continue
+        findings.extend(
+            found
+            for found in rule.check(module)
+            if not module.suppressed(rule.id, found.line)
+        )
+    findings.sort(key=lambda found: (found.file, found.line, found.rule))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    rules: list[Rule] | None = None,
+    root: str | Path | None = None,
+) -> tuple[list[Finding], list[str]]:
+    """Analyze every file under ``paths``.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that
+    could not be read or parsed — reported, never silently skipped.
+    """
+    rules = rules if rules is not None else default_rules()
+    root = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            relative = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            relative = path
+        relpath = relative.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            errors.append(f"{relpath}: unreadable ({error})")
+            continue
+        try:
+            findings.extend(analyze_source(source, relpath, rules))
+        except SyntaxError as error:
+            errors.append(f"{relpath}: syntax error ({error})")
+    return findings, errors
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Parse ``analysis-baseline.json``; every entry must be justified."""
+    obj = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = obj.get("entries", [])
+    for entry in entries:
+        for field_name in ("rule", "file", "symbol", "justification"):
+            if not str(entry.get(field_name, "")).strip():
+                raise ValueError(
+                    f"baseline entry {entry!r} is missing {field_name!r} "
+                    "(every suppression must name its location and carry "
+                    "a justification)"
+                )
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding],
+    entries: list[dict],
+) -> tuple[list[Finding], list[dict]]:
+    """Split ``findings`` against the baseline.
+
+    Returns ``(new_findings, stale_entries)``: findings no entry
+    covers, and entries no finding matches any more.  One entry covers
+    every finding sharing its ``(rule, file, symbol)`` key — line
+    numbers are deliberately not part of the match.
+    """
+    covered = {
+        (entry["rule"], entry["file"], entry["symbol"]): False for entry in entries
+    }
+    new_findings: list[Finding] = []
+    for found in findings:
+        if found.key() in covered:
+            covered[found.key()] = True
+        else:
+            new_findings.append(found)
+    stale = [
+        entry
+        for entry in entries
+        if not covered[(entry["rule"], entry["file"], entry["symbol"])]
+    ]
+    return new_findings, stale

@@ -1,0 +1,63 @@
+"""Rule ``deadline-loop``: fixpoint loops must cooperate with deadlines.
+
+Query timeouts are *cooperative*: :meth:`repro.faults.Deadline.check`
+raises ``QueryTimeoutError`` only where the code chooses to call it.
+Every data-dependent ``while`` loop in the kernel modules — frontier
+expansion, delta iteration, power saturation — is a place a
+pathological graph can spin past the deadline if the check is missing,
+so each one must either contain a ``deadline.check()`` per round or be
+explicitly allow-listed as bounded (a two-pointer scan over
+fixed-length inputs, a bit iteration over one machine word) with::
+
+    while ...:  # repro: ignore[deadline-loop] bounded by <what>
+
+or a justified ``analysis-baseline.json`` entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Rule
+
+#: The modules whose loops answer queries under a deadline.
+MODULES = (
+    "repro/csr.py",
+    "repro/relation.py",
+    "repro/engine/operators.py",
+    "repro/engine/executor.py",
+)
+
+
+def _has_deadline_check(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "check"
+        ):
+            return True
+    return False
+
+
+class DeadlineLoopRule(Rule):
+    id = "deadline-loop"
+    description = (
+        "while loops in the kernel modules must call deadline.check() "
+        "per round or be allow-listed as bounded"
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return any(relpath.endswith(suffix) for suffix in MODULES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in module.walk():
+            if isinstance(node, ast.While) and not _has_deadline_check(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "while loop without a cooperative deadline.check(); "
+                    "add one per round, or mark the loop bounded with "
+                    "# repro: ignore[deadline-loop]",
+                )

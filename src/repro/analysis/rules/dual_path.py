@@ -1,0 +1,92 @@
+"""Rule ``dual-path``: vectorized kernels and scalar twins stay paired.
+
+numpy is an *optional* dependency: every ``_np_*`` kernel in
+:mod:`repro.relation` and :mod:`repro.csr` exists next to a pure-Python
+path selected by ``_vectorize()`` (size crossover, ``_FORCE_PURE_PYTHON``
+test hook, numpy missing).  That pairing is a reachability property the
+type checker cannot see, so this rule enforces it structurally:
+
+* a call to a ``_np_*`` kernel from non-vectorized code must sit inside
+  an ``if`` branch whose test involves ``_vectorize``/``_np`` — the
+  fall-through *is* the scalar twin; calls from inside another
+  ``_np_*`` function are already on the guarded side;
+* every defined ``_np_*`` kernel must have a call site (a dead
+  vectorized kernel means the scalar path silently became the only
+  path);
+* and vice versa: every ``_py_*`` scalar twin must have a call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Rule, names_in
+
+#: The modules holding the dual-path kernels.
+MODULES = ("repro/relation.py", "repro/csr.py")
+
+_NP_NAME = re.compile(r"^_np_\w+$")
+_PY_NAME = re.compile(r"^_py_\w+$")
+
+#: Names whose appearance in an ``if`` test marks the vectorized branch.
+GUARD_NAMES = {"_vectorize", "_np", "numpy"}
+
+
+def _is_guarded(module: Module, node: ast.AST) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.If) and names_in(ancestor.test) & GUARD_NAMES:
+            return True
+    return False
+
+
+class DualPathRule(Rule):
+    id = "dual-path"
+    description = (
+        "_np_* vectorized kernels need a reachable pure-Python twin "
+        "(guarded call sites) and vice versa"
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return any(relpath.endswith(suffix) for suffix in MODULES)
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        functions: list[ast.FunctionDef] = [
+            node for node in module.walk() if isinstance(node, ast.FunctionDef)
+        ]
+        called: set[str] = set()
+        for node in module.walk():
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                called.add(node.func.id)
+                if _NP_NAME.match(node.func.id):
+                    yield from self._check_call_site(module, node)
+        for function in functions:
+            if _NP_NAME.match(function.name) and function.name not in called:
+                yield self.finding(
+                    module,
+                    function,
+                    f"vectorized kernel {function.name} has no call site; "
+                    "the scalar path silently became the only path",
+                )
+            if _PY_NAME.match(function.name) and function.name not in called:
+                yield self.finding(
+                    module,
+                    function,
+                    f"pure-Python twin {function.name} has no call site; "
+                    "the numpy path silently became the only path",
+                )
+
+    def _check_call_site(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        enclosing = module.enclosing_function(node)
+        if enclosing is not None and enclosing.name.startswith("_np"):
+            return
+        if not _is_guarded(module, node):
+            assert isinstance(node.func, ast.Name)
+            yield self.finding(
+                module,
+                node,
+                f"{node.func.id} called without a _vectorize()/_np guard; "
+                "the pure-Python twin is unreachable here and the kernel "
+                "crashes when numpy is absent",
+            )

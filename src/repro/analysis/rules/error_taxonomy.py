@@ -1,0 +1,95 @@
+"""Rule ``error-taxonomy``: broad handlers must not swallow typed errors.
+
+The resilience layer (PR 7) communicates through exceptions:
+``QueryTimeoutError`` carries the cooperative deadline upward,
+``TransientError`` marks a failure as retryable, and
+``ShardUnavailableError`` drives strict-vs-degraded answers.  A
+``except Exception:`` (or bare ``except:``/``except BaseException:``)
+placed anywhere on those paths silently converts "the query timed out"
+into "everything is fine" — the exact bug class this PR fixed twice.
+
+A broad handler is compliant when it
+
+* contains a bare ``raise`` (cleanup-and-propagate), or
+* is preceded in the same ``try`` by a handler that catches one of the
+  resilience types and re-raises it, e.g.::
+
+      except (QueryTimeoutError, TransientError):
+          raise
+      except Exception:
+          ...fail open...
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Rule
+
+#: Handler types considered "broad" (``None`` means a bare ``except:``).
+BROAD = {"Exception", "BaseException"}
+
+#: The taxonomy members a broad handler must let through.
+RESILIENT = {
+    "ReproError",
+    "TransientError",
+    "TransientStorageError",
+    "QueryTimeoutError",
+    "ShardUnavailableError",
+}
+
+
+def _type_names(expr: ast.AST | None) -> set[str]:
+    if expr is None:
+        return set()
+    names: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+class ErrorTaxonomyRule(Rule):
+    id = "error-taxonomy"
+    description = (
+        "except Exception / bare except must re-raise or explicitly "
+        "exclude ReproError resilience subtypes (QueryTimeoutError, "
+        "TransientError)"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for statement in module.walk():
+            if not isinstance(statement, ast.Try):
+                continue
+            for position, handler in enumerate(statement.handlers):
+                is_broad = handler.type is None or _type_names(handler.type) & BROAD
+                if not is_broad or _reraises(handler):
+                    continue
+                excluded = any(
+                    _type_names(earlier.type) & RESILIENT and _reraises(earlier)
+                    for earlier in statement.handlers[:position]
+                )
+                if excluded:
+                    continue
+                caught = (
+                    "bare except"
+                    if handler.type is None
+                    else "except " + "/".join(sorted(_type_names(handler.type)))
+                )
+                yield self.finding(
+                    module,
+                    handler,
+                    f"{caught} swallows QueryTimeoutError/TransientError; "
+                    "re-raise them first (except (QueryTimeoutError, "
+                    "TransientError): raise) or use a bare raise",
+                )

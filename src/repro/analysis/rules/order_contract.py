@@ -1,0 +1,112 @@
+"""Rule ``order-contract``: merge/dedup kernels need declared sort orders.
+
+:func:`repro.relation.merge_join` trusts its inputs' tracked
+:class:`~repro.relation.Order` (left ``BY_TGT``, right ``BY_SRC``) and
+:func:`~repro.relation.dedup_sort` refuses ``Order.NONE`` targets —
+but both checks fire at *runtime*, deep inside an execution, on
+whatever data finally flows through.  This rule moves the audit to the
+call site: a function that composes relations through ``merge_join``
+must visibly validate or propagate order — by checking ``.order``,
+coercing/sorting (``Relation.coerce``, ``sorted_by``, ``dedup_sort``),
+or running the planner's ``_check_merge_inputs`` — and must not hand
+the kernel a freshly constructed ``Relation(...)`` whose order
+defaults to ``NONE``.  Requesting ``dedup_sort(x, Order.NONE)`` is
+flagged unconditionally (the kernel would raise anyway).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Module, Rule, call_name
+
+#: Calls that count as validating or propagating an Order.
+ORDER_EVIDENCE_CALLS = {
+    "_check_merge_inputs",
+    "check_merge_inputs",
+    "coerce",
+    "sorted_by",
+    "dedup_sort",
+}
+
+
+def _is_order_member(node: ast.AST, member: str) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == member
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Order"
+    )
+
+
+def _has_order_evidence(scope: ast.AST) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Attribute) and node.attr == "order":
+            return True
+        if _is_order_member(node, "BY_SRC") or _is_order_member(node, "BY_TGT"):
+            return True
+        if isinstance(node, ast.Call) and call_name(node) in ORDER_EVIDENCE_CALLS:
+            return True
+    return False
+
+
+def _constructs_unordered(argument: ast.AST) -> bool:
+    if not isinstance(argument, ast.Call) or call_name(argument) != "Relation":
+        return False
+    if len(argument.args) >= 3:
+        return False
+    return not any(keyword.arg == "order" for keyword in argument.keywords)
+
+
+class OrderContractRule(Rule):
+    id = "order-contract"
+    description = (
+        "functions feeding merge/dedup kernels must validate or "
+        "propagate Relation.Order; never pass an Order.NONE relation "
+        "to an order-requiring kernel"
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        for node in module.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name == "merge_join":
+                yield from self._check_merge_call(module, node)
+            elif name == "dedup_sort":
+                yield from self._check_dedup_call(module, node)
+
+    def _check_merge_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        scope = module.enclosing_function(node) or module.tree
+        if not _has_order_evidence(scope):
+            yield self.finding(
+                module,
+                node,
+                "merge_join called in a function with no visible Order "
+                "validation or propagation (no .order check, coerce/"
+                "sorted_by/dedup_sort, or _check_merge_inputs)",
+            )
+        for argument in node.args:
+            if _constructs_unordered(argument):
+                yield self.finding(
+                    module,
+                    node,
+                    "a Relation(...) constructed without order= defaults "
+                    "to Order.NONE and cannot feed merge_join",
+                )
+
+    def _check_dedup_call(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        order_argument: ast.AST | None = None
+        if len(node.args) >= 2:
+            order_argument = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "order":
+                order_argument = keyword.value
+        if order_argument is not None and _is_order_member(order_argument, "NONE"):
+            yield self.finding(
+                module,
+                node,
+                "dedup_sort(..., Order.NONE) requests an unordered "
+                "result from an ordering kernel (it raises at runtime)",
+            )

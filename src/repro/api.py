@@ -44,7 +44,12 @@ from repro.engine.prepared import (
     PlanArtifactStore,
     PreparedStatement,
 )
-from repro.errors import PathIndexError, ValidationError
+from repro.errors import (
+    PathIndexError,
+    QueryTimeoutError,
+    TransientError,
+    ValidationError,
+)
 from repro.faults import Deadline, RunContext
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.io import load_csv, load_edgelist, load_json
@@ -709,6 +714,11 @@ class GraphDatabase:
             self._histogram = None
             try:
                 index.close()
+            except (QueryTimeoutError, TransientError):
+                # Never swallow the resilience taxonomy: a deadline or
+                # retryable fault inside close() propagates (the
+                # rebuild failure rides along as __context__).
+                raise
             except Exception:
                 pass
             raise

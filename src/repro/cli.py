@@ -9,6 +9,7 @@ inspect, explain, run) plus every experiment driver:
     repro-rpq figure2 --scale small
     repro-rpq compare-datalog --scale small
     repro-rpq index-build --scale small
+    repro-rpq lint src/
 """
 
 from __future__ import annotations
@@ -151,6 +152,23 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's own invariant analyzer (see repro.analysis).
+
+    Exits non-zero on findings outside the committed baseline, so it
+    works as a pre-commit gate exactly like the CI job.
+    """
+    from repro.analysis.__main__ import main as analysis_main
+
+    argv = list(args.paths)
+    argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.report is not None:
+        argv += ["--report", args.report]
+    return analysis_main(argv)
+
+
 def _cmd_histogram(args: argparse.Namespace) -> int:
     rows = harness.run_histogram_ablation(scale=args.scale, k=args.k)
     print(reporting.format_histogram(rows))
@@ -235,6 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=7)
     build.add_argument("--ks", type=int, nargs="+", default=[1, 2, 3])
     build.set_defaults(handler=_cmd_index_build)
+
+    lint = commands.add_parser(
+        "lint", help="check the engine's concurrency/resilience invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="analysis-baseline.json",
+        help="justified-suppressions file (default: analysis-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint.add_argument(
+        "--report", default=None, help="write the JSON findings report here"
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     histogram = commands.add_parser("histogram", help="histogram ablation")
     histogram.add_argument("--scale", choices=sorted(SCALES), default="bench")

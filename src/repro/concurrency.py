@@ -35,10 +35,14 @@ class ReadWriteLock:
     ``write_locked()`` sections run alone.  Once a writer is waiting,
     new readers queue behind it, so writers cannot be starved by a
     continuous reader stream.
+
+    Invariant (machine-checked by ``repro lint``, rule
+    ``lock-discipline``): guarded ``GraphDatabase`` state is only
+    written inside ``write_locked()``/``_cache_lock`` sections or
+    ``*_locked`` methods, and nothing mutates under a read lock.
     """
 
-    __slots__ = ("_condition", "_active_readers", "_writer_active",
-                 "_writers_waiting")
+    __slots__ = ("_condition", "_active_readers", "_writer_active", "_writers_waiting")
 
     def __init__(self) -> None:
         self._condition = threading.Condition()

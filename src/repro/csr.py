@@ -164,6 +164,7 @@ class CSR:
             end = offsets[node + 1]
             if position < end:
                 bits = 0
+                # repro: ignore[deadline-loop] bounded scan of one neighbor range
                 while position < end:
                     bits |= 1 << targets[position]
                     position += 1
@@ -316,6 +317,7 @@ def bounded_powers(
 
 def _iter_bits(bits: int):
     """Set-bit positions of ``bits``, ascending."""
+    # repro: ignore[deadline-loop] strictly decreasing popcount; bounded
     while bits:
         lowest = bits & -bits
         yield lowest.bit_length() - 1

@@ -45,7 +45,7 @@ from repro.engine.plan import (
     UnionPlan,
 )
 from repro.engine.planner import Strategy
-from repro.errors import TransientError, ValidationError
+from repro.errors import QueryTimeoutError, TransientError, ValidationError
 from repro.faults import fire
 from repro.graph.graph import LabelPath
 from repro.rpq.ast import Node, substitute_params
@@ -169,6 +169,11 @@ def prepared_from_artifact(obj: dict) -> PreparedQuery | None:
                 for path_text, plan_obj in obj.get("disjuncts", [])
             },
         )
+    except (QueryTimeoutError, TransientError):
+        # Fail-open covers *defects* (stale schema, corrupt JSON), not
+        # the resilience taxonomy: a deadline or retryable fault must
+        # reach the caller, never degrade into silent re-planning.
+        raise
     except Exception:
         return None
 

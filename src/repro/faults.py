@@ -420,6 +420,11 @@ def fire(point: str, data=None, **context):
     armed-but-idle adds one dictionary probe.  That is the entire hot
     path cost the benchmark gate (``benchmarks/bench_faults.py``) holds
     to <= 5%.
+
+    Invariant (machine-checked by ``repro lint``, rule ``fault-point``):
+    every I/O boundary routes through ``fire``/``retry_call`` with a
+    literal point from :data:`INJECTION_POINTS`, so the chaos harness
+    can always reach it.
     """
     plan = _PLAN
     if plan is None:

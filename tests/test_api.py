@@ -188,3 +188,72 @@ class TestCompressedBackendApi:
         assert db.index.backend_name == "compressed"
         expected = GraphDatabase(figure1, k=2).query("knows/knows").pairs
         assert db.query("knows/knows").pairs == expected
+
+
+class TestRebuildRecoveryTaxonomy:
+    """The partial-rebuild recovery path must not swallow the taxonomy.
+
+    When ``rebuild_shards`` fails, the facade drops the index triple and
+    closes the dead index.  A resilience-taxonomy exception raised by
+    that ``close()`` (a deadline, a retryable fault) must propagate with
+    the original rebuild failure attached as ``__context__`` — never be
+    suppressed like an ordinary cleanup defect (regression for the
+    broad handler in ``_rebuild_shards_locked``, rule ``error-taxonomy``).
+    """
+
+    def _sharded_db(self, figure1):
+        db = GraphDatabase(figure1, k=2, shards=2)
+        index = db.index  # force the build outside the locked section
+        assert index.shard_count == 2
+        return db, index
+
+    def test_timeout_in_cleanup_close_propagates(self, figure1, monkeypatch):
+        from repro.errors import QueryTimeoutError, StorageError
+
+        db, index = self._sharded_db(figure1)
+
+        def failing_rebuild(affected):
+            raise StorageError("disk gone during partial rebuild")
+
+        def timing_out_close():
+            raise QueryTimeoutError("deadline expired while closing shards")
+
+        monkeypatch.setattr(index, "rebuild_shards", failing_rebuild)
+        monkeypatch.setattr(index, "close", timing_out_close)
+        with pytest.raises(QueryTimeoutError) as excinfo:
+            db._rebuild_shards_locked({0})
+        assert isinstance(excinfo.value.__context__, StorageError)
+        assert db._index is None  # triple dropped, next query rebuilds
+
+    def test_plain_cleanup_defect_keeps_original_error(
+        self, figure1, monkeypatch
+    ):
+        from repro.errors import StorageError
+
+        db, index = self._sharded_db(figure1)
+
+        def failing_rebuild(affected):
+            raise StorageError("disk gone during partial rebuild")
+
+        def broken_close():
+            raise OSError("close() raced the handle")
+
+        monkeypatch.setattr(index, "rebuild_shards", failing_rebuild)
+        monkeypatch.setattr(index, "close", broken_close)
+        with pytest.raises(StorageError):
+            db._rebuild_shards_locked({0})
+
+    def test_recovered_database_answers_again(self, figure1, monkeypatch):
+        from repro.errors import StorageError
+
+        db, index = self._sharded_db(figure1)
+        expected = db.query("knows/knows", use_cache=False).pairs
+
+        def failing_rebuild(affected):
+            raise StorageError("disk gone during partial rebuild")
+
+        monkeypatch.setattr(index, "rebuild_shards", failing_rebuild)
+        with pytest.raises(StorageError):
+            db._rebuild_shards_locked({0})
+        assert db._index is None
+        assert db.query("knows/knows", use_cache=False).pairs == expected

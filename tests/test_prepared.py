@@ -25,7 +25,12 @@ from repro import relation as rel
 from repro.api import GraphDatabase
 from repro.engine import prepared as prepared_module
 from repro.engine.prepared import PlanArtifactStore, PreparedStatement
-from repro.errors import ParseError, ValidationError
+from repro.errors import (
+    ParseError,
+    QueryTimeoutError,
+    TransientStorageError,
+    ValidationError,
+)
 from repro.graph.examples import FIGURE1_EDGES, figure1_graph
 from repro.rpq import ast
 from repro.rpq.parser import parse, parse_template
@@ -399,3 +404,68 @@ class TestArtifactRoundTrip:
         statement = database.prepare("supervisor{1,$n}", method="minjoin")
         assert isinstance(statement, PreparedStatement)
         assert "minjoin" in repr(statement)
+
+
+# -- resilience taxonomy vs fail-open -----------------------------------------
+
+
+class TestArtifactTaxonomyPropagation:
+    """``prepared_from_artifact`` fails open for *defects* only.
+
+    A deadline or retryable-fault exception raised while decoding an
+    artifact belongs to the resilience taxonomy and must reach the
+    caller — degrading it into silent re-planning would erase the very
+    signal the timeout/chaos machinery exists to deliver (regression
+    for the broad handler at engine/prepared.py, rule
+    ``error-taxonomy``).
+    """
+
+    def _payload(self) -> dict:
+        from repro.engine.executor import prepare_ast
+        from repro.engine.prepared import artifact_from_prepared
+
+        database = GraphDatabase(figure1_graph(), k=2)
+        query = "supervisor/^worksFor"
+        prepared = prepare_ast(
+            parse(query),
+            database.index,
+            database.graph,
+            database.histogram,
+            database.prepare(query).strategy,
+            4096,
+        )
+        payload = artifact_from_prepared(prepared)
+        assert payload is not None
+        return json.loads(json.dumps(payload))
+
+    def test_timeout_during_decode_propagates(self, monkeypatch):
+        from repro.engine.prepared import prepared_from_artifact
+
+        payload = self._payload()
+
+        def expired(obj):
+            raise QueryTimeoutError("deadline expired during plan decode")
+
+        monkeypatch.setattr(prepared_module, "_plan_from_obj", expired)
+        with pytest.raises(QueryTimeoutError):
+            prepared_from_artifact(payload)
+
+    def test_transient_fault_during_decode_propagates(self, monkeypatch):
+        from repro.engine.prepared import prepared_from_artifact
+
+        payload = self._payload()
+
+        def flaky(obj):
+            raise TransientStorageError("injected retryable fault")
+
+        monkeypatch.setattr(prepared_module, "_plan_from_obj", flaky)
+        with pytest.raises(TransientStorageError):
+            prepared_from_artifact(payload)
+
+    def test_defects_still_fail_open(self):
+        from repro.engine.prepared import prepared_from_artifact
+
+        assert prepared_from_artifact({}) is None
+        payload = self._payload()
+        payload["strategy"] = "no-such-strategy"
+        assert prepared_from_artifact(payload) is None
