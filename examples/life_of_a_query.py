@@ -13,13 +13,19 @@ when things go wrong: a deadline that expires mid-query, a shard that
 keeps failing, and the degraded (subset) answer the engine can still
 give.
 
+The last stage serves the same engine as a multi-process service:
+forked shard workers behind an HTTP front door, queried through the
+`repro.client` API — including what a killed worker looks like from
+the outside (a degraded subset, then supervision restores exactness).
+
 Run:  python examples/life_of_a_query.py
 """
 
 import tempfile
+import time
 from pathlib import Path
 
-from repro import GraphDatabase
+from repro import Client, GraphDatabase, ServiceConfig
 from repro.engine.executor import evaluate_normal_form
 from repro.errors import QueryTimeoutError, ShardUnavailableError
 from repro.faults import FaultPlan, FaultRule, armed
@@ -170,6 +176,52 @@ def main() -> None:
     print("a degraded answer is a labelled SUBSET of the true answer —")
     print("every operator is monotone, so a dropped slice can only")
     print("remove pairs, never invent them")
+    sharded.close()
+    print()
+
+    print("=" * 72)
+    print("9. SERVING (worker processes behind an HTTP front door)")
+    print("=" * 72)
+    from repro.serve import CoordinatorDatabase
+    from repro.serve.server import serve_in_thread
+
+    database = CoordinatorDatabase.from_edges(
+        FIGURE1_EDGES, config=ServiceConfig(k=3, shards=2)
+    )
+    handle = serve_in_thread(database, supervise_interval=0.1)
+    client = Client(port=handle.port)
+    try:
+        health = client.health()
+        print(f"serving on port {handle.port}: "
+              f"{health['shards']} shard workers, backend "
+              f"{health['backend']}")
+        remote = client.query(demo)
+        assert remote.pairs == frozenset(full.pairs)
+        print(f"remote query     -> {demo!r}: {len(remote.pairs)} pairs, "
+              f"identical to the embedded answer")
+        # Kill a worker process outright — harsher than stage 8's fault
+        # plan, but the contract is the same: typed error or labelled
+        # subset, never a silently wrong answer.
+        database._index.handles[0].kill()
+        partial = client.query(demo, degraded=True, use_cache=False)
+        if partial.partial:
+            print(f"worker killed    -> degraded answer "
+                  f"{len(partial.pairs)} of {len(full.pairs)} pairs "
+                  f"(shards_failed={partial.shards_failed})")
+            assert partial.pairs <= frozenset(full.pairs)
+        # Supervision notices the corpse and forks a replacement; poll
+        # until the answer is exact again.
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            revived = client.query(demo, degraded=True, use_cache=False)
+            if not revived.partial:
+                break
+            time.sleep(0.1)
+        assert revived.pairs == frozenset(full.pairs)
+        print("supervision      -> worker restarted, answers exact again")
+    finally:
+        handle.stop()
+        database.close()
 
 
 if __name__ == "__main__":

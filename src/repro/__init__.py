@@ -9,29 +9,54 @@ literature baselines (automaton search, Datalog, reachability index).
 
 Quickstart::
 
-    from repro import GraphDatabase
+    from repro import GraphDatabase, ServiceConfig
 
     db = GraphDatabase.from_edges(
-        [("ada", "knows", "zoe"), ("zoe", "worksFor", "ada")], k=2
+        [("ada", "knows", "zoe"), ("zoe", "worksFor", "ada")],
+        config=ServiceConfig(k=2),
     )
     print(db.query("knows/worksFor").pairs)
+
+The namespace is deliberately curated: the embedded engine
+(:class:`GraphDatabase` and its value types), its deployment config
+(:class:`ServiceConfig`), the grouped counters (:class:`EngineStats`),
+the service clients (:class:`Client` / :class:`AsyncClient` /
+:class:`RemoteResult`), and the one exception base callers should
+catch at boundaries (:class:`ReproError`).  Serving-side machinery
+lives in :mod:`repro.serve`; the full error taxonomy in
+:mod:`repro.errors`.
 """
 
 from repro.api import GraphDatabase, QueryResult
+from repro.client import AsyncClient, Client, RemoteResult
+from repro.config import ServiceConfig
 from repro.engine.planner import Strategy
+from repro.engine.prepared import BoundStatement, PreparedStatement
+from repro.errors import ReproError
 from repro.graph.graph import Graph, LabelPath, Step
 from repro.relation import Order, Relation
+from repro.rpq.parser import Template
+from repro.stats import EngineStats
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AsyncClient",
+    "BoundStatement",
+    "Client",
+    "EngineStats",
     "Graph",
     "GraphDatabase",
     "LabelPath",
     "Order",
+    "PreparedStatement",
     "QueryResult",
     "Relation",
+    "RemoteResult",
+    "ReproError",
+    "ServiceConfig",
     "Step",
     "Strategy",
+    "Template",
     "__version__",
 ]

@@ -2,7 +2,9 @@
 
 The resilience layer (PR 7) communicates through exceptions:
 ``QueryTimeoutError`` carries the cooperative deadline upward,
-``TransientError`` marks a failure as retryable, and
+``TransientError`` marks a failure as retryable (including the serve
+layer's ``TransientWireError`` — a dropped worker connection must stay
+retryable all the way up the coordinator), and
 ``ShardUnavailableError`` drives strict-vs-degraded answers.  A
 ``except Exception:`` (or bare ``except:``/``except BaseException:``)
 placed anywhere on those paths silently converts "the query timed out"
@@ -35,6 +37,7 @@ RESILIENT = {
     "ReproError",
     "TransientError",
     "TransientStorageError",
+    "TransientWireError",
     "QueryTimeoutError",
     "ShardUnavailableError",
 }

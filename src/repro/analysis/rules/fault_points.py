@@ -1,9 +1,10 @@
 """Rule ``fault-point``: I/O boundaries must route through the chaos seams.
 
 The deterministic fault harness (:mod:`repro.faults`) only proves what
-it can reach.  Five injection points cover the engine's I/O
+it can reach.  Seven injection points cover the engine's I/O
 boundaries — pager reads, shard scans, shard builds, plan-artifact
-loads, and the gather merge — and the chaos CI job arms all of them.
+loads, the gather merge, and the serve layer's RPC send/receive —
+and the chaos CI job arms all of them.
 New I/O that bypasses ``fire()``/``retry_call`` silently shrinks that
 coverage, so this rule pins it down twice over:
 
@@ -33,6 +34,14 @@ BOUNDARIES = (
     ("repro/engine/prepared.py", r"PlanArtifactStore\.open$", "prepared.artifact_load"),
     ("repro/engine/prepared.py", r"PlanArtifactStore\.load$", "prepared.artifact_load"),
     ("repro/engine/operators.py", r"^execute_scattered$", "gather.merge"),
+    ("repro/serve/coordinator.py", r"WorkerStub\._call$", "rpc.send"),
+    ("repro/serve/coordinator.py", r"WorkerStub\._call$", "rpc.recv"),
+    ("repro/serve/coordinator.py", r"RpcShardedGraph\.shard_scan$", "shard.scan"),
+    (
+        "repro/serve/coordinator.py",
+        r"RpcShardedGraph\.shard_scan_swapped$",
+        "shard.scan",
+    ),
 )
 
 

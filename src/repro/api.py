@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 
 from repro.baselines import automaton_eval, datalog_eval, reachability_eval
 from repro.concurrency import ReadWriteLock
+from repro.config import ServiceConfig, default_shard_count  # noqa: F401
 from repro.engine.executor import (
     ExecutionReport,
     evaluate_ast,
@@ -63,34 +64,35 @@ from repro.rpq.parser import Template, parse, parse_template
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, NormalForm, normalize
 from repro.rpq.semantics import eval_ast
 from repro.sharding import ShardedGraph
+from repro.stats import (
+    CacheStats,
+    EngineStats,
+    FaultStats,
+    PreparedStats,
+    ScatterStats,
+)
 
 #: Methods accepted by :meth:`GraphDatabase.query`: the paper's four
 #: index strategies plus the literature baselines (NFA and DFA product
 #: search, Datalog, reachability) and the reference evaluator.
 BASELINE_METHODS = ("automaton", "dfa", "datalog", "reachability", "reference")
 
+#: Sentinel distinguishing "not passed" from any real value in the
+#: deprecated keyword-argument construction path.
+_UNSET = object()
 
-def default_shard_count() -> int:
-    """The shard count used when ``GraphDatabase(shards=None)``.
-
-    Reads ``REPRO_DEFAULT_SHARDS`` so a whole process — notably the CI
-    ``sharded-stress`` run of the test suite — can route every
-    default-configured database through the sharded engine without
-    touching call sites.  Unset or empty means 1 (unsharded); garbage
-    fails loudly rather than silently testing the wrong engine.
-    """
-    raw = os.environ.get("REPRO_DEFAULT_SHARDS", "").strip()
-    if not raw:
-        return 1
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValidationError(
-            f"REPRO_DEFAULT_SHARDS must be an integer, got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValidationError(f"REPRO_DEFAULT_SHARDS must be >= 1, got {value}")
-    return value
+#: The keyword knobs folded into :class:`~repro.config.ServiceConfig`.
+#: Passing any of them still works but warns; ``config=`` is the way.
+_LEGACY_KNOBS = (
+    "backend",
+    "index_path",
+    "histogram_buckets",
+    "query_cache_size",
+    "query_cache_max_pairs",
+    "shards",
+    "shard_build_workers",
+    "shard_query_workers",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -124,38 +126,82 @@ class GraphDatabase:
     def __init__(
         self,
         graph: Graph,
-        k: int = 2,
-        backend: str = "memory",
-        index_path: str | Path | None = None,
-        histogram_buckets: int = 64,
+        k: int | None = None,
+        backend=_UNSET,
+        index_path=_UNSET,
+        histogram_buckets=_UNSET,
         build: bool = True,
-        query_cache_size: int = 128,
-        query_cache_max_pairs: int = 1_000_000,
-        shards: int | None = None,
-        shard_build_workers: int | None = None,
-        shard_query_workers: int = 1,
+        query_cache_size=_UNSET,
+        query_cache_max_pairs=_UNSET,
+        shards=_UNSET,
+        shard_build_workers=_UNSET,
+        shard_query_workers=_UNSET,
+        config: ServiceConfig | None = None,
     ):
-        if k < 1:
-            raise ValidationError(f"k must be >= 1, got {k}")
-        if shards is None:
-            # None means "deployment default": the REPRO_DEFAULT_SHARDS
-            # environment knob, or 1.  An explicit shards= always wins.
-            shards = default_shard_count()
-        if shards < 1:
-            raise ValidationError(f"shards must be >= 1, got {shards}")
+        """Open a graph for querying.
+
+        Deployment knobs live in one :class:`~repro.config.ServiceConfig`
+        passed as ``config=``; ``k`` stays a first-class argument (it is
+        the paper's index parameter, not a deployment detail) and
+        overrides ``config.k`` when both are given.  The individual
+        keyword knobs (``backend=``, ``shards=``, ...) are deprecated
+        shims: they still work, fold into a config internally, and warn
+        — they cannot be combined with an explicit ``config=``.
+        """
+        legacy = {
+            name: value
+            for name, value in zip(
+                _LEGACY_KNOBS,
+                (
+                    backend,
+                    index_path,
+                    histogram_buckets,
+                    query_cache_size,
+                    query_cache_max_pairs,
+                    shards,
+                    shard_build_workers,
+                    shard_query_workers,
+                ),
+            )
+            if value is not _UNSET
+        }
+        if config is None:
+            if legacy:
+                warnings.warn(
+                    f"GraphDatabase keyword knobs "
+                    f"({', '.join(sorted(legacy))}) are deprecated; "
+                    f"pass config=ServiceConfig(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = ServiceConfig(k=k if k is not None else 2, **legacy)
+        else:
+            if legacy:
+                raise ValidationError(
+                    f"pass {', '.join(sorted(legacy))} inside config=, "
+                    f"not alongside it"
+                )
+            if k is not None and k != config.k:
+                config = config.with_overrides(k=k)
+        #: The resolved deployment configuration (frozen).
+        self.config = config
+        # shards=None means "deployment default": the
+        # REPRO_DEFAULT_SHARDS environment knob, or 1.  Resolved once,
+        # here — the environment is read at construction, not per query.
+        resolved_shards = config.resolved_shards()
         self.graph = graph
-        self.k = k
-        self._backend = backend
-        self._index_path = index_path
-        self._histogram_buckets = histogram_buckets
+        self.k = config.k
+        self._backend = config.backend
+        self._index_path = config.index_path
+        self._histogram_buckets = config.histogram_buckets
         # Sharding knob (fully transparent): shards=1 runs the plain
         # unsharded engine; shards=N hash-partitions the index by path
         # start (repro.sharding) with identical answers.  Build fans out
         # over shard_build_workers processes (None = one per core);
         # shard_query_workers threads the scatter side of execution.
-        self._shards = shards
-        self._shard_build_workers = shard_build_workers
-        self._shard_query_workers = shard_query_workers
+        self._shards = resolved_shards
+        self._shard_build_workers = config.shard_build_workers
+        self._shard_query_workers = config.shard_query_workers
         self._index: PathIndex | ShardedGraph | None = None
         self._histogram: EquiDepthHistogram | None = None
         self._exact_statistics: ExactStatistics | None = None
@@ -176,8 +222,8 @@ class GraphDatabase:
         # by entry count and by total cached answer pairs, so a run of
         # huge answers cannot pin unbounded memory.
         self._query_cache: OrderedDict[tuple, QueryResult] = OrderedDict()
-        self._query_cache_size = max(0, query_cache_size)
-        self._query_cache_max_pairs = max(0, query_cache_max_pairs)
+        self._query_cache_size = max(0, config.query_cache_size)
+        self._query_cache_max_pairs = max(0, config.query_cache_max_pairs)
         self._cached_pairs = 0
         self._cache_version = graph.version
         self._cache_hits = 0
@@ -216,8 +262,8 @@ class GraphDatabase:
         # service revives both together.  Memory backends get an inert
         # store (every probe misses).
         self._plan_store = PlanArtifactStore(
-            str(index_path) + ".plans.json"
-            if backend == "disk" and index_path is not None
+            str(config.index_path) + ".plans.json"
+            if config.backend == "disk" and config.index_path is not None
             else None
         )
         if build:
@@ -227,13 +273,15 @@ class GraphDatabase:
 
     @classmethod
     def from_edges(
-        cls, edges: Iterable[tuple[str, str, str]], k: int = 2, **kwargs
+        cls, edges: Iterable[tuple[str, str, str]], k: int | None = None, **kwargs
     ) -> "GraphDatabase":
         """Build from ``(source, label, target)`` triples."""
         return cls(Graph.from_edges(edges), k=k, **kwargs)
 
     @classmethod
-    def from_file(cls, path: str | Path, k: int = 2, **kwargs) -> "GraphDatabase":
+    def from_file(
+        cls, path: str | Path, k: int | None = None, **kwargs
+    ) -> "GraphDatabase":
         """Load a graph file by extension (.tsv/.txt, .json, .csv)."""
         path = Path(path)
         suffix = path.suffix.lower()
@@ -309,6 +357,11 @@ class GraphDatabase:
                     workers=self._shard_build_workers,
                 )
                 index.query_workers = self._shard_query_workers
+                # Declared knobs seed the fresh instance; toggles the
+                # user poked on the *old* instance still win, so a
+                # rebuild never silently resets a live experiment.
+                index.scatter_pruning = self.config.scatter_pruning
+                index.replan_divergence = self.config.replan_divergence
                 if old_knobs is not None:
                     index.scatter_pruning, index.replan_divergence = old_knobs
                 exact_statistics, histogram = self._refresh_sharded_statistics(index)
@@ -1070,53 +1123,60 @@ class GraphDatabase:
             _, evicted = self._query_cache.popitem(last=False)
             self._cached_pairs -= len(evicted.pairs)
 
-    def cache_info(self) -> dict[str, int]:
-        """Hit/miss/size counters of the caching layers (for monitoring).
+    def stats(self) -> EngineStats:
+        """One consistent snapshot of every engine counter, grouped.
 
-        ``hits``/``misses`` are the whole-answer LRU query cache;
-        ``scan_memo_hits``/``scan_memo_misses`` aggregate the executor's
-        per-execution scan memo (index scans and shared subplans reused
-        across union disjuncts and batches) over every executed query.
-        ``shards_scanned``/``shards_pruned``/``disjuncts_pruned``/
-        ``shards_replanned`` aggregate the sharded engine's
-        scatter-planning decisions — shard executions run, shard
-        executions skipped whole, individual disjunct slices skipped as
-        provably empty, and disjunct spines re-planned against
-        per-shard statistics (all zero on the unsharded engine).
-        ``shards_failed`` counts shard slices dropped by
-        ``query(degraded=True)`` — nonzero means some answers were
-        served partial.
-        ``prepared_hits``/``prepared_misses``/``prepared_invalidations``
-        count per-binding plan-cache traffic across every
-        :meth:`prepare`\\ d statement; ``artifact_loads`` counts plans
-        revived from the persistent artifact store instead of planned;
-        ``plans_computed`` counts actual planner invocations on the
-        prepared path — a freshly restarted disk-backed service that
-        answers prepared queries purely from artifacts shows
-        ``plans_computed == 0``.
+        ``stats().cache`` is the whole-answer LRU query cache plus the
+        executor's per-execution scan memo (index scans and shared
+        subplans reused across union disjuncts and batches), aggregated
+        over every executed query.  ``stats().scatter`` aggregates the
+        sharded engine's scatter-planning decisions — shard executions
+        run, shard executions skipped whole, individual disjunct slices
+        skipped as provably empty, and disjunct spines re-planned
+        against per-shard statistics (all zero on the unsharded
+        engine).  ``stats().faults.shards_failed`` counts shard slices
+        dropped by ``query(degraded=True)`` — nonzero means some
+        answers were served partial.  ``stats().prepared`` counts
+        per-binding plan-cache traffic across every :meth:`prepare`\\ d
+        statement, plans revived from the persistent artifact store,
+        and actual planner invocations — a freshly restarted
+        disk-backed service that answers prepared queries purely from
+        artifacts shows ``plans_computed == 0``.
+
+        The serve layer returns this verbatim at ``GET /stats``.
         """
         with self._cache_lock:
-            return {
-                "hits": self._cache_hits,
-                "misses": self._cache_misses,
-                "entries": len(self._query_cache),
-                "capacity": self._query_cache_size,
-                "pairs": self._cached_pairs,
-                "max_pairs": self._query_cache_max_pairs,
-                "scan_memo_hits": self._scan_memo_hits,
-                "scan_memo_misses": self._scan_memo_misses,
-                "shards_scanned": self._shards_scanned,
-                "shards_pruned": self._shards_pruned,
-                "disjuncts_pruned": self._disjuncts_pruned,
-                "shards_replanned": self._shards_replanned,
-                "shards_failed": self._shards_failed,
-                "prepared_hits": self._prepared_hits,
-                "prepared_misses": self._prepared_misses,
-                "prepared_invalidations": self._prepared_invalidations,
-                "artifact_loads": self._artifact_loads,
-                "plans_computed": self._plans_computed,
-                "plan_artifacts": self._plan_store.entry_count(),
-            }
+            return EngineStats(
+                cache=CacheStats(
+                    hits=self._cache_hits,
+                    misses=self._cache_misses,
+                    entries=len(self._query_cache),
+                    capacity=self._query_cache_size,
+                    pairs=self._cached_pairs,
+                    max_pairs=self._query_cache_max_pairs,
+                    scan_memo_hits=self._scan_memo_hits,
+                    scan_memo_misses=self._scan_memo_misses,
+                ),
+                scatter=ScatterStats(
+                    shards_scanned=self._shards_scanned,
+                    shards_pruned=self._shards_pruned,
+                    disjuncts_pruned=self._disjuncts_pruned,
+                    shards_replanned=self._shards_replanned,
+                ),
+                prepared=PreparedStats(
+                    hits=self._prepared_hits,
+                    misses=self._prepared_misses,
+                    invalidations=self._prepared_invalidations,
+                    artifact_loads=self._artifact_loads,
+                    plans_computed=self._plans_computed,
+                    plan_artifacts=self._plan_store.entry_count(),
+                ),
+                faults=FaultStats(shards_failed=self._shards_failed),
+            )
+
+    def cache_info(self) -> dict[str, int]:
+        """The counters of :meth:`stats` as the historical flat dict."""
+        return self.stats().as_dict()
 
     def cache_clear(self) -> None:
         """Drop every cached query answer (counters are kept)."""

@@ -175,6 +175,51 @@ def _cmd_histogram(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-process query service until interrupted."""
+    import asyncio
+
+    from repro.api import ServiceConfig
+    from repro.serve import CoordinatorDatabase
+    from repro.serve.server import QueryServer
+
+    config = ServiceConfig(
+        k=args.k,
+        shards=args.workers,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+    )
+    if args.graph is not None:
+        database = CoordinatorDatabase.from_file(args.graph, config=config)
+    else:
+        nodes, edges = SCALES[args.synthetic]
+        graph = advogato_like(nodes=nodes, edges=edges, seed=args.seed)
+        database = CoordinatorDatabase(graph, config=config)
+
+    async def _run() -> None:
+        server = QueryServer(database, config)
+        await server.start()
+        print(
+            f"serving {args.workers} shard workers on "
+            f"http://{args.host}:{server.port}  (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        database.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-rpq",
@@ -282,6 +327,31 @@ def build_parser() -> argparse.ArgumentParser:
     histogram.add_argument("--scale", choices=sorted(SCALES), default="bench")
     histogram.add_argument("-k", type=int, default=2)
     histogram.set_defaults(handler=_cmd_histogram)
+
+    serve = commands.add_parser(
+        "serve", help="run the multi-process HTTP query service"
+    )
+    _add_graph_arguments(serve)
+    serve.add_argument(
+        "--workers", type=int, default=4, help="shard worker processes"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="queries executing concurrently before new ones queue",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="queued queries before the server sheds load with 503",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

@@ -1,0 +1,314 @@
+"""Clients for the serve front door: one codec, sync and async.
+
+:class:`Client` (blocking, :mod:`http.client`) and
+:class:`AsyncClient` (:mod:`asyncio`) share every byte of request
+building and response decoding — the transport is the only
+difference, so the two cannot drift apart.
+
+The error taxonomy crosses the wire intact: a server-side
+:class:`~repro.errors.QueryTimeoutError` re-raises here as exactly
+that type (via the :mod:`repro.serve.protocol` code table), a refused
+or reset connection raises the retryable
+:class:`~repro.errors.TransientWireError`, and a response that does
+not parse raises the permanent :class:`~repro.errors.WireError`.
+Backpressure (HTTP 503) therefore surfaces as a transient the
+caller's own :func:`~repro.faults.retry_call` can spin on.
+
+    >>> from repro.client import query_body
+    >>> body = query_body("a/b", degraded=True)
+    >>> body["query"], body["degraded"]
+    ('a/b', True)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import TransientWireError, WireError
+from repro.serve.protocol import raise_remote
+
+#: Seconds a client waits for a response before declaring the server
+#: gone (transient — the request can be retried elsewhere/later).
+DEFAULT_TIMEOUT = 60.0
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteResult:
+    """A query answer as it crossed the wire.
+
+    The remote cousin of :class:`~repro.api.QueryResult`: same
+    consistency token (``version``), same degraded-answer markers
+    (``partial`` / ``shards_failed``), pairs as a frozenset of
+    ``(source, target)`` node-name tuples.
+    """
+
+    query: str
+    method: str
+    pairs: frozenset = field(default_factory=frozenset)
+    seconds: float = 0.0
+    version: int = -1
+    cached: bool = False
+    partial: bool = False
+    shards_failed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __contains__(self, pair) -> bool:
+        return tuple(pair) in self.pairs
+
+
+# -- the shared codec ----------------------------------------------------------
+
+
+def query_body(
+    query: str,
+    method: str = "minsupport",
+    use_cache: bool = True,
+    timeout_ms: float | None = None,
+    degraded: bool = False,
+) -> dict:
+    """The ``POST /query`` request body for one RPQ."""
+    body: dict = {
+        "query": query,
+        "method": method,
+        "use_cache": use_cache,
+        "degraded": degraded,
+    }
+    if timeout_ms is not None:
+        body["timeout_ms"] = timeout_ms
+    return body
+
+
+def prepared_body(template: str, params: dict | None, method: str) -> dict:
+    return {
+        "template": template,
+        "params": dict(params or {}),
+        "method": method,
+    }
+
+
+def mutate_body(kind: str, source: str, label: str, target: str) -> dict:
+    return {"kind": kind, "source": source, "label": label, "target": target}
+
+
+def decode_payload(raw: bytes) -> dict:
+    """Response bytes -> payload dict; garbage raises :class:`WireError`."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"undecodable server response: {error}") from error
+    if not isinstance(payload, dict):
+        raise WireError(f"server response must be an object, got {payload!r}")
+    return payload
+
+
+def check_payload(payload: dict) -> dict:
+    """Re-raise a failure payload as its typed local exception."""
+    if not payload.get("ok"):
+        raise_remote(payload.get("error", {}))
+    return payload
+
+
+def decode_result(payload: dict) -> RemoteResult:
+    """A checked ``/query`` or ``/prepared`` payload -> RemoteResult."""
+    return RemoteResult(
+        query=payload.get("query", ""),
+        method=payload.get("method", ""),
+        pairs=frozenset(tuple(pair) for pair in payload.get("pairs", ())),
+        seconds=float(payload.get("seconds", 0.0)),
+        version=int(payload.get("version", -1)),
+        cached=bool(payload.get("cached", False)),
+        partial=bool(payload.get("partial", False)),
+        shards_failed=int(payload.get("shards_failed", 0)),
+    )
+
+
+def decode_mutation(payload: dict) -> int | None:
+    """A checked ``/mutate`` payload -> new version, or None (no-op)."""
+    return int(payload["version"]) if payload.get("changed") else None
+
+
+# -- sync ----------------------------------------------------------------------
+
+
+class Client:
+    """Blocking client; safe to share across threads (connection per call)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body, separators=(",", ":")).encode("utf-8")
+                if body is not None
+                else None
+            )
+            connection.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            # Refused, reset, timed out: all retryable — the server may
+            # be restarting or shedding load.
+            raise TransientWireError(
+                f"request to {self.host}:{self.port}{path} failed: {error}"
+            ) from error
+        finally:
+            connection.close()
+        return check_payload(decode_payload(raw))
+
+    def query(
+        self,
+        query: str,
+        method: str = "minsupport",
+        use_cache: bool = True,
+        timeout_ms: float | None = None,
+        degraded: bool = False,
+    ) -> RemoteResult:
+        body = query_body(query, method, use_cache, timeout_ms, degraded)
+        return decode_result(self._request("POST", "/query", body))
+
+    def prepared(
+        self,
+        template: str,
+        params: dict | None = None,
+        method: str = "minsupport",
+    ) -> RemoteResult:
+        body = prepared_body(template, params, method)
+        return decode_result(self._request("POST", "/prepared", body))
+
+    def add_edge(self, source: str, label: str, target: str) -> int | None:
+        body = mutate_body("add", source, label, target)
+        return decode_mutation(self._request("POST", "/mutate", body))
+
+    def remove_edge(self, source: str, label: str, target: str) -> int | None:
+        body = mutate_body("remove", source, label, target)
+        return decode_mutation(self._request("POST", "/mutate", body))
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")["stats"]
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+
+# -- async ---------------------------------------------------------------------
+
+
+class AsyncClient:
+    """Asyncio client; same codec, hand-rolled HTTP/1.1 transport."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        payload = (
+            json.dumps(body, separators=(",", ":")).encode("utf-8")
+            if body is not None
+            else b""
+        )
+        request = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1") + payload
+        try:
+            raw = await asyncio.wait_for(
+                self._exchange(request), timeout=self.timeout
+            )
+        except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+            raise TransientWireError(
+                f"request to {self.host}:{self.port}{path} failed: {error}"
+            ) from error
+        return check_payload(decode_payload(_http_body(raw)))
+
+    async def _exchange(self, request: bytes) -> bytes:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(request)
+            await writer.drain()
+            return await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def query(
+        self,
+        query: str,
+        method: str = "minsupport",
+        use_cache: bool = True,
+        timeout_ms: float | None = None,
+        degraded: bool = False,
+    ) -> RemoteResult:
+        body = query_body(query, method, use_cache, timeout_ms, degraded)
+        return decode_result(await self._request("POST", "/query", body))
+
+    async def prepared(
+        self,
+        template: str,
+        params: dict | None = None,
+        method: str = "minsupport",
+    ) -> RemoteResult:
+        body = prepared_body(template, params, method)
+        return decode_result(await self._request("POST", "/prepared", body))
+
+    async def add_edge(self, source: str, label: str, target: str) -> int | None:
+        body = mutate_body("add", source, label, target)
+        return decode_mutation(await self._request("POST", "/mutate", body))
+
+    async def remove_edge(
+        self, source: str, label: str, target: str
+    ) -> int | None:
+        body = mutate_body("remove", source, label, target)
+        return decode_mutation(await self._request("POST", "/mutate", body))
+
+    async def stats(self) -> dict:
+        return (await self._request("GET", "/stats"))["stats"]
+
+    async def health(self) -> dict:
+        return await self._request("GET", "/health")
+
+
+def _http_body(raw: bytes) -> bytes:
+    """Strip the HTTP response head off a raw ``Connection: close`` read."""
+    head, separator, body = raw.partition(b"\r\n\r\n")
+    if not separator:
+        raise TransientWireError("connection closed before response head")
+    status_line = head.split(b"\r\n", 1)[0]
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise WireError(f"malformed status line {status_line!r}")
+    return body

@@ -662,9 +662,13 @@ def _run_on_shard_uncached(
     deadline=None,
 ) -> Relation:
     if isinstance(plan, IndexScanPlan):
+        # The deadline travels into the scan call itself: the in-process
+        # engine clips its retry backoff with it, and the RPC-backed
+        # coordinator forwards it in every request header so a worker
+        # stops computing a slice nobody will wait for.
         if plan.via_inverse:
-            return sharded.shard_scan_swapped(shard, plan.path)
-        return sharded.shard_scan(shard, plan.path)
+            return sharded.shard_scan_swapped(shard, plan.path, deadline=deadline)
+        return sharded.shard_scan(shard, plan.path, deadline=deadline)
     if isinstance(plan, IdentityPlan):
         return sharded.shard_identity(shard)
     if isinstance(plan, JoinPlan):

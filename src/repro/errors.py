@@ -77,6 +77,20 @@ class TransientStorageError(TransientError, StorageError):
     :class:`StorageError` like a corrupt page or a bad magic number."""
 
 
+class WireError(StorageError):
+    """A malformed or corrupt RPC frame (bad magic, truncated body,
+    impossible length) — permanent for the payload in question, so it
+    participates in storage-error handling: strict executions surface
+    it, ``degraded=True`` drops the affected shard slice."""
+
+
+class TransientWireError(TransientError, WireError):
+    """An RPC transport hiccup expected to succeed on retry
+    (connection reset, EOF mid-frame, socket timeout, backpressure
+    rejection) — as opposed to a permanent :class:`WireError` like a
+    frame that decoded to garbage."""
+
+
 class QueryTimeoutError(ReproError):
     """A query exceeded its cooperative deadline (``timeout_ms``).
 

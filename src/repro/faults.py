@@ -36,6 +36,8 @@ Injection points wired through the engine:
                             the pool-submission stage (``stage="pool"``)
 ``prepared.artifact_load``  plan-artifact store open/load (fail-open)
 ``gather.merge``            the scatter-gather merge of shard slices
+``rpc.send``                a coordinator-to-worker request hitting the wire
+``rpc.recv``                a worker reply frame arriving (``corrupt`` allowed)
 ==========================  ==================================================
 
 ``REPRO_FAULTS`` grammar (clauses separated by ``;``)::
@@ -74,6 +76,8 @@ INJECTION_POINTS = (
     "shard.build",
     "prepared.artifact_load",
     "gather.merge",
+    "rpc.send",
+    "rpc.recv",
 )
 
 #: Fault kinds a rule may carry.
@@ -83,8 +87,9 @@ FAULT_KINDS = ("transient", "crash", "latency", "corrupt")
 #: where a worker (or its serial stand-in) runs.
 CRASH_POINTS = ("shard.scan", "shard.build")
 
-#: ``corrupt`` mutates bytes in flight, which only the page reader has.
-CORRUPT_POINTS = ("storage.read_page",)
+#: ``corrupt`` mutates bytes in flight: the page reader and the RPC
+#: reply path are the two places raw buffers cross a trust boundary.
+CORRUPT_POINTS = ("storage.read_page", "rpc.recv")
 
 
 # -- clocks --------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Multi-process serving: shard workers, an RPC coordinator, and an
+asyncio HTTP front door.
+
+The process architecture the ROADMAP's "millions of users" north star
+asks for:
+
+* :mod:`repro.serve.worker` — one process per shard, owning that
+  shard's :class:`~repro.indexes.pathindex.PathIndex` and answering
+  scan/lookup/mutate requests over a length-prefixed socket protocol
+  (:mod:`repro.serve.protocol`).
+* :mod:`repro.serve.coordinator` — :class:`CoordinatorDatabase`, a
+  :class:`~repro.api.GraphDatabase` whose sharded index is a set of
+  RPC stubs; the in-process scatter-gather engine, scatter pruning,
+  prepared plans and degraded answers all run unmodified over it.
+* :mod:`repro.serve.server` — the asyncio HTTP/JSON front door with
+  bounded concurrency, backpressure and worker supervision, behind the
+  ``repro-rpq serve`` CLI entry point.
+
+Clients live in :mod:`repro.client` (sync and async, one codec).
+"""
+
+from repro.serve.coordinator import CoordinatorDatabase, RpcShardedGraph
+from repro.serve.worker import WorkerHandle, launch_workers
+
+__all__ = [
+    "CoordinatorDatabase",
+    "RpcShardedGraph",
+    "WorkerHandle",
+    "launch_workers",
+]

@@ -1,0 +1,485 @@
+"""The RPC coordinator: the in-process engine over out-of-process shards.
+
+Two classes:
+
+* :class:`WorkerStub` — the client half of one worker's socket.  It
+  implements the read interface of a
+  :class:`~repro.indexes.pathindex.PathIndex` (``scan`` /
+  ``scan_from`` / ``contains`` / ``count`` / ``counts_by_path`` /
+  ``entry_count``), so a list of stubs can stand wherever a list of
+  in-process shard indexes does.
+
+* :class:`RpcShardedGraph` — a :class:`~repro.sharding.ShardedGraph`
+  whose shards *are* stubs.  Everything layered on the sharded engine
+  — ``operators.execute_scattered``, :class:`ScatterPolicy` pruning,
+  the partitioned-closure gather, prepared plans, per-shard statistics
+  — runs unmodified: the facade contract is the whole point of the
+  PR-4 design, and this module is where it pays off.
+
+Failure semantics reuse PR 7 verbatim.  Transport failures raise
+:class:`~repro.errors.TransientWireError`, which ``retry_call``
+retries with deadline-clipped backoff (reconnecting each time); what
+survives the retries surfaces through the unchanged
+``operators._guarded_slice`` contract as a typed
+:class:`~repro.errors.ShardUnavailableError` in strict mode or a
+dropped (counted) slice under ``degraded=True``.  Deadlines propagate
+as a ``deadline_ms`` remaining-budget header on every request.
+
+:class:`CoordinatorDatabase` is a drop-in
+:class:`~repro.api.GraphDatabase` whose index is an
+:class:`RpcShardedGraph`; ``add_edge`` / ``remove_edge`` broadcast the
+mutation to every worker instead of rebuilding in-process, and
+:meth:`CoordinatorDatabase.ensure_workers` is the supervision hook the
+serve front door calls to restart crashed workers.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.api import GraphDatabase, ServiceConfig
+from repro.errors import (
+    QueryTimeoutError,
+    ReproError,
+    TransientError,
+    TransientWireError,
+    ValidationError,
+)
+from repro.faults import fire, retry_call
+from repro.graph.graph import Graph, LabelPath
+from repro.relation import Order, Relation, dedup_sort
+from repro.serve import protocol
+from repro.serve.worker import WorkerHandle, launch_worker, launch_workers
+from repro.sharding import ShardedGraph
+
+#: Socket timeout for a single RPC when no query deadline is in force.
+#: Generous — a worker answering slowly is not a worker that is gone —
+#: but finite, so a hung worker becomes a retryable failure instead of
+#: a hung coordinator.
+DEFAULT_RPC_TIMEOUT = 30.0
+
+
+class WorkerStub:
+    """One worker's socket, presented as a PathIndex read facade.
+
+    One persistent connection, guarded by a lock (scatter threads share
+    the stub); dropped and lazily re-established on any transport
+    failure, so a retry after a worker restart transparently reconnects
+    to the replacement process.
+    """
+
+    def __init__(
+        self, handle: WorkerHandle, rpc_timeout: float = DEFAULT_RPC_TIMEOUT
+    ) -> None:
+        self.handle = handle
+        self._rpc_timeout = rpc_timeout
+        self._sock: socket.socket | None = None
+        self._lock = threading.Lock()
+
+    # -- transport --------------------------------------------------------
+
+    def _call(self, op: str, deadline=None, **params) -> tuple[dict, bytes]:
+        """One request/response exchange with the worker.
+
+        The deadline's *remaining* budget rides in the header (the
+        worker refuses spent budgets) and clips the socket timeout (a
+        reply that cannot arrive in time is abandoned, not awaited).
+        Both fault-injection points fire here: ``rpc.send`` before the
+        request hits the wire, ``rpc.recv`` over the reply payload —
+        the latter is a ``corrupt`` point, so chaos plans can scramble
+        reply bytes and assert the codec catches them.
+        """
+        header = {"op": op, **params}
+        timeout = self._rpc_timeout
+        if deadline is not None:
+            remaining = deadline.remaining()
+            header["deadline_ms"] = remaining * 1000.0
+            timeout = min(timeout, max(remaining, 0.001))
+        with self._lock:
+            try:
+                if self._sock is None:
+                    self._sock = socket.create_connection(
+                        ("127.0.0.1", self.handle.port),
+                        timeout=self._rpc_timeout,
+                    )
+                self._sock.settimeout(timeout)
+                fire("rpc.send", shard=self.handle.shard, op=op)
+                protocol.send_frame(self._sock, header)
+                reply, payload = protocol.recv_frame(self._sock)
+            except (OSError, TransientWireError) as error:
+                # Connection state is unknown after any transport
+                # failure: drop it so the retry reconnects cleanly
+                # (possibly to a restarted worker on a new port via a
+                # refreshed handle).
+                self._drop()
+                raise TransientWireError(
+                    f"worker {self.handle.shard} rpc {op!r} failed: {error}"
+                ) from error
+        payload = fire(
+            "rpc.recv", payload, shard=self.handle.shard, op=op
+        )
+        if not reply.get("ok"):
+            protocol.raise_remote(reply.get("error", {}))
+        return reply, payload
+
+    def _drop(self) -> None:
+        """Discard the connection (caller holds the lock)."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def rebind(self, handle: WorkerHandle) -> None:
+        """Point the stub at a replacement worker process."""
+        with self._lock:
+            self.handle = handle
+            self._drop()
+
+    # -- PathIndex read facade --------------------------------------------
+
+    def scan(self, path: LabelPath, deadline=None) -> Relation:
+        _, payload = self._call("scan", deadline=deadline, path=path.encode())
+        return protocol.decode_relation(payload)
+
+    def scan_from(self, path: LabelPath, source: int) -> list[int]:
+        reply, _ = self._call("scan_from", path=path.encode(), source=source)
+        return list(reply["targets"])
+
+    def contains(self, path: LabelPath, source: int, target: int) -> bool:
+        reply, _ = self._call(
+            "contains", path=path.encode(), source=source, target=target
+        )
+        return bool(reply["value"])
+
+    def count(self, path: LabelPath) -> int:
+        reply, _ = self._call("count", path=path.encode())
+        return int(reply["value"])
+
+    def counts_by_path(self) -> dict[str, int]:
+        reply, _ = self._call("counts")
+        return dict(reply["counts"])
+
+    @property
+    def entry_count(self) -> int:
+        reply, _ = self._call("entry_count")
+        return int(reply["value"])
+
+    def mutate(
+        self, kind: str, source: str, label: str, target: str, rebuild: bool
+    ) -> int:
+        reply, _ = self._call(
+            "mutate",
+            kind=kind,
+            source=source,
+            label=label,
+            target=target,
+            rebuild=rebuild,
+        )
+        return int(reply["version"])
+
+    def ping(self) -> bool:
+        reply, _ = self._call("ping")
+        return bool(reply.get("ok"))
+
+    def close(self) -> None:
+        """Best-effort clean shutdown of the worker, then of the socket."""
+        try:
+            self._call("shutdown")
+        except ReproError:
+            # A worker already gone cannot be shut down any harder;
+            # _call has already normalized every transport failure into
+            # the typed taxonomy, so this swallow is deliberate and
+            # narrow — close() must succeed on a dead fleet.
+            pass
+        with self._lock:
+            self._drop()
+
+
+class RpcShardedGraph(ShardedGraph):
+    """A :class:`ShardedGraph` whose shard "indexes" are RPC stubs.
+
+    Constructed over already-launched workers; :meth:`launch` forks
+    them.  The base class provides the whole facade (global scans,
+    routed lookups, merged statistics, scatter topology) by calling the
+    stubs' PathIndex interface; only the per-shard scatter calls are
+    overridden, to forward the deadline and to keep the ``shard.scan``
+    injection point firing coordinator-side exactly as it does
+    in-process.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        handles: list[WorkerHandle],
+        prune_empty: bool = True,
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+    ) -> None:
+        stubs = [WorkerStub(handle, rpc_timeout) for handle in handles]
+        super().__init__(
+            graph,
+            k,
+            shards=stubs,
+            backend="rpc",
+            index_path=None,
+            build_workers=1,
+            prune_empty=prune_empty,
+        )
+        self.handles = list(handles)
+
+    @classmethod
+    def launch(
+        cls,
+        graph: Graph,
+        k: int,
+        shards: int,
+        prune_empty: bool = True,
+        rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+    ) -> "RpcShardedGraph":
+        """Fork ``shards`` workers (parallel build) and wrap them."""
+        handles = launch_workers(graph, k, shards, prune_empty=prune_empty)
+        return cls(
+            graph, k, handles, prune_empty=prune_empty, rpc_timeout=rpc_timeout
+        )
+
+    # -- scatter calls (deadline-forwarding overrides) --------------------
+
+    def shard_scan(self, shard: int, path: LabelPath, deadline=None) -> Relation:
+        """One worker's slice of ``p(G)`` over RPC.
+
+        Same contract as the in-process version: retried at scan
+        granularity, ``shard.scan`` fired per attempt (chaos plans see
+        no difference between engines), deadline clipping the backoff
+        *and* riding to the worker in the request header.
+        """
+
+        def attempt() -> Relation:
+            fire("shard.scan", shard=shard, path=path.encode())
+            return self._shards[shard].scan(path, deadline=deadline)
+
+        return retry_call(attempt, deadline=deadline)
+
+    def shard_scan_swapped(
+        self, shard: int, path: LabelPath, deadline=None
+    ) -> Relation:
+        """One worker's slice re-sorted BY_TGT (sort is coordinator-side:
+        the worker ships the canonical BY_SRC slice either way)."""
+
+        def attempt() -> Relation:
+            fire("shard.scan", shard=shard, path=path.encode())
+            return dedup_sort(
+                self._shards[shard].scan(path, deadline=deadline), Order.BY_TGT
+            )
+
+        return retry_call(attempt, deadline=deadline)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def rebuild_shards(self, shard_ids, workers=None) -> None:
+        """In-process partial rebuild does not apply over RPC."""
+        raise ValidationError(
+            "RpcShardedGraph shards rebuild in their worker processes; "
+            "use apply_mutation()"
+        )
+
+    def apply_mutation(
+        self,
+        kind: str,
+        source: str,
+        label: str,
+        target: str,
+        affected: set[int],
+    ) -> None:
+        """Broadcast one mutation to every worker.
+
+        Every worker applies it to its graph copy (relations compose
+        against the full graph, so all copies must move in lockstep);
+        only the affected ball rebuilds its index.  Any worker failing
+        mid-broadcast propagates — the caller discards the whole index
+        and relaunches, because half-mutated workers are unusable.
+        Statistics caches are invalidated exactly as the in-process
+        ``rebuild_shards`` does.
+        """
+        for shard, stub in enumerate(self._shards):
+            stub.mutate(kind, source, label, target, rebuild=shard in affected)
+        self._merged_counts = None
+        self._total_paths_k = None
+        self._shard_statistics = [None for _ in self._shards]
+        self.replan_cache.clear()
+
+    def worker_alive(self, shard: int) -> bool:
+        return self.handles[shard].alive()
+
+    def restart_worker(self, shard: int) -> None:
+        """Fork a replacement for a dead worker and rebind its stub.
+
+        The replacement builds from the coordinator's *current* graph,
+        so its shard contents (and therefore every statistics cache)
+        are exactly what the dead worker's should have been — no
+        invalidation needed.
+        """
+        replacement = launch_worker(
+            self.graph, self.k, shard, len(self._shards), self._prune_empty
+        )
+        old = self.handles[shard]
+        self.handles[shard] = replacement
+        self._shards[shard].rebind(replacement)
+        old.stop()
+
+    def close(self) -> None:
+        for stub in self._shards:
+            stub.close()
+        for handle in self.handles:
+            handle.stop()
+
+
+class CoordinatorDatabase(GraphDatabase):
+    """A :class:`GraphDatabase` served by shard worker processes.
+
+    Construction forks one worker per shard (parallel index build) and
+    installs an :class:`RpcShardedGraph` where the in-process engine
+    would install a :class:`ShardedGraph`; everything else — queries,
+    caching, prepared statements, statistics, locking — is inherited
+    verbatim.  Only the memory backend is supported: workers rebuild
+    from the coordinator's graph, durability lives elsewhere.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int | None = None,
+        config: ServiceConfig | None = None,
+    ):
+        super().__init__(graph, k=k, config=config)
+
+    def _build_index_locked(self):
+        """Launch (or relaunch) the worker fleet; caller holds the lock.
+
+        The same swap-on-success contract as the base class: nothing is
+        installed until the fleet is up and statistics are derived, and
+        a failure clears the triple so readers fail loudly.
+        """
+        if self._backend != "memory":
+            raise ValidationError(
+                f"CoordinatorDatabase workers are memory-backed; "
+                f"got backend={self._backend!r}"
+            )
+        self.cache_clear()
+        old_index = self._index
+        old_knobs = (
+            (old_index.scatter_pruning, old_index.replan_divergence)
+            if isinstance(old_index, ShardedGraph)
+            else None
+        )
+        try:
+            index = RpcShardedGraph.launch(
+                self.graph, self.k, shards=max(1, self._shards)
+            )
+            index.query_workers = self._shard_query_workers
+            index.scatter_pruning = self.config.scatter_pruning
+            index.replan_divergence = self.config.replan_divergence
+            if old_knobs is not None:
+                index.scatter_pruning, index.replan_divergence = old_knobs
+            exact_statistics, histogram = self._refresh_sharded_statistics(index)
+        except BaseException:
+            self._index = None
+            self._exact_statistics = None
+            self._histogram = None
+            raise
+        self._index = index
+        self._exact_statistics = exact_statistics
+        self._histogram = histogram
+        self._statistics_epoch += 1
+        self._plan_store.open(self._plan_fingerprint())
+        if old_index is not None:
+            old_index.close()
+        return index
+
+    # -- mutations (broadcast instead of in-process rebuild) --------------
+
+    def add_edge(self, source: str, label: str, target: str) -> int | None:
+        with self._lock.write_locked():
+            if not self.graph.add_edge(source, label, target):
+                return None
+            # Post-insert ball, exactly as the base class computes it.
+            affected = self._affected_shards(source, target)
+            self._propagate_mutation_locked("add", source, label, target, affected)
+            return self.graph.version
+
+    def remove_edge(self, source: str, label: str, target: str) -> int | None:
+        with self._lock.write_locked():
+            # Pre-delete ball: the edge must still exist to be walked.
+            affected = self._affected_shards(source, target)
+            if not self.graph.remove_edge(source, label, target):
+                return None
+            self._propagate_mutation_locked(
+                "remove", source, label, target, affected
+            )
+            return self.graph.version
+
+    def _propagate_mutation_locked(
+        self, kind, source, label, target, affected
+    ) -> None:
+        """Ship one applied mutation to the fleet; caller holds the lock.
+
+        The full-relaunch fallback mirrors the base class's
+        full-rebuild fallback: an unknown ball or a changed label
+        vocabulary invalidates every worker's path enumeration, so the
+        fleet is rebuilt from the current graph.  On the partial path a
+        failing broadcast discards the index (half-mutated workers are
+        unusable) under the same cleanup contract as the in-process
+        partial rebuild.
+        """
+        index = self._index
+        if (
+            affected is None
+            or not isinstance(index, RpcShardedGraph)
+            or index.alphabet != self.graph.labels()
+        ):
+            self._build_index_locked()
+            return
+        self.cache_clear()
+        try:
+            index.apply_mutation(kind, source, label, target, affected)
+            exact_statistics, histogram = self._refresh_sharded_statistics(index)
+        except BaseException:
+            self._index = None
+            self._exact_statistics = None
+            self._histogram = None
+            try:
+                index.close()
+            except (QueryTimeoutError, TransientError):
+                raise
+            except Exception:
+                pass
+            raise
+        self._exact_statistics = exact_statistics
+        self._histogram = histogram
+        self._statistics_epoch += 1
+        self._plan_store.open(self._plan_fingerprint())
+
+    # -- supervision ------------------------------------------------------
+
+    def ensure_workers(self) -> list[int]:
+        """Restart any dead workers; returns the restarted shard list.
+
+        Runs as a writer so the replacement forks from a quiescent
+        graph (no query observes a half-replaced stub).  Called by the
+        serve front door's supervision loop and usable directly — after
+        a chaos test kills a worker, one call restores exact answers.
+        """
+        with self._lock.write_locked():
+            index = self._index
+            if not isinstance(index, RpcShardedGraph):
+                return []
+            dead = [
+                shard
+                for shard in range(index.shard_count)
+                if not index.worker_alive(shard)
+            ]
+            for shard in dead:
+                index.restart_worker(shard)
+            return dead

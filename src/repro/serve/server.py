@@ -1,0 +1,456 @@
+"""The asyncio front door: HTTP/JSON queries over a coordinator.
+
+One small hand-rolled HTTP/1.1 server (stdlib only, one request per
+connection) in front of a :class:`~repro.api.GraphDatabase` — usually
+a :class:`~repro.serve.coordinator.CoordinatorDatabase`, so each
+request scatters to the shard worker processes.  Three properties the
+ROADMAP's service story asks for live here:
+
+* **Bounded concurrency** — at most ``config.max_inflight`` queries
+  execute at once (a semaphore in front of the thread-pool handoff;
+  the engine itself is thread-safe, the bound is about not oversubscribing
+  the workers).
+
+* **Backpressure** — once ``config.queue_limit`` callers are already
+  waiting for a slot, new requests are refused immediately with
+  ``503`` + ``Retry-After`` and a typed, retryable
+  :class:`~repro.errors.TransientWireError` payload, instead of
+  queueing unboundedly.  A well-behaved client (ours — see
+  :mod:`repro.client`) surfaces that as the same transient taxonomy
+  the rest of the system retries.
+
+* **Supervision** — a background task polls
+  ``database.ensure_workers()`` so a crashed shard worker is restarted
+  within a poll interval; poll failures back off on the PR-7
+  :class:`~repro.faults.RetryPolicy` schedule (capped, deterministic).
+
+Remote failures cross the wire as the :mod:`repro.serve.protocol`
+error codes, so a client re-raises the *same* typed exception the
+in-process engine would have raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import functools
+import json
+import threading
+from dataclasses import dataclass
+
+from repro.api import GraphDatabase, ServiceConfig
+from repro.errors import (
+    ParseError,
+    QueryTimeoutError,
+    ReproError,
+    RewriteError,
+    TransientError,
+    TransientWireError,
+    UnknownNodeError,
+    UnsupportedQueryError,
+    ValidationError,
+    WireError,
+)
+from repro.faults import RetryPolicy
+from repro.serve.protocol import encode_error
+
+#: Seconds between supervision polls when the last poll succeeded.
+SUPERVISE_INTERVAL = 0.25
+
+#: Largest request body the front door will read (16 MiB) — a query is
+#: text plus a few knobs; anything bigger is a broken client.
+MAX_REQUEST_BYTES = 16 << 20
+
+#: Request failures that are the caller's fault (HTTP 400).
+_CALLER_ERRORS = (
+    ValidationError,
+    ParseError,
+    RewriteError,
+    UnknownNodeError,
+    UnsupportedQueryError,
+)
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+def _status_for(error: Exception) -> int:
+    """Map a typed failure to its HTTP status (taxonomy-preserving).
+
+    The body always carries the wire error code, so the status is
+    routing advice, not the contract: 504 says "your deadline", 503
+    says "retry me", 400 says "fix the request".
+    """
+    if isinstance(error, QueryTimeoutError):
+        return 504
+    if isinstance(error, _CALLER_ERRORS):
+        return 400
+    if isinstance(error, TransientError):
+        return 503
+    return 500
+
+
+def _result_payload(result) -> dict:
+    """A QueryResult as its JSON wire shape (pairs sorted for determinism)."""
+    report = result.report
+    return {
+        "ok": True,
+        "query": result.query,
+        "method": result.method,
+        "pairs": sorted(result.pairs),
+        "seconds": result.seconds,
+        "cached": result.cached,
+        "version": result.version,
+        "partial": bool(report.partial) if report is not None else False,
+        "shards_failed": report.shards_failed if report is not None else 0,
+    }
+
+
+class QueryServer:
+    """The HTTP front door over one database.
+
+    Owns the listening socket, the inflight semaphore, and the
+    supervision task.  Drive it with :func:`serve_forever` (CLI) or
+    :func:`serve_in_thread` (tests, benchmarks, examples).
+    """
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        config: ServiceConfig | None = None,
+        supervise_interval: float = SUPERVISE_INTERVAL,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else database.config
+        self.port: int | None = None
+        self._supervise_interval = supervise_interval
+        self._retry = RetryPolicy()
+        self._semaphore: asyncio.Semaphore | None = None
+        self._waiting = 0
+        self._prepared: dict[tuple[str, str], object] = {}
+        self._prepared_lock = threading.Lock()
+        self._server: asyncio.AbstractServer | None = None
+        self._supervisor: asyncio.Task | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, start accepting, and start the supervision task."""
+        self._semaphore = asyncio.Semaphore(self.config.max_inflight)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if hasattr(self.database, "ensure_workers"):
+            self._supervisor = asyncio.get_running_loop().create_task(
+                self._supervise()
+            )
+
+    async def stop(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _supervise(self) -> None:
+        """Restart crashed workers; back off on supervision failures.
+
+        A successful poll resets the backoff; a failing one (the fleet
+        relaunch itself hitting a transient) sleeps on the capped
+        PR-7 retry schedule instead of hot-looping.
+        """
+        loop = asyncio.get_running_loop()
+        failures = 0
+        while True:
+            try:
+                await loop.run_in_executor(None, self.database.ensure_workers)
+                failures = 0
+                await asyncio.sleep(self._supervise_interval)
+            except asyncio.CancelledError:
+                raise
+            except ReproError:
+                delay = self._retry.delay_ms(failures) / 1000.0
+                failures += 1
+                await asyncio.sleep(delay)
+
+    # -- request handling -------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except WireError as error:
+                await _write_response(writer, 400, encode_wire_error(error))
+                return
+            status, payload = await self._dispatch(method, path, body)
+            headers = {}
+            if status == 503:
+                headers["Retry-After"] = "1"
+            await _write_response(writer, status, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, body: dict):
+        """Route one request; returns ``(status, JSON payload)``."""
+        try:
+            if method == "GET" and path == "/health":
+                return 200, {
+                    "ok": True,
+                    "version": self.database.graph.version,
+                    "backend": self.database.config.backend,
+                    "shards": self.database.config.resolved_shards(),
+                }
+            if method == "GET" and path == "/stats":
+                stats = await self._run_blocking(self.database.stats)
+                return 200, {"ok": True, "stats": dataclasses.asdict(stats)}
+            if method == "POST" and path == "/query":
+                return 200, await self._guarded(self._do_query, body)
+            if method == "POST" and path == "/prepared":
+                return 200, await self._guarded(self._do_prepared, body)
+            if method == "POST" and path == "/mutate":
+                return 200, await self._guarded(self._do_mutate, body)
+            if path in ("/health", "/stats", "/query", "/prepared", "/mutate"):
+                return 405, {
+                    "ok": False,
+                    "error": encode_error(
+                        ValidationError(f"{method} not allowed on {path}")
+                    ),
+                }
+            return 404, {
+                "ok": False,
+                "error": encode_error(ValidationError(f"no route {path!r}")),
+            }
+        except ReproError as error:
+            return _status_for(error), {"ok": False, "error": encode_error(error)}
+
+    async def _guarded(self, handler, body: dict) -> dict:
+        """Run one mutating/query handler under the concurrency bound.
+
+        The backpressure check happens *before* touching the
+        semaphore: once every inflight slot is busy and ``queue_limit``
+        callers are already parked waiting, the next one is refused
+        outright — bounded queue, bounded memory, and a retryable
+        error the client taxonomy understands (``queue_limit=0`` means
+        "never queue": reject the moment the slots are full).
+        """
+        if self._semaphore.locked() and self._waiting >= self.config.queue_limit:
+            raise TransientWireError(
+                f"server at capacity ({self.config.max_inflight} inflight, "
+                f"{self._waiting} queued); retry shortly"
+            )
+        self._waiting += 1
+        acquired = False
+        try:
+            async with self._semaphore:
+                self._waiting -= 1
+                acquired = True
+                return await self._run_blocking(handler, body)
+        finally:
+            if not acquired:
+                # Cancelled or failed while still parked in the queue:
+                # the waiting count must drop exactly once either way.
+                self._waiting -= 1
+
+    async def _run_blocking(self, callable_, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(callable_, *args)
+        )
+
+    # -- handlers (run in the thread pool) --------------------------------
+
+    def _do_query(self, body: dict) -> dict:
+        result = self.database.query(
+            _require_text(body, "query"),
+            method=body.get("method", "minsupport"),
+            use_cache=bool(body.get("use_cache", True)),
+            timeout_ms=body.get("timeout_ms"),
+            degraded=bool(body.get("degraded", False)),
+        )
+        return _result_payload(result)
+
+    def _do_prepared(self, body: dict) -> dict:
+        """Bind and run a prepared template (planned once per server)."""
+        template = _require_text(body, "template")
+        method = body.get("method", "minsupport")
+        params = body.get("params", {})
+        if not isinstance(params, dict):
+            raise ValidationError("params must be an object of $name bindings")
+        key = (template, method)
+        with self._prepared_lock:
+            statement = self._prepared.get(key)
+            if statement is None:
+                statement = self.database.prepare(template, method=method)
+                self._prepared[key] = statement
+        return _result_payload(statement.run(**params))
+
+    def _do_mutate(self, body: dict) -> dict:
+        kind = body.get("kind")
+        source = _require_text(body, "source")
+        label = _require_text(body, "label")
+        target = _require_text(body, "target")
+        if kind == "add":
+            version = self.database.add_edge(source, label, target)
+        elif kind == "remove":
+            version = self.database.remove_edge(source, label, target)
+        else:
+            raise ValidationError(f"kind must be 'add' or 'remove', got {kind!r}")
+        return {
+            "ok": True,
+            "changed": version is not None,
+            "version": self.database.graph.version,
+        }
+
+
+def encode_wire_error(error: Exception) -> dict:
+    return {"ok": False, "error": encode_error(error)}
+
+
+def _require_text(body: dict, key: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not value:
+        raise ValidationError(f"request body needs a non-empty {key!r} string")
+    return value
+
+
+# -- the HTTP layer ------------------------------------------------------------
+
+
+async def _read_request(reader) -> tuple[str, str, dict]:
+    """Parse one HTTP request; returns ``(method, path, JSON body)``.
+
+    Anything malformed raises :class:`WireError` — the connection gets
+    a 400 and is closed, never a hang or a crash.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as error:
+        raise WireError(f"unreadable request line: {error}") from error
+    parts = request_line.decode("latin-1", "replace").split()
+    if len(parts) != 3:
+        raise WireError(f"malformed request line {request_line!r}")
+    method, path, _version = parts
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1", "replace").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise WireError(f"bad Content-Length {value.strip()!r}") from None
+    if content_length > MAX_REQUEST_BYTES:
+        raise WireError(f"request body too large ({content_length} bytes)")
+    body: dict = {}
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireError(f"undecodable JSON body: {error}") from error
+        if not isinstance(body, dict):
+            raise WireError("request body must be a JSON object")
+    return method, path.split("?", 1)[0], body
+
+
+async def _write_response(
+    writer, status: int, payload: dict, headers: dict | None = None
+) -> None:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+# -- entry points --------------------------------------------------------------
+
+
+async def serve_forever(
+    database: GraphDatabase, config: ServiceConfig | None = None
+) -> None:
+    """Run the front door until cancelled (the CLI entry point)."""
+    server = QueryServer(database, config)
+    await server.start()
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await server.stop()
+
+
+@dataclass
+class ServerThread:
+    """A front door running on its own event loop thread."""
+
+    server: QueryServer
+    loop: asyncio.AbstractEventLoop
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def stop(self) -> None:
+        """Stop accepting, cancel supervision, and join the loop thread."""
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self.loop)
+        future.result(timeout=10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def serve_in_thread(
+    database: GraphDatabase,
+    config: ServiceConfig | None = None,
+    supervise_interval: float = SUPERVISE_INTERVAL,
+) -> ServerThread:
+    """Start the front door on a background thread; returns its handle.
+
+    The tests', benchmarks' and example's way in: the caller keeps the
+    database handle (to kill workers, inspect stats) while real HTTP
+    clients hammer the port.
+    """
+    server = QueryServer(database, config, supervise_interval)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise TransientWireError("serve thread failed to start within 30s")
+    return ServerThread(server=server, loop=loop, thread=thread)

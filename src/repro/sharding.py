@@ -703,22 +703,27 @@ class ShardedGraph:
 
     # -- per-shard slices (the scatter side of scatter-gather) ------------
 
-    def shard_scan(self, shard: int, path: LabelPath) -> Relation:
+    def shard_scan(self, shard: int, path: LabelPath, deadline=None) -> Relation:
         """One shard's slice of ``p(G)``, BY_SRC-sorted.
 
         Retried at scan granularity: a scan is the finest idempotent
         unit, so a transient fault capped per ``(shard, path)`` always
         recovers on the immediate retry — a whole-slice retry would
         re-roll every *other* path's fault dice and can cascade.
+        ``deadline`` clips the retry backoff (and, on the RPC-backed
+        subclass, rides in every request header) so a slow shard can
+        never outlive the query's budget.
         """
 
         def attempt() -> Relation:
             fire("shard.scan", shard=shard, path=path.encode())
             return self._shards[shard].scan(path)
 
-        return retry_call(attempt)
+        return retry_call(attempt, deadline=deadline)
 
-    def shard_scan_swapped(self, shard: int, path: LabelPath) -> Relation:
+    def shard_scan_swapped(
+        self, shard: int, path: LabelPath, deadline=None
+    ) -> Relation:
         """One shard's slice of ``p(G)``, re-sorted BY_TGT.
 
         The inverse-path trick does not apply shard-locally — the
@@ -731,7 +736,7 @@ class ShardedGraph:
             fire("shard.scan", shard=shard, path=path.encode())
             return rel.dedup_sort(self._shards[shard].scan(path), Order.BY_TGT)
 
-        return retry_call(attempt)
+        return retry_call(attempt, deadline=deadline)
 
     def shard_identity(self, shard: int) -> Relation:
         """The identity relation over the shard's owned vertices."""

@@ -1,0 +1,105 @@
+"""Structured engine statistics: :class:`EngineStats`.
+
+``GraphDatabase.cache_info()`` grew one flat dictionary key per PR;
+consumers had to know which of nineteen strings belonged to which
+subsystem.  :class:`EngineStats` groups them — query-result cache,
+scatter planning, prepared statements, fault accounting — as typed
+frozen dataclasses, with :meth:`EngineStats.as_dict` reproducing the
+exact legacy flat mapping for backward compatibility (and for the JSON
+the serve layer returns verbatim at ``GET /stats``).
+
+>>> from repro.stats import CacheStats, EngineStats
+>>> stats = EngineStats(cache=CacheStats(hits=3, misses=1))
+>>> stats.cache.hits
+3
+>>> stats.as_dict()["hits"]
+3
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """The whole-answer LRU and the executor scan memo."""
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    capacity: int = 0
+    pairs: int = 0
+    max_pairs: int = 0
+    scan_memo_hits: int = 0
+    scan_memo_misses: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ScatterStats:
+    """Scatter-planning decisions of the sharded engine."""
+
+    shards_scanned: int = 0
+    shards_pruned: int = 0
+    disjuncts_pruned: int = 0
+    shards_replanned: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PreparedStats:
+    """Prepared-statement plan-cache and artifact-store traffic."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    artifact_loads: int = 0
+    plans_computed: int = 0
+    plan_artifacts: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultStats:
+    """Resilience accounting: answers served less than whole."""
+
+    #: Shard slices dropped by ``query(degraded=True)`` — nonzero means
+    #: some answers were served partial.
+    shards_failed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class EngineStats:
+    """One consistent snapshot of every engine counter group."""
+
+    cache: CacheStats = CacheStats()
+    scatter: ScatterStats = ScatterStats()
+    prepared: PreparedStats = PreparedStats()
+    faults: FaultStats = FaultStats()
+
+    def as_dict(self) -> dict[str, int]:
+        """The legacy flat ``cache_info()`` mapping, key for key.
+
+        The prepared group's ``hits``/``misses``/``invalidations``
+        carry their historical ``prepared_`` prefix; everything else
+        maps by field name.
+        """
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "entries": self.cache.entries,
+            "capacity": self.cache.capacity,
+            "pairs": self.cache.pairs,
+            "max_pairs": self.cache.max_pairs,
+            "scan_memo_hits": self.cache.scan_memo_hits,
+            "scan_memo_misses": self.cache.scan_memo_misses,
+            "shards_scanned": self.scatter.shards_scanned,
+            "shards_pruned": self.scatter.shards_pruned,
+            "disjuncts_pruned": self.scatter.disjuncts_pruned,
+            "shards_replanned": self.scatter.shards_replanned,
+            "shards_failed": self.faults.shards_failed,
+            "prepared_hits": self.prepared.hits,
+            "prepared_misses": self.prepared.misses,
+            "prepared_invalidations": self.prepared.invalidations,
+            "artifact_loads": self.prepared.artifact_loads,
+            "plans_computed": self.prepared.plans_computed,
+            "plan_artifacts": self.prepared.plan_artifacts,
+        }
