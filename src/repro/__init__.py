@@ -21,8 +21,10 @@ The namespace is deliberately curated: the embedded engine
 (:class:`GraphDatabase` and its value types), its deployment config
 (:class:`ServiceConfig`), the grouped counters (:class:`EngineStats`),
 the service clients (:class:`Client` / :class:`AsyncClient` /
-:class:`RemoteResult`), and the one exception base callers should
-catch at boundaries (:class:`ReproError`).  Serving-side machinery
+:class:`RemoteResult`), the unified write-path value types
+(:class:`Mutation` / :class:`MutationBatch` / :class:`ApplyResult`),
+and the one exception base callers should catch at boundaries
+(:class:`ReproError`).  Serving-side machinery
 lives in :mod:`repro.serve`; the full error taxonomy in
 :mod:`repro.errors`.
 """
@@ -37,10 +39,12 @@ from repro.graph.graph import Graph, LabelPath, Step
 from repro.relation import Order, Relation
 from repro.rpq.parser import Template
 from repro.stats import EngineStats
+from repro.write import ApplyResult, Mutation, MutationBatch
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "ApplyResult",
     "AsyncClient",
     "BoundStatement",
     "Client",
@@ -48,6 +52,8 @@ __all__ = [
     "Graph",
     "GraphDatabase",
     "LabelPath",
+    "Mutation",
+    "MutationBatch",
     "Order",
     "PreparedStatement",
     "QueryResult",

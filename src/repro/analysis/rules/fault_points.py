@@ -1,10 +1,10 @@
 """Rule ``fault-point``: I/O boundaries must route through the chaos seams.
 
 The deterministic fault harness (:mod:`repro.faults`) only proves what
-it can reach.  Seven injection points cover the engine's I/O
+it can reach.  Nine injection points cover the engine's I/O
 boundaries — pager reads, shard scans, shard builds, plan-artifact
-loads, the gather merge, and the serve layer's RPC send/receive —
-and the chaos CI job arms all of them.
+loads, the gather merge, the serve layer's RPC send/receive, and the
+mutation log's append/flush — and the chaos CI job arms all of them.
 New I/O that bypasses ``fire()``/``retry_call`` silently shrinks that
 coverage, so this rule pins it down twice over:
 
@@ -42,6 +42,8 @@ BOUNDARIES = (
         r"RpcShardedGraph\.shard_scan_swapped$",
         "shard.scan",
     ),
+    ("repro/write/log.py", r"MutationLog\.append$", "mutlog.append"),
+    ("repro/write/log.py", r"MutationLog\.flush$", "mutlog.flush"),
 )
 
 

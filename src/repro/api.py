@@ -51,10 +51,11 @@ from repro.errors import (
     TransientError,
     ValidationError,
 )
-from repro.faults import Deadline, RunContext
+from repro.faults import Deadline, RunContext, retry_call
 from repro.graph.graph import Graph, LabelPath
 from repro.graph.io import load_csv, load_edgelist, load_json
 from repro.graph.stats import GraphSummary, star_bound, summarize
+from repro.indexes.builder import enumerate_label_paths
 from repro.indexes.histogram import EquiDepthHistogram
 from repro.indexes.pathindex import PathIndex
 from repro.indexes.statistics import ExactStatistics
@@ -63,14 +64,19 @@ from repro.rpq.ast import Node
 from repro.rpq.parser import Template, parse, parse_template
 from repro.rpq.rewrite import DEFAULT_MAX_DISJUNCTS, NormalForm, normalize
 from repro.rpq.semantics import eval_ast
-from repro.sharding import ShardedGraph
+from repro.sharding import ShardedGraph, shard_of
 from repro.stats import (
     CacheStats,
     EngineStats,
     FaultStats,
     PreparedStats,
     ScatterStats,
+    WriteStats,
 )
+from repro.write.commit import GroupCommitter
+from repro.write.delta import resolve_patch, stage_group
+from repro.write.log import MutationLog
+from repro.write.mutation import ApplyResult, Mutation, MutationBatch
 
 #: Methods accepted by :meth:`GraphDatabase.query`: the paper's four
 #: index strategies plus the literature baselines (NFA and DFA product
@@ -167,10 +173,16 @@ class GraphDatabase:
         }
         if config is None:
             if legacy:
+                # Knob names map one-to-one onto ServiceConfig fields;
+                # the warning names each exact field so the migration
+                # is copy-pasteable.
+                moved = ", ".join(
+                    f"{name}= is now ServiceConfig.{name}"
+                    for name in sorted(legacy)
+                )
                 warnings.warn(
-                    f"GraphDatabase keyword knobs "
-                    f"({', '.join(sorted(legacy))}) are deprecated; "
-                    f"pass config=ServiceConfig(...) instead",
+                    f"GraphDatabase keyword knobs are deprecated; pass "
+                    f"config=ServiceConfig(...) instead ({moved})",
                     DeprecationWarning,
                     stacklevel=2,
                 )
@@ -202,6 +214,9 @@ class GraphDatabase:
         self._shards = resolved_shards
         self._shard_build_workers = config.shard_build_workers
         self._shard_query_workers = config.shard_query_workers
+        # Hash seed of the vertex-to-shard map.  Mutable on purpose:
+        # rebalance() re-seeds it and triggers one full rebuild.
+        self._shard_seed = config.shard_seed
         self._index: PathIndex | ShardedGraph | None = None
         self._histogram: EquiDepthHistogram | None = None
         self._exact_statistics: ExactStatistics | None = None
@@ -265,6 +280,27 @@ class GraphDatabase:
             str(config.index_path) + ".plans.json"
             if config.backend == "disk" and config.index_path is not None
             else None
+        )
+        # The write path: every mutation flows through apply() -> the
+        # group committer -> (optionally) the durable mutation log ->
+        # delta patching or the rebuild fallback.  Opening an existing
+        # log replays its durable suffix onto the provided graph first,
+        # so a restarted service resumes from its last acknowledged
+        # write (replay happens before the build below sees the graph).
+        self._write_patched = 0
+        self._write_rebuilt = 0
+        self._replayed_batches = 0
+        self._mutation_log: MutationLog | None = None
+        if config.mutation_log_path is not None:
+            self._mutation_log = MutationLog(config.mutation_log_path)
+            for _seq, batch in self._mutation_log.replay():
+                for mutation in batch:
+                    mutation.apply_to(graph)
+                self._replayed_batches += 1
+        self._committer = GroupCommitter(
+            self._commit_group,
+            window_s=config.group_commit_ms / 1000.0,
+            max_group=config.group_commit_max,
         )
         if build:
             self.build_index()
@@ -355,6 +391,7 @@ class GraphDatabase:
                     backend=self._backend,
                     index_path=self._index_path,
                     workers=self._shard_build_workers,
+                    shard_seed=self._shard_seed,
                 )
                 index.query_workers = self._shard_query_workers
                 # Declared knobs seed the fresh instance; toggles the
@@ -680,58 +717,223 @@ class GraphDatabase:
 
     # -- mutations ---------------------------------------------------------------
 
-    def add_edge(self, source: str, label: str, target: str) -> int | None:
-        """Insert an edge, rebuild the index, and return the new version.
+    def apply(self, mutations) -> ApplyResult:
+        """Apply one batch of edge mutations; the single write entry point.
 
-        Runs as a writer: no query can observe the graph mutated but
-        the index not yet rebuilt.  Returns ``None`` when the edge was
-        already present (nothing changed).  Correctness-first: the
-        whole index is rebuilt per mutation on the unsharded engine —
-        the localized delta algorithm lives in
-        :class:`repro.indexes.dynamic.DynamicPathIndex`.  A sharded
-        engine (``shards=N``) rebuilds only the shards within
-        undirected distance ``k - 1`` of the edge — the only shards
-        whose path sets the mutation can change
-        (:meth:`repro.sharding.ShardedGraph.shards_touching`) — unless
-        the label vocabulary changed, which re-enumerates every
-        shard's paths and forces a full rebuild.
+        ``mutations`` is a :class:`~repro.write.mutation.Mutation`, an
+        iterable of them, or a :class:`~repro.write.mutation.MutationBatch`.
+        The batch rides a commit *group*: concurrent callers coalesce
+        behind one leader into one write-lock acquisition, one mutation
+        log append run + ``fsync`` (when ``mutation_log_path`` is set),
+        and one index update — per-shard delta patching when the group
+        is local (``delta_patching``, memory-backed shards), a ball or
+        full rebuild otherwise.  By the time this returns the batch is
+        durable (if logging) and visible to queries; the result says
+        how many mutations changed the graph, the version they landed
+        on, and how the index absorbed the group.
+
+        ``add_edge`` / ``remove_edge`` are one-element shims over this.
         """
-        with self._lock.write_locked():
-            if not self.graph.add_edge(source, label, target):
-                return None
-            # The ball is evaluated on the graph *containing* the edge:
-            # post-insert here, pre-delete in remove_edge.
-            self._rebuild_shards_locked(self._affected_shards(source, target))
-            return self.graph.version
+        batch = MutationBatch.coerce(mutations)
+        self._ensure_built()
+        return self._committer.submit(batch)
+
+    def add_edge(self, source: str, label: str, target: str) -> int | None:
+        """Insert an edge; returns the new version, or ``None`` (no-op).
+
+        A shim over :meth:`apply` with a one-mutation batch — same
+        durability, group commit, and delta-patching path.  The
+        returned version is the group's landing version (under
+        concurrent writers it can be later than this edge's own
+        insertion, but never earlier).
+        """
+        result = self.apply(Mutation.add(source, label, target))
+        return result.version if result.changed else None
 
     def remove_edge(self, source: str, label: str, target: str) -> int | None:
-        """Delete an edge, rebuild the index, and return the new version.
+        """Delete an edge; returns the new version, or ``None`` (no-op).
 
-        Returns ``None`` when the edge was absent.  See :meth:`add_edge`
-        for the locking and shard-rebuild contracts.
+        See :meth:`add_edge` — the same one-element :meth:`apply` shim.
+        """
+        result = self.apply(Mutation.remove(source, label, target))
+        return result.version if result.changed else None
+
+    def _commit_group(self, batches) -> list[ApplyResult]:
+        """The committer's commit callable: one whole group, durably.
+
+        Write-ahead ordering: every batch is appended to the mutation
+        log and fsynced *before* any of them touches the graph.  The
+        append+flush unit retries on transients (rolling back the
+        half-appended group first, so nothing duplicates); a permanent
+        or crash failure rolls the log back (see ``MutationLog.flush``)
+        and fails the whole group with nothing applied — re-submitting
+        is safe.  Once durable, application cannot fail on input
+        (batches validate eagerly at construction), only on index
+        trouble, and the index paths below keep their swap-on-success
+        contracts.
+        """
+        batches = list(batches)
+        with self._lock.write_locked():
+            log = self._mutation_log
+            if log is not None:
+
+                def persist() -> None:
+                    log.rollback()  # no-op unless a prior try half-appended
+                    for batch in batches:
+                        log.append(batch)
+                    log.flush()
+
+                retry_call(persist)
+            return self._apply_group_locked(batches)
+
+    def _apply_group_locked(self, batches) -> list[ApplyResult]:
+        """Apply a durable group to graph + index; caller holds the lock."""
+        index = self._index
+        if isinstance(index, ShardedGraph):
+            patchable = self.config.delta_patching and index.supports_patch
+            # Delta staging needs the full path enumeration over the
+            # pre-group alphabet (an alphabet change falls back anyway);
+            # the rebuild path skips collecting deltas entirely.
+            paths = (
+                enumerate_label_paths(self.graph.labels(), self.k)
+                if patchable
+                else []
+            )
+            staged = stage_group(
+                self.graph, index, batches, paths, self.config.delta_max_pairs
+            )
+            counts = staged.batch_counts
+            if not staged.changed:
+                mode, patched = "noop", ()
+            else:
+                mode, patched = self._absorb_group_locked(
+                    index, staged, batches, patchable
+                )
+        else:
+            # Unsharded (or unbuilt) engine: apply, then full rebuild —
+            # the correctness-first baseline the sharded path beats.
+            counts = []
+            changed = False
+            for batch in batches:
+                applied = noops = 0
+                for mutation in batch:
+                    if mutation.apply_to(self.graph):
+                        applied += 1
+                    else:
+                        noops += 1
+                counts.append((applied, noops))
+                changed = changed or bool(applied)
+            if changed:
+                self._build_index_locked()
+            mode, patched = ("rebuild", ()) if changed else ("noop", ())
+        with self._cache_lock:
+            if mode == "patch":
+                self._write_patched += 1
+            elif mode == "rebuild":
+                self._write_rebuilt += 1
+        version = self.graph.version
+        return [
+            ApplyResult(
+                applied=applied,
+                noops=noops,
+                version=version,
+                mode=mode,
+                patched_shards=patched,
+            )
+            for applied, noops in counts
+        ]
+
+    def _absorb_group_locked(
+        self, index: ShardedGraph, staged, batches, patchable: bool
+    ) -> tuple[str, tuple[int, ...]]:
+        """How the sharded index absorbs one applied group.
+
+        The patch path resolves every dirty pair against the (final)
+        graph and applies per-shard B+tree point edits in place; any
+        fallback — alphabet change, dirty-pair overflow, a non-patching
+        backend — takes the ball rebuild of the touched shards (or the
+        full rebuild on an alphabet change).  Overridden by the
+        coordinator to broadcast to workers instead.
+        """
+        if not patchable or staged.fallback is not None:
+            affected = (
+                None if staged.fallback == "alphabet" else set(staged.touched)
+            )
+            self._rebuild_shards_locked(affected)
+            return "rebuild", ()
+        changes = resolve_patch(self.graph, index, staged.dirty)
+        self.cache_clear()
+        try:
+            index.patch_shards(changes)
+            exact_statistics, histogram = self._refresh_sharded_statistics(index)
+        except BaseException:
+            # Same contract as a failed partial rebuild: never leave a
+            # half-patched triple behind a mutated graph.
+            self._index = None
+            self._exact_statistics = None
+            self._histogram = None
+            try:
+                index.close()
+            except (QueryTimeoutError, TransientError):
+                raise
+            except Exception:
+                pass
+            raise
+        self._exact_statistics = exact_statistics
+        self._histogram = histogram
+        self._statistics_epoch += 1
+        self._plan_store.open(self._plan_fingerprint())
+        return "patch", tuple(sorted(changes))
+
+    def rebalance(self, skew_threshold: float = 2.0, candidates: int = 8) -> bool:
+        """Re-seed the vertex-to-shard map if the index has gone skewed.
+
+        A mutation stream concentrated on one neighborhood can leave
+        one shard holding far more index entries than its peers,
+        serializing every scatter behind it.  When the largest shard
+        exceeds ``skew_threshold`` times the mean, this tries
+        ``candidates`` alternative hash seeds, scores each by the
+        degree-weighted load of its heaviest shard, and — if a strictly
+        better seed exists — installs it and rebuilds the index once.
+        Returns whether a rebuild happened.  Exposed, never
+        auto-triggered: a rebuild is expensive and the operator (or a
+        supervision loop) decides when the skew justifies it.
         """
         with self._lock.write_locked():
-            affected = self._affected_shards(source, target)
-            if not self.graph.remove_edge(source, label, target):
-                return None
-            self._rebuild_shards_locked(affected)
-            return self.graph.version
+            index = self._index
+            if not isinstance(index, ShardedGraph) or index.shard_count < 2:
+                return False
+            counts = index.shard_entry_counts()
+            mean = sum(counts) / len(counts)
+            if mean == 0 or max(counts) <= skew_threshold * mean:
+                return False
+            # Degree weight approximates how many index entries start
+            # at a vertex without re-counting the real catalog per
+            # candidate seed.
+            shard_count = index.shard_count
+            weights = [
+                1 + self.graph.degree_out(node) + self.graph.degree_in(node)
+                for node in range(self.graph.node_count)
+            ]
 
-    def _affected_shards(self, source: str, target: str) -> set[int] | None:
-        """Shards a mutation at ``(source, target)`` can invalidate.
+            def heaviest(seed: int) -> int:
+                loads = [0] * shard_count
+                for node, weight in enumerate(weights):
+                    loads[shard_of(node, shard_count, seed)] += weight
+                return max(loads)
 
-        ``None`` means "unknown — rebuild everything": the index is not
-        sharded, not built, or an endpoint is a brand-new node the
-        caller has not interned yet.
-        """
-        index = self._index
-        if not isinstance(index, ShardedGraph):
-            return None
-        if not (self.graph.has_node(source) and self.graph.has_node(target)):
-            return None
-        return index.shards_touching(
-            (self.graph.node_id(source), self.graph.node_id(target))
-        )
+            best_seed = self._shard_seed
+            best_load = heaviest(best_seed)
+            for candidate in range(1, candidates + 1):
+                seed = self._shard_seed + candidate
+                load = heaviest(seed)
+                if load < best_load:
+                    best_seed, best_load = seed, load
+            if best_seed == self._shard_seed:
+                return False
+            self._shard_seed = best_seed
+            self._build_index_locked()
+            return True
 
     def _rebuild_shards_locked(self, affected: set[int] | None) -> None:
         """Partial index rebuild after a mutation; caller holds the lock.
@@ -1172,10 +1374,32 @@ class GraphDatabase:
                     plan_artifacts=self._plan_store.entry_count(),
                 ),
                 faults=FaultStats(shards_failed=self._shards_failed),
+                write=WriteStats(
+                    groups=self._committer.groups,
+                    coalesced=self._committer.coalesced,
+                    patched=self._write_patched,
+                    rebuilt=self._write_rebuilt,
+                    log_records=(
+                        self._mutation_log.last_seq
+                        if self._mutation_log is not None
+                        else 0
+                    ),
+                    replayed=self._replayed_batches,
+                ),
             )
 
     def cache_info(self) -> dict[str, int]:
-        """The counters of :meth:`stats` as the historical flat dict."""
+        """Deprecated: the counters of :meth:`stats` as the flat dict.
+
+        Use :meth:`stats` (grouped) or ``stats().as_dict()`` (the same
+        flat mapping this returns).
+        """
+        warnings.warn(
+            "cache_info() is deprecated; use stats() "
+            "(or stats().as_dict() for the flat mapping)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.stats().as_dict()
 
     def cache_clear(self) -> None:
@@ -1311,6 +1535,8 @@ class GraphDatabase:
         """Release index resources (needed for the disk backend)."""
         if self._index is not None:
             self._index.close()
+        if self._mutation_log is not None:
+            self._mutation_log.close()
 
     def __enter__(self) -> "GraphDatabase":
         return self

@@ -9,6 +9,7 @@ inspect, explain, run) plus every experiment driver:
     repro-rpq figure2 --scale small
     repro-rpq compare-datalog --scale small
     repro-rpq index-build --scale small
+    repro-rpq mutate --synthetic bench < delta.txt
     repro-rpq lint src/
 """
 
@@ -106,10 +107,59 @@ def _cmd_prepared(args: argparse.Namespace) -> int:
             f"{text}: {len(result.pairs)} pairs in "
             f"{result.seconds * 1000.0:.2f} ms  ({result.query})"
         )
-    info = database.cache_info()
+    info = database.stats().as_dict()
     print(
         f"# plans computed {info['plans_computed']}, cache hits "
         f"{info['prepared_hits']}, artifact loads {info['artifact_loads']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _parse_mutation_line(line: str, number: int):
+    """One ``add|remove|+|- source label target`` line -> Mutation."""
+    from repro.write import Mutation
+
+    parts = line.split()
+    if len(parts) != 4:
+        raise ReproError(
+            f"line {number}: expected 'add|remove source label target', "
+            f"got {line!r}"
+        )
+    kind, source, label, target = parts
+    if kind in ("add", "+"):
+        return Mutation.add(source, label, target)
+    if kind in ("remove", "-"):
+        return Mutation.remove(source, label, target)
+    raise ReproError(f"line {number}: kind must be add/remove/+/-, got {kind!r}")
+
+
+def _cmd_mutate(args: argparse.Namespace) -> int:
+    """Apply an edge-list delta from stdin as one mutation batch."""
+    from repro.write import MutationBatch
+
+    mutations = []
+    for number, line in enumerate(sys.stdin, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        mutations.append(_parse_mutation_line(line, number))
+    batch = MutationBatch.of(*mutations)
+    if args.port is not None:
+        from repro.client import Client
+
+        result = Client(host=args.host, port=args.port).apply(batch)
+    else:
+        database = _load_database(args)
+        result = database.apply(batch)
+    print(
+        f"# applied {result.applied}, no-ops {result.noops}, "
+        f"version {result.version}, mode {result.mode}"
+        + (
+            f", patched shards {list(result.patched_shards)}"
+            if result.patched_shards
+            else ""
+        ),
         file=sys.stderr,
     )
     return 0
@@ -269,6 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     prepared.add_argument("--method", default="minsupport")
     prepared.set_defaults(handler=_cmd_prepared)
+
+    mutate = commands.add_parser(
+        "mutate", help="apply an edge-list delta from stdin as one batch"
+    )
+    _add_graph_arguments(mutate)
+    mutate.add_argument(
+        "--host", default="127.0.0.1", help="server host (with --port)"
+    )
+    mutate.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="send the batch to a running server instead of a local graph",
+    )
+    mutate.set_defaults(handler=_cmd_mutate)
 
     figure2 = commands.add_parser("figure2", help="reproduce Figure 2")
     figure2.add_argument("--scale", choices=sorted(SCALES), default="bench")

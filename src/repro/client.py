@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import TransientWireError, WireError
 from repro.serve.protocol import raise_remote
+from repro.write.mutation import ApplyResult, Mutation, MutationBatch
 
 #: Seconds a client waits for a response before declaring the server
 #: gone (transient — the request can be retried elsewhere/later).
@@ -95,6 +96,11 @@ def mutate_body(kind: str, source: str, label: str, target: str) -> dict:
     return {"kind": kind, "source": source, "label": label, "target": target}
 
 
+def apply_body(mutations) -> dict:
+    """The ``POST /apply`` request body for one mutation batch."""
+    return {"mutations": MutationBatch.coerce(mutations).as_wire()}
+
+
 def decode_payload(raw: bytes) -> dict:
     """Response bytes -> payload dict; garbage raises :class:`WireError`."""
     try:
@@ -130,6 +136,11 @@ def decode_result(payload: dict) -> RemoteResult:
 def decode_mutation(payload: dict) -> int | None:
     """A checked ``/mutate`` payload -> new version, or None (no-op)."""
     return int(payload["version"]) if payload.get("changed") else None
+
+
+def decode_apply(payload: dict) -> ApplyResult:
+    """A checked ``/apply`` payload -> :class:`ApplyResult`."""
+    return ApplyResult.from_wire(payload.get("result", {}))
 
 
 # -- sync ----------------------------------------------------------------------
@@ -196,13 +207,19 @@ class Client:
         body = prepared_body(template, params, method)
         return decode_result(self._request("POST", "/prepared", body))
 
+    def apply(self, mutations) -> ApplyResult:
+        """Apply a batch (a Mutation, an iterable, or a MutationBatch)."""
+        return decode_apply(
+            self._request("POST", "/apply", apply_body(mutations))
+        )
+
     def add_edge(self, source: str, label: str, target: str) -> int | None:
-        body = mutate_body("add", source, label, target)
-        return decode_mutation(self._request("POST", "/mutate", body))
+        result = self.apply(Mutation.add(source, label, target))
+        return result.version if result.changed else None
 
     def remove_edge(self, source: str, label: str, target: str) -> int | None:
-        body = mutate_body("remove", source, label, target)
-        return decode_mutation(self._request("POST", "/mutate", body))
+        result = self.apply(Mutation.remove(source, label, target))
+        return result.version if result.changed else None
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")["stats"]
@@ -285,15 +302,21 @@ class AsyncClient:
         body = prepared_body(template, params, method)
         return decode_result(await self._request("POST", "/prepared", body))
 
+    async def apply(self, mutations) -> ApplyResult:
+        """Apply a batch (a Mutation, an iterable, or a MutationBatch)."""
+        return decode_apply(
+            await self._request("POST", "/apply", apply_body(mutations))
+        )
+
     async def add_edge(self, source: str, label: str, target: str) -> int | None:
-        body = mutate_body("add", source, label, target)
-        return decode_mutation(await self._request("POST", "/mutate", body))
+        result = await self.apply(Mutation.add(source, label, target))
+        return result.version if result.changed else None
 
     async def remove_edge(
         self, source: str, label: str, target: str
     ) -> int | None:
-        body = mutate_body("remove", source, label, target)
-        return decode_mutation(await self._request("POST", "/mutate", body))
+        result = await self.apply(Mutation.remove(source, label, target))
+        return result.version if result.changed else None
 
     async def stats(self) -> dict:
         return (await self._request("GET", "/stats"))["stats"]

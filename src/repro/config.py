@@ -78,6 +78,25 @@ class ServiceConfig:
     shard_query_workers: int = 1
     scatter_pruning: bool = True
     replan_divergence: float | None = REPLAN_DIVERGENCE
+    #: Hash seed of the vertex-to-shard map; ``rebalance()`` re-seeds
+    #: it when a skewed mutation stream unbalances the shards.
+    shard_seed: int = 0
+    # -- write path --------------------------------------------------------
+    #: Append-only WAL backing ``apply()``; ``None`` disables logging
+    #: (mutations are then non-durable, the pre-PR-10 behavior).
+    mutation_log_path: str | Path | None = None
+    #: Group-commit coalescing window: the commit leader waits this
+    #: long for concurrent writers before flushing.  0 commits
+    #: immediately (a lone writer pays no added latency).
+    group_commit_ms: float = 0.0
+    #: Batches one commit group may coalesce (arrival cap per flush).
+    group_commit_max: int = 64
+    #: Patch touched shards with index deltas instead of rebuilding the
+    #: shard ball (memory backend only; rebuild is the fallback).
+    delta_patching: bool = True
+    #: Dirty-pair budget per commit group; past it the delta is deemed
+    #: non-local and the group falls back to the ball rebuild.
+    delta_max_pairs: int = 20_000
     # -- serve front door -------------------------------------------------
     host: str = "127.0.0.1"
     #: 0 lets the OS pick (the bound port is reported by the server).
@@ -96,6 +115,22 @@ class ServiceConfig:
             raise ValidationError(
                 f"shard_query_workers must be >= 1, "
                 f"got {self.shard_query_workers}"
+            )
+        if self.shard_seed < 0:
+            raise ValidationError(
+                f"shard_seed must be >= 0, got {self.shard_seed}"
+            )
+        if self.group_commit_ms < 0:
+            raise ValidationError(
+                f"group_commit_ms must be >= 0, got {self.group_commit_ms}"
+            )
+        if self.group_commit_max < 1:
+            raise ValidationError(
+                f"group_commit_max must be >= 1, got {self.group_commit_max}"
+            )
+        if self.delta_max_pairs < 1:
+            raise ValidationError(
+                f"delta_max_pairs must be >= 1, got {self.delta_max_pairs}"
             )
         if self.max_inflight < 1:
             raise ValidationError(

@@ -38,6 +38,9 @@ Injection points wired through the engine:
 ``gather.merge``            the scatter-gather merge of shard slices
 ``rpc.send``                a coordinator-to-worker request hitting the wire
 ``rpc.recv``                a worker reply frame arriving (``corrupt`` allowed)
+``mutlog.append``           one mutation-log record being buffered
+``mutlog.flush``            the group-commit fsync (``crash`` allowed — kills
+                            a commit between append and durability)
 ==========================  ==================================================
 
 ``REPRO_FAULTS`` grammar (clauses separated by ``;``)::
@@ -78,14 +81,17 @@ INJECTION_POINTS = (
     "gather.merge",
     "rpc.send",
     "rpc.recv",
+    "mutlog.append",
+    "mutlog.flush",
 )
 
 #: Fault kinds a rule may carry.
 FAULT_KINDS = ("transient", "crash", "latency", "corrupt")
 
-#: ``crash`` simulates a pool worker dying, which only means something
-#: where a worker (or its serial stand-in) runs.
-CRASH_POINTS = ("shard.scan", "shard.build")
+#: ``crash`` simulates a process dying where one can: a pool worker (or
+#: its serial stand-in), or the writer between a log append and its
+#: fsync — the torn-commit case the write path's recovery must absorb.
+CRASH_POINTS = ("shard.scan", "shard.build", "mutlog.flush")
 
 #: ``corrupt`` mutates bytes in flight: the page reader and the RPC
 #: reply path are the two places raw buffers cross a trust boundary.

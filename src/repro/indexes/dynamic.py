@@ -49,6 +49,42 @@ def path_targets(graph: Graph, source: int, path: LabelPath) -> set[int]:
     return frontier
 
 
+def edge_delta(
+    graph: Graph, path: LabelPath, label: str, source: int, target: int
+) -> set[Pair]:
+    """Pairs of ``path`` with a witness through the ``(source, target)``
+    edge labelled ``label``, evaluated on the graph as given.
+
+    The localized ``A x B`` computation from the module docstring, as a
+    free function so the sharded write path
+    (:mod:`repro.write.delta`) can reuse it: for an insertion call it
+    on the post-insert graph (the result is exactly the new pairs); for
+    a deletion call it pre-delete (the result is the candidate set to
+    re-check once the edge is gone).
+    """
+    delta: set[Pair] = set()
+    for position, step in enumerate(path.steps):
+        if step.label != label:
+            continue
+        entry, exit_ = (source, target) if not step.inverse else (target, source)
+        if position > 0:
+            prefix = path.prefix(position).inverted()
+            left = path_targets(graph, entry, prefix)
+        else:
+            left = {entry}
+        if not left:
+            continue
+        if position + 1 < len(path):
+            suffix = path.subpath(position + 1, len(path))
+            right = path_targets(graph, exit_, suffix)
+        else:
+            right = {exit_}
+        for a in left:
+            for b in right:
+                delta.add((a, b))
+    return delta
+
+
 class DynamicPathIndex:
     """A k-path index that tracks graph mutations.
 
@@ -195,27 +231,7 @@ class DynamicPathIndex:
         self, path: LabelPath, label: str, source: int, target: int
     ) -> set[Pair]:
         """Pairs of ``path`` with a witness through the (u,v) edge."""
-        delta: set[Pair] = set()
-        for position, step in enumerate(path.steps):
-            if step.label != label:
-                continue
-            entry, exit_ = (source, target) if not step.inverse else (target, source)
-            if position > 0:
-                prefix = path.prefix(position).inverted()
-                left = path_targets(self.graph, entry, prefix)
-            else:
-                left = {entry}
-            if not left:
-                continue
-            if position + 1 < len(path):
-                suffix = path.subpath(position + 1, len(path))
-                right = path_targets(self.graph, exit_, suffix)
-            else:
-                right = {exit_}
-            for a in left:
-                for b in right:
-                    delta.add((a, b))
-        return delta
+        return edge_delta(self.graph, path, label, source, target)
 
     def _insert_pairs(self, path: LabelPath, pairs: set[Pair]) -> None:
         current = self._relations.setdefault(path.encode(), [])

@@ -60,6 +60,14 @@ class _MemoryBackend:
         """One path's relation as (src, tgt)-sorted int64 columns."""
         return self._tree.prefix_scan_columns((path_id,))
 
+    def insert(self, key: tuple[int, int, int]) -> bool:
+        """Point-insert one entry; False if it was already present."""
+        return self._tree.insert(key)
+
+    def delete(self, key: tuple[int, int, int]) -> bool:
+        """Point-delete one entry; False if it was absent."""
+        return self._tree.delete(key)
+
     def contains(self, key: tuple[int, int, int]) -> bool:
         return key in self._tree
 
@@ -334,6 +342,57 @@ class PathIndex:
         """Exact ``|p(G)|`` from the catalog (0 for pruned/empty paths)."""
         self._check_length(path)
         return self._counts.get(path.encode(), 0)
+
+    # -- point patching (the sharded write path) ----------------------------
+
+    @property
+    def supports_patch(self) -> bool:
+        """Whether the backend takes point edits (memory B+tree only)."""
+        return hasattr(self._backend, "insert")
+
+    def patch(
+        self,
+        path: LabelPath,
+        adds: Iterable[Pair],
+        removes: Iterable[Pair],
+    ) -> tuple[int, int]:
+        """Point-edit one path's relation in place; returns the counts
+        of entries actually ``(inserted, removed)``.
+
+        Both edit lists are idempotent: inserting a present pair or
+        removing an absent one is a no-op, so a recheck-driven caller
+        (:func:`repro.write.delta.resolve_patch`) can assert final
+        state without probing first.  A path the catalog pruned as
+        empty gains an id on its first insert — ids are dense and
+        append-only, and every lookup is a per-path prefix scan, so
+        cross-path id order never matters.  Exact per-path counts stay
+        exact (they are the statistics layer's ground truth).
+        """
+        if not self.supports_patch:
+            raise PathIndexError(
+                f"backend {self.backend_name!r} cannot patch in place; "
+                "rebuild instead"
+            )
+        self._check_length(path)
+        encoded = path.encode()
+        path_id = self._path_ids.get(encoded)
+        inserted = removed = 0
+        if path_id is not None:
+            for source, target in removes:
+                if self._backend.delete((path_id, source, target)):
+                    removed += 1
+        for source, target in adds:
+            if path_id is None:
+                path_id = len(self._path_ids)
+                self._path_ids[encoded] = path_id
+                self._counts[encoded] = 0
+            if self._backend.insert((path_id, source, target)):
+                inserted += 1
+        if inserted or removed:
+            self._counts[encoded] = (
+                self._counts.get(encoded, 0) + inserted - removed
+            )
+        return inserted, removed
 
     # -- inspection ------------------------------------------------------------------
 

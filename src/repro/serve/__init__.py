@@ -19,12 +19,30 @@ asks for:
 Clients live in :mod:`repro.client` (sync and async, one codec).
 """
 
-from repro.serve.coordinator import CoordinatorDatabase, RpcShardedGraph
-from repro.serve.worker import WorkerHandle, launch_workers
-
 __all__ = [
     "CoordinatorDatabase",
     "RpcShardedGraph",
     "WorkerHandle",
     "launch_workers",
 ]
+
+#: Lazy re-exports (PEP 562).  The write path (``repro.write.log``)
+#: borrows the frame codec from :mod:`repro.serve.protocol`, and
+#: ``repro.api`` imports the write path — an eager coordinator import
+#: here would close that loop back into ``repro.api`` before it
+#: finishes initializing.
+_EXPORTS = {
+    "CoordinatorDatabase": "repro.serve.coordinator",
+    "RpcShardedGraph": "repro.serve.coordinator",
+    "WorkerHandle": "repro.serve.worker",
+    "launch_workers": "repro.serve.worker",
+}
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

@@ -27,14 +27,23 @@ as a ``deadline_ms`` remaining-budget header on every request.
 
 :class:`CoordinatorDatabase` is a drop-in
 :class:`~repro.api.GraphDatabase` whose index is an
-:class:`RpcShardedGraph`; ``add_edge`` / ``remove_edge`` broadcast the
-mutation to every worker instead of rebuilding in-process, and
+:class:`RpcShardedGraph`; it inherits the whole ``apply()`` write path
+(group commit, mutation log, delta staging) and overrides only how a
+committed group reaches the index — one ``apply`` broadcast per group,
+carrying each worker's pre-computed patch slice or rebuild flag,
+instead of patching in-process.
 :meth:`CoordinatorDatabase.ensure_workers` is the supervision hook the
-serve front door calls to restart crashed workers.
+serve front door calls to restart crashed workers; a restarted worker
+forks from the fleet's *base* graph snapshot and catches up by
+replaying the coordinator's in-memory journal — the mutation stream —
+rather than re-receiving the full current graph
+(:attr:`RpcShardedGraph.full_graph_transfers` stays 0, the chaos tests
+assert it).
 """
 
 from __future__ import annotations
 
+import copy
 import socket
 import threading
 
@@ -52,6 +61,7 @@ from repro.relation import Order, Relation, dedup_sort
 from repro.serve import protocol
 from repro.serve.worker import WorkerHandle, launch_worker, launch_workers
 from repro.sharding import ShardedGraph
+from repro.write.delta import resolve_patch
 
 #: Socket timeout for a single RPC when no query deadline is in force.
 #: Generous — a worker answering slowly is not a worker that is gone —
@@ -167,17 +177,26 @@ class WorkerStub:
         reply, _ = self._call("entry_count")
         return int(reply["value"])
 
-    def mutate(
-        self, kind: str, source: str, label: str, target: str, rebuild: bool
+    #: Workers are memory-backed; their shard B+trees take point edits,
+    #: so the coordinator's delta-patching path stays open over RPC.
+    supports_patch = True
+
+    def apply_group(
+        self,
+        seq: int,
+        mutations: list[dict],
+        patch: dict | None = None,
+        rebuild: bool = False,
     ) -> int:
+        """Ship one commit group: mutations + this shard's index move."""
         reply, _ = self._call(
-            "mutate",
-            kind=kind,
-            source=source,
-            label=label,
-            target=target,
-            rebuild=rebuild,
+            "apply", seq=seq, mutations=mutations, patch=patch, rebuild=rebuild
         )
+        return int(reply["version"])
+
+    def replay(self, seq: int, mutations: list[dict]) -> int:
+        """Catch a restarted worker up from the journal suffix."""
+        reply, _ = self._call("replay", seq=seq, mutations=mutations)
         return int(reply["version"])
 
     def ping(self) -> bool:
@@ -217,6 +236,7 @@ class RpcShardedGraph(ShardedGraph):
         handles: list[WorkerHandle],
         prune_empty: bool = True,
         rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+        shard_seed: int = 0,
     ) -> None:
         stubs = [WorkerStub(handle, rpc_timeout) for handle in handles]
         super().__init__(
@@ -227,8 +247,23 @@ class RpcShardedGraph(ShardedGraph):
             index_path=None,
             build_workers=1,
             prune_empty=prune_empty,
+            shard_seed=shard_seed,
         )
         self.handles = list(handles)
+        # The restart checkpoint: a frozen snapshot of the graph every
+        # worker was forked from.  A replacement worker launches from
+        # this plus a journal replay — never from the live (mutated)
+        # graph, which would be a full-graph transfer per restart.
+        self.base_graph = copy.deepcopy(graph)
+        #: In-memory mirror of the mutation stream since launch:
+        #: ``(seq, flattened mutation wire list)`` per commit group.
+        self.journal: list[tuple[int, list[dict]]] = []
+        self.journal_seq = 0
+        #: Mutations shipped to restarted workers via journal replay.
+        self.replayed_mutations = 0
+        #: Restarts that had to re-ship the full current graph (the
+        #: pre-journal behavior).  The replay path keeps this at 0.
+        self.full_graph_transfers = 0
 
     @classmethod
     def launch(
@@ -238,11 +273,19 @@ class RpcShardedGraph(ShardedGraph):
         shards: int,
         prune_empty: bool = True,
         rpc_timeout: float = DEFAULT_RPC_TIMEOUT,
+        shard_seed: int = 0,
     ) -> "RpcShardedGraph":
         """Fork ``shards`` workers (parallel build) and wrap them."""
-        handles = launch_workers(graph, k, shards, prune_empty=prune_empty)
+        handles = launch_workers(
+            graph, k, shards, prune_empty=prune_empty, shard_seed=shard_seed
+        )
         return cls(
-            graph, k, handles, prune_empty=prune_empty, rpc_timeout=rpc_timeout
+            graph,
+            k,
+            handles,
+            prune_empty=prune_empty,
+            rpc_timeout=rpc_timeout,
+            shard_seed=shard_seed,
         )
 
     # -- scatter calls (deadline-forwarding overrides) --------------------
@@ -282,52 +325,76 @@ class RpcShardedGraph(ShardedGraph):
         """In-process partial rebuild does not apply over RPC."""
         raise ValidationError(
             "RpcShardedGraph shards rebuild in their worker processes; "
-            "use apply_mutation()"
+            "use apply_commit_group()"
         )
 
-    def apply_mutation(
-        self,
-        kind: str,
-        source: str,
-        label: str,
-        target: str,
-        affected: set[int],
-    ) -> None:
-        """Broadcast one mutation to every worker.
+    def patch_shards(self, changes: dict[int, dict]) -> None:
+        """In-process patching does not apply over RPC either."""
+        raise ValidationError(
+            "RpcShardedGraph shards patch in their worker processes; "
+            "use apply_commit_group()"
+        )
 
-        Every worker applies it to its graph copy (relations compose
-        against the full graph, so all copies must move in lockstep);
-        only the affected ball rebuilds its index.  Any worker failing
+    def apply_commit_group(
+        self,
+        mutations: list[dict],
+        patch: dict[int, dict] | None,
+        touched: set[int],
+    ) -> None:
+        """Broadcast one commit group to every worker, then journal it.
+
+        Every worker applies every mutation to its graph copy
+        (relations compose against the full graph, so all copies must
+        move in lockstep); each worker's *index* move is pre-computed
+        coordinator-side — ``patch`` maps shard -> that shard's point
+        edits (delta path), ``patch=None`` means the workers in
+        ``touched`` rebuild their ball instead.  Any worker failing
         mid-broadcast propagates — the caller discards the whole index
-        and relaunches, because half-mutated workers are unusable.
-        Statistics caches are invalidated exactly as the in-process
-        ``rebuild_shards`` does.
+        and relaunches, because half-mutated workers are unusable.  The
+        journaled group is what restarted workers replay.
         """
+        seq = self.journal_seq + 1
         for shard, stub in enumerate(self._shards):
-            stub.mutate(kind, source, label, target, rebuild=shard in affected)
-        self._merged_counts = None
-        self._total_paths_k = None
-        self._shard_statistics = [None for _ in self._shards]
-        self.replan_cache.clear()
+            if patch is not None:
+                stub.apply_group(seq, mutations, patch=patch.get(shard, {}))
+            else:
+                stub.apply_group(seq, mutations, rebuild=shard in touched)
+        self.journal_seq = seq
+        self.journal.append((seq, mutations))
+        self.invalidate_statistics()
 
     def worker_alive(self, shard: int) -> bool:
         return self.handles[shard].alive()
 
     def restart_worker(self, shard: int) -> None:
-        """Fork a replacement for a dead worker and rebind its stub.
+        """Fork a replacement for a dead worker and catch it up by replay.
 
-        The replacement builds from the coordinator's *current* graph,
-        so its shard contents (and therefore every statistics cache)
-        are exactly what the dead worker's should have been — no
-        invalidation needed.
+        The replacement builds from the fleet's *base* graph snapshot,
+        then one ``replay`` request ships the journal — the mutation
+        stream since launch — and rebuilds its shard once at the end.
+        Its contents end up exactly what the dead worker's should have
+        been (the journal is the same ordered stream every live worker
+        applied), so no statistics cache needs invalidating, and the
+        current graph never crosses the process boundary.
         """
         replacement = launch_worker(
-            self.graph, self.k, shard, len(self._shards), self._prune_empty
+            self.base_graph,
+            self.k,
+            shard,
+            len(self._shards),
+            self._prune_empty,
+            shard_seed=self.shard_seed,
         )
         old = self.handles[shard]
         self.handles[shard] = replacement
         self._shards[shard].rebind(replacement)
         old.stop()
+        if self.journal:
+            mutations = [
+                wire for _seq, group in self.journal for wire in group
+            ]
+            self._shards[shard].replay(self.journal_seq, mutations)
+            self.replayed_mutations += len(mutations)
 
     def close(self) -> None:
         for stub in self._shards:
@@ -376,7 +443,10 @@ class CoordinatorDatabase(GraphDatabase):
         )
         try:
             index = RpcShardedGraph.launch(
-                self.graph, self.k, shards=max(1, self._shards)
+                self.graph,
+                self.k,
+                shards=max(1, self._shards),
+                shard_seed=self._shard_seed,
             )
             index.query_workers = self._shard_query_workers
             index.scatter_pruning = self.config.scatter_pruning
@@ -398,52 +468,43 @@ class CoordinatorDatabase(GraphDatabase):
             old_index.close()
         return index
 
-    # -- mutations (broadcast instead of in-process rebuild) --------------
+    # -- mutations (broadcast instead of in-process patch/rebuild) --------
+    #
+    # ``apply()``, ``add_edge`` and ``remove_edge`` are inherited — the
+    # unified write path (group commit, mutation log, delta staging)
+    # runs coordinator-side against the coordinator's graph; only the
+    # index-absorption step below differs.  This collapses what used to
+    # be a duplicated mutate/rebuild sequence in both classes onto one
+    # implementation.
 
-    def add_edge(self, source: str, label: str, target: str) -> int | None:
-        with self._lock.write_locked():
-            if not self.graph.add_edge(source, label, target):
-                return None
-            # Post-insert ball, exactly as the base class computes it.
-            affected = self._affected_shards(source, target)
-            self._propagate_mutation_locked("add", source, label, target, affected)
-            return self.graph.version
+    def _absorb_group_locked(self, index, staged, batches, patchable):
+        """Broadcast one applied group to the worker fleet.
 
-    def remove_edge(self, source: str, label: str, target: str) -> int | None:
-        with self._lock.write_locked():
-            # Pre-delete ball: the edge must still exist to be walked.
-            affected = self._affected_shards(source, target)
-            if not self.graph.remove_edge(source, label, target):
-                return None
-            self._propagate_mutation_locked(
-                "remove", source, label, target, affected
-            )
-            return self.graph.version
-
-    def _propagate_mutation_locked(
-        self, kind, source, label, target, affected
-    ) -> None:
-        """Ship one applied mutation to the fleet; caller holds the lock.
-
-        The full-relaunch fallback mirrors the base class's
-        full-rebuild fallback: an unknown ball or a changed label
-        vocabulary invalidates every worker's path enumeration, so the
-        fleet is rebuilt from the current graph.  On the partial path a
-        failing broadcast discards the index (half-mutated workers are
-        unusable) under the same cleanup contract as the in-process
-        partial rebuild.
+        The full-relaunch fallback mirrors the base class's full-rebuild
+        fallback: a changed label vocabulary invalidates every worker's
+        path enumeration, so the fleet is rebuilt from the current
+        graph.  Otherwise one ``apply`` RPC per worker carries the
+        group's mutations plus either that worker's pre-computed patch
+        slice (delta path — the workers never run the delta algorithm)
+        or its ball-rebuild flag.  A failing broadcast discards the
+        index (half-mutated workers are unusable) under the same
+        cleanup contract as the in-process paths.
         """
-        index = self._index
-        if (
-            affected is None
-            or not isinstance(index, RpcShardedGraph)
-            or index.alphabet != self.graph.labels()
+        if staged.fallback == "alphabet" or not isinstance(
+            index, RpcShardedGraph
         ):
             self._build_index_locked()
-            return
+            return "rebuild", ()
+        patchable = patchable and staged.fallback is None
+        changes = (
+            resolve_patch(self.graph, index, staged.dirty) if patchable else None
+        )
+        mutations = [
+            mutation.as_wire() for batch in batches for mutation in batch
+        ]
         self.cache_clear()
         try:
-            index.apply_mutation(kind, source, label, target, affected)
+            index.apply_commit_group(mutations, changes, set(staged.touched))
             exact_statistics, histogram = self._refresh_sharded_statistics(index)
         except BaseException:
             self._index = None
@@ -460,6 +521,9 @@ class CoordinatorDatabase(GraphDatabase):
         self._histogram = histogram
         self._statistics_epoch += 1
         self._plan_store.open(self._plan_fingerprint())
+        if changes is not None:
+            return "patch", tuple(sorted(changes))
+        return "rebuild", ()
 
     # -- supervision ------------------------------------------------------
 

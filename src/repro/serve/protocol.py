@@ -221,29 +221,40 @@ def recv_exact(read, count: int) -> bytes:
     return b"".join(chunks)
 
 
+def pack_frame(header: dict, body: bytes = b"") -> bytes:
+    """One ``[lengths][JSON header][body]`` frame as bytes.
+
+    The same frame shape whether it crosses a socket
+    (:func:`send_frame`) or lands in an append-only file (the mutation
+    log's records are exactly these frames).
+    """
+    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(encoded), len(body)) + encoded + body
+
+
 def send_frame(sock, header: dict, body: bytes = b"") -> None:
     """Write one ``[lengths][JSON header][body]`` frame to a socket."""
-    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    sock.sendall(_FRAME.pack(len(encoded), len(body)) + encoded + body)
+    sock.sendall(pack_frame(header, body))
 
 
-def recv_frame(sock) -> tuple[dict, bytes]:
-    """Read one frame from a socket; returns ``(header, body)``.
+def read_frame(read) -> tuple[dict, bytes]:
+    """Read one frame via a ``read(n)`` callable; returns ``(header, body)``.
 
     Implausible lengths and undecodable headers are permanent
     :class:`WireError`\\ s (the stream is garbage); a clean or
     mid-frame EOF is a :class:`TransientWireError` (the peer went
-    away, retry on a fresh connection).
+    away, retry on a fresh connection — or, for a file, the tail was
+    torn by a crash).
     """
-    prefix = recv_exact(sock.recv, _FRAME.size)
+    prefix = recv_exact(read, _FRAME.size)
     header_len, body_len = _FRAME.unpack(prefix)
     if header_len > MAX_HEADER_BYTES or body_len > MAX_BODY_BYTES:
         raise WireError(
             f"implausible frame lengths (header={header_len}, "
             f"body={body_len}): corrupt length prefix"
         )
-    header_bytes = recv_exact(sock.recv, header_len)
-    body = recv_exact(sock.recv, body_len) if body_len else b""
+    header_bytes = recv_exact(read, header_len)
+    body = recv_exact(read, body_len) if body_len else b""
     try:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -251,3 +262,8 @@ def recv_frame(sock) -> tuple[dict, bytes]:
     if not isinstance(header, dict):
         raise WireError(f"frame header must be an object, got {header!r}")
     return header, body
+
+
+def recv_frame(sock) -> tuple[dict, bytes]:
+    """Read one frame from a socket (see :func:`read_frame`)."""
+    return read_frame(sock.recv)

@@ -53,6 +53,7 @@ from repro.errors import (
 )
 from repro.faults import RetryPolicy
 from repro.serve.protocol import encode_error
+from repro.write.mutation import MutationBatch
 
 #: Seconds between supervision polls when the last poll succeeded.
 SUPERVISE_INTERVAL = 0.25
@@ -229,7 +230,16 @@ class QueryServer:
                 return 200, await self._guarded(self._do_prepared, body)
             if method == "POST" and path == "/mutate":
                 return 200, await self._guarded(self._do_mutate, body)
-            if path in ("/health", "/stats", "/query", "/prepared", "/mutate"):
+            if method == "POST" and path == "/apply":
+                return 200, await self._guarded(self._do_apply, body)
+            if path in (
+                "/health",
+                "/stats",
+                "/query",
+                "/prepared",
+                "/mutate",
+                "/apply",
+            ):
                 return 405, {
                     "ok": False,
                     "error": encode_error(
@@ -305,6 +315,7 @@ class QueryServer:
         return _result_payload(statement.run(**params))
 
     def _do_mutate(self, body: dict) -> dict:
+        """Legacy single-edge route; rides the same ``apply()`` path."""
         kind = body.get("kind")
         source = _require_text(body, "source")
         label = _require_text(body, "label")
@@ -320,6 +331,12 @@ class QueryServer:
             "changed": version is not None,
             "version": self.database.graph.version,
         }
+
+    def _do_apply(self, body: dict) -> dict:
+        """The unified mutation route: one batch, one commit group ride."""
+        batch = MutationBatch.from_wire(body.get("mutations"))
+        result = self.database.apply(batch)
+        return {"ok": True, "result": result.as_wire()}
 
 
 def encode_wire_error(error: Exception) -> dict:

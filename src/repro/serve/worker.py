@@ -8,9 +8,12 @@ serves requests over a length-prefixed socket protocol
 (:mod:`repro.serve.protocol`) until told to shut down.
 
 Workers communicate *only* by message passing: the coordinator's graph
-mutations arrive as ``mutate`` requests that the worker applies to its
-own forked copy of the graph, rebuilding its index only when its shard
-is in the mutation's affected set.
+mutations arrive as ``apply`` requests — one per commit group, carrying
+the group's mutations plus either this worker's pre-computed shard
+patch slice or a rebuild flag — that the worker applies to its own
+forked copy of the graph.  A restarted worker catches up with one
+``replay`` request (the journal suffix past its acked sequence number)
+instead of re-receiving the whole graph.
 
 Failure behavior is deliberately blunt: a request the worker can
 classify (an unknown path, an expired budget, a corrupt frame it
@@ -88,6 +91,7 @@ def launch_workers(
     shards: int,
     prune_empty: bool = True,
     ready_timeout: float = READY_TIMEOUT,
+    shard_seed: int = 0,
 ) -> list[WorkerHandle]:
     """Fork one worker per shard; block until every one is serving.
 
@@ -105,7 +109,7 @@ def launch_workers(
             receiver, sender = context.Pipe(duplex=False)
             process = context.Process(
                 target=_worker_main,
-                args=(sender, graph, k, shard, shards, prune_empty),
+                args=(sender, graph, k, shard, shards, prune_empty, shard_seed),
                 daemon=True,
                 name=f"repro-shard-{shard}",
             )
@@ -131,13 +135,14 @@ def launch_worker(
     shard_count: int,
     prune_empty: bool = True,
     ready_timeout: float = READY_TIMEOUT,
+    shard_seed: int = 0,
 ) -> WorkerHandle:
     """Fork a single replacement worker (the supervision restart path)."""
     context = _fork_context()
     receiver, sender = context.Pipe(duplex=False)
     process = context.Process(
         target=_worker_main,
-        args=(sender, graph, k, shard, shard_count, prune_empty),
+        args=(sender, graph, k, shard, shard_count, prune_empty, shard_seed),
         daemon=True,
         name=f"repro-shard-{shard}",
     )
@@ -186,6 +191,10 @@ class _WorkerState:
     shard: int
     shard_count: int
     prune_empty: bool
+    shard_seed: int = 0
+    #: Sequence number of the last applied commit group — the resync
+    #: cursor: a replacement worker replays the journal suffix past it.
+    applied_seq: int = 0
     index: PathIndex = field(init=False)
 
     def __post_init__(self) -> None:
@@ -200,7 +209,12 @@ class _WorkerState:
         workers are rebuildable by construction.
         """
         payload = ShardedGraph._serial_payload(
-            self.graph, self.k, self.shard_count, self.shard, self.prune_empty
+            self.graph,
+            self.k,
+            self.shard_count,
+            self.shard,
+            self.prune_empty,
+            self.shard_seed,
         )
         return ShardedGraph._shard_index(
             self.graph, self.k, payload, "memory", None, self.shard
@@ -212,10 +226,12 @@ class _WorkerState:
         old.close()
 
 
-def _worker_main(channel, graph, k, shard, shard_count, prune_empty) -> None:
+def _worker_main(
+    channel, graph, k, shard, shard_count, prune_empty, shard_seed=0
+) -> None:
     """Worker entry point: build, report the port, serve until shutdown."""
     try:
-        state = _WorkerState(graph, k, shard, shard_count, prune_empty)
+        state = _WorkerState(graph, k, shard, shard_count, prune_empty, shard_seed)
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind(("127.0.0.1", 0))
@@ -307,33 +323,77 @@ def _handle(state: _WorkerState, header: dict) -> tuple[dict, bytes]:
         return {"ok": True, "counts": state.index.counts_by_path()}, b""
     if op == "entry_count":
         return {"ok": True, "value": state.index.entry_count}, b""
-    if op == "mutate":
-        return _handle_mutate(state, header)
+    if op == "apply":
+        return _handle_apply(state, header)
+    if op == "replay":
+        return _handle_replay(state, header)
     if op == "shutdown":
         return {"ok": True}, b""
     raise ValidationError(f"unknown worker op {op!r}")
 
 
-def _handle_mutate(state: _WorkerState, header: dict) -> tuple[dict, bytes]:
-    """Apply one graph mutation to the worker's copy.
+def _apply_mutations(state: _WorkerState, mutations: list) -> None:
+    """Apply a group's mutations to the worker's graph copy, in order.
 
-    Every worker receives every mutation (the graphs must stay in
-    lockstep — path relations compose against the *full* graph), but
-    only workers whose shard is in the coordinator-computed affected
-    ball get ``rebuild=True``.
+    Every worker receives every mutation — the graphs must stay in
+    lockstep, path relations compose against the *full* graph.
+    Application is idempotent (batch-replay safe).
     """
-    kind = header.get("kind")
-    source, label, target = header["source"], header["label"], header["target"]
-    if kind == "add":
-        changed = state.graph.add_edge(source, label, target)
-    elif kind == "remove":
-        changed = state.graph.remove_edge(source, label, target)
-    else:
-        raise ValidationError(f"unknown mutation kind {kind!r}")
-    if header.get("rebuild"):
+    for wire in mutations:
+        kind = wire.get("kind")
+        source, label, target = wire["source"], wire["label"], wire["target"]
+        if kind == "add":
+            state.graph.add_edge(source, label, target)
+        elif kind == "remove":
+            state.graph.remove_edge(source, label, target)
+        else:
+            raise ValidationError(f"unknown mutation kind {kind!r}")
+
+
+def _handle_apply(state: _WorkerState, header: dict) -> tuple[dict, bytes]:
+    """Absorb one commit group: mutations plus this shard's index move.
+
+    The coordinator runs the delta algorithm once and ships each worker
+    only its slice: ``patch`` (encoded path -> ``[adds, removes]`` pair
+    lists, possibly empty) for B+tree point edits, or ``rebuild: true``
+    when this shard's ball must rebuild.  ``seq`` advances the worker's
+    resync cursor.
+    """
+    _apply_mutations(state, header.get("mutations", []))
+    patch = header.get("patch")
+    if patch is not None:
+        for encoded, (adds, removes) in patch.items():
+            state.index.patch(
+                LabelPath.decode(encoded),
+                [(int(src), int(tgt)) for src, tgt in adds],
+                [(int(src), int(tgt)) for src, tgt in removes],
+            )
+    elif header.get("rebuild"):
         state.rebuild()
+    state.applied_seq = int(header.get("seq", state.applied_seq))
     return {
         "ok": True,
-        "changed": bool(changed),
         "version": state.graph.version,
+        "applied_seq": state.applied_seq,
+    }, b""
+
+
+def _handle_replay(state: _WorkerState, header: dict) -> tuple[dict, bytes]:
+    """Catch a restarted worker up from the coordinator's journal.
+
+    Carries every journaled mutation past the worker's acked sequence
+    number (for a fresh fork from the base graph, all of them) and
+    rebuilds the shard index once at the end — the log-suffix resync
+    that replaces re-shipping the whole current graph.
+    """
+    mutations = header.get("mutations", [])
+    _apply_mutations(state, mutations)
+    if mutations:
+        state.rebuild()
+    state.applied_seq = int(header.get("seq", state.applied_seq))
+    return {
+        "ok": True,
+        "version": state.graph.version,
+        "applied_seq": state.applied_seq,
+        "replayed": len(mutations),
     }, b""

@@ -146,9 +146,15 @@ class BoundedCache:
             self._data.clear()
 
 
-def shard_of(node_id: int, shard_count: int) -> int:
-    """The shard owning ``node_id`` (and every path starting there)."""
-    return (((node_id * SHARD_MIX) & _MASK64) >> _SHARD_SHIFT) % shard_count
+def shard_of(node_id: int, shard_count: int, seed: int = 0) -> int:
+    """The shard owning ``node_id`` (and every path starting there).
+
+    ``seed`` perturbs the hash before mixing, giving a whole family of
+    placements; ``rebalance()`` walks candidate seeds when the default
+    placement goes skewed under a hostile mutation stream.  ``seed=0``
+    is bit-for-bit the historical map.
+    """
+    return ((((node_id + seed) * SHARD_MIX) & _MASK64) >> _SHARD_SHIFT) % shard_count
 
 
 class ShardMembership:
@@ -160,19 +166,22 @@ class ShardMembership:
     a whole column in one numpy pass).
     """
 
-    __slots__ = ("shard", "shard_count")
+    __slots__ = ("shard", "shard_count", "seed")
 
-    def __init__(self, shard: int, shard_count: int) -> None:
+    def __init__(self, shard: int, shard_count: int, seed: int = 0) -> None:
         self.shard = shard
         self.shard_count = shard_count
+        self.seed = seed
 
     def __contains__(self, node_id: int) -> bool:
-        return shard_of(node_id, self.shard_count) == self.shard
+        return shard_of(node_id, self.shard_count, self.seed) == self.shard
 
     def mask(self, ids):
         """Boolean numpy mask of which ``ids`` belong to this shard."""
         numpy = rel._np
-        mixed = ids.astype(numpy.uint64) * numpy.uint64(SHARD_MIX)
+        mixed = (ids.astype(numpy.uint64) + numpy.uint64(self.seed)) * numpy.uint64(
+            SHARD_MIX
+        )
         return (mixed >> numpy.uint64(_SHARD_SHIFT)) % numpy.uint64(
             self.shard_count
         ) == numpy.uint64(self.shard)
@@ -184,10 +193,15 @@ ShardPayload = list[tuple[str, "object", "object"]]
 
 
 def _shard_payload(
-    graph: Graph, k: int, shard_count: int, shard: int, prune_empty: bool
+    graph: Graph,
+    k: int,
+    shard_count: int,
+    shard: int,
+    prune_empty: bool,
+    seed: int = 0,
 ) -> ShardPayload:
     """Compute one shard's path relations (runs in a pool worker)."""
-    membership = ShardMembership(shard, shard_count)
+    membership = ShardMembership(shard, shard_count, seed)
     return [
         (path.encode(), relation.src, relation.tgt)
         for path, relation in path_relations_columnar(
@@ -214,6 +228,7 @@ class ShardedGraph:
         index_path: str | FilePath | None,
         build_workers: int,
         prune_empty: bool = True,
+        shard_seed: int = 0,
     ) -> None:
         self.graph = graph
         self.k = k
@@ -222,6 +237,10 @@ class ShardedGraph:
         self._index_path = index_path
         self._build_workers = build_workers
         self._prune_empty = prune_empty
+        #: Hash seed of the vertex-to-shard map.  Fixed per instance:
+        #: re-seeding (rebalancing) means a full rebuild into a new
+        #: instance, never an in-place remap.
+        self.shard_seed = shard_seed
         #: Thread fan-out of scatter-gather plan execution (1 = serial).
         self.query_workers = 1
         #: Skip scatter slices whose leftmost-leaf slice is *provably*
@@ -279,6 +298,7 @@ class ShardedGraph:
         index_path: str | FilePath | None = None,
         workers: int | None = None,
         prune_empty: bool = True,
+        shard_seed: int = 0,
     ) -> "ShardedGraph":
         """Partition ``graph`` and build every shard's index.
 
@@ -302,7 +322,7 @@ class ShardedGraph:
             workers = 1
         resolved = cls._resolve_workers(workers, shards)
         payloads = cls._compute_payloads(
-            graph, k, shards, list(range(shards)), resolved, prune_empty
+            graph, k, shards, list(range(shards)), resolved, prune_empty, shard_seed
         )
         indexes: list[PathIndex] = []
         try:
@@ -316,7 +336,16 @@ class ShardedGraph:
             for built in indexes:
                 built.close()
             raise
-        return cls(graph, k, indexes, backend, index_path, resolved, prune_empty)
+        return cls(
+            graph,
+            k,
+            indexes,
+            backend,
+            index_path,
+            resolved,
+            prune_empty,
+            shard_seed=shard_seed,
+        )
 
     @staticmethod
     def _resolve_workers(workers: int | None, shards: int) -> int:
@@ -333,6 +362,7 @@ class ShardedGraph:
         shard_ids: list[int],
         workers: int,
         prune_empty: bool,
+        seed: int = 0,
     ) -> dict[int, ShardPayload]:
         if workers > 1 and len(shard_ids) > 1:
             try:
@@ -341,7 +371,7 @@ class ShardedGraph:
                 # and exercises the serial fallback below.
                 fire("shard.build", stage="pool")
                 return cls._parallel_payloads(
-                    graph, k, shard_count, shard_ids, workers, prune_empty
+                    graph, k, shard_count, shard_ids, workers, prune_empty, seed
                 )
             except (BrokenExecutor, PicklingError, TransientError):
                 # Pool infrastructure can fail on platforms without
@@ -353,7 +383,9 @@ class ShardedGraph:
                 # double time-to-fail.
                 pass
         return {
-            shard: cls._serial_payload(graph, k, shard_count, shard, prune_empty)
+            shard: cls._serial_payload(
+                graph, k, shard_count, shard, prune_empty, seed
+            )
             for shard in shard_ids
         }
 
@@ -364,6 +396,7 @@ class ShardedGraph:
         shard_count: int,
         shard: int,
         prune_empty: bool,
+        seed: int = 0,
     ) -> ShardPayload:
         """One shard's payload on the serial path, with build retry.
 
@@ -378,7 +411,7 @@ class ShardedGraph:
 
         def attempt() -> ShardPayload:
             fire("shard.build", shard=shard)
-            return _shard_payload(graph, k, shard_count, shard, prune_empty)
+            return _shard_payload(graph, k, shard_count, shard, prune_empty, seed)
 
         try:
             return retry_call(attempt)
@@ -400,6 +433,7 @@ class ShardedGraph:
         shard_ids: list[int],
         workers: int,
         prune_empty: bool,
+        seed: int = 0,
     ) -> dict[int, ShardPayload]:
         import multiprocessing
 
@@ -420,7 +454,7 @@ class ShardedGraph:
         with pool:
             futures = {
                 shard: pool.submit(
-                    _shard_payload, graph, k, shard_count, shard, prune_empty
+                    _shard_payload, graph, k, shard_count, shard, prune_empty, seed
                 )
                 for shard in shard_ids
             }
@@ -470,7 +504,7 @@ class ShardedGraph:
         return tuple(self._shards)
 
     def owner(self, node_id: int) -> int:
-        return shard_of(node_id, len(self._shards))
+        return shard_of(node_id, len(self._shards), self.shard_seed)
 
     def owned_ids(self, shard: int) -> list[int]:
         """All graph node ids the shard owns, ascending (cached).
@@ -484,7 +518,7 @@ class ShardedGraph:
             count = len(self._shards)
             lists: list[list[int]] = [[] for _ in range(count)]
             for node_id in self.graph.node_ids():
-                lists[shard_of(node_id, count)].append(node_id)
+                lists[shard_of(node_id, count, self.shard_seed)].append(node_id)
             self._owned_lists = lists
             self._owned_version = self.graph.version
         return self._owned_lists[shard]
@@ -501,9 +535,10 @@ class ShardedGraph:
         additions, pre-delete for removals.
         """
         count = len(self._shards)
+        seed = self.shard_seed
         frontier = set(vertices)
         seen = set(frontier)
-        touched = {shard_of(node, count) for node in frontier}
+        touched = {shard_of(node, count, seed) for node in frontier}
         for _ in range(self.k - 1):
             if not frontier or len(touched) == count:
                 break
@@ -513,7 +548,7 @@ class ShardedGraph:
                     if neighbor not in seen:
                         seen.add(neighbor)
                         next_frontier.add(neighbor)
-                        touched.add(shard_of(neighbor, count))
+                        touched.add(shard_of(neighbor, count, seed))
             frontier = next_frontier
         return touched
 
@@ -548,6 +583,7 @@ class ShardedGraph:
             shard_ids,
             resolved,
             self._prune_empty,
+            self.shard_seed,
         )
         for shard in shard_ids:
             old = self._shards[shard]
@@ -568,10 +604,58 @@ class ShardedGraph:
         # Every statistics cache is stale now: rebuilt shards changed
         # their catalogs, and the graph mutation behind the rebuild
         # moved |paths_k(G)| for *all* shards' selectivities.
+        self.invalidate_statistics()
+
+    def invalidate_statistics(self) -> None:
+        """Drop every statistics cache (after a rebuild or a patch).
+
+        Patched or rebuilt shards changed their catalogs, and the graph
+        mutation behind either moved ``|paths_k(G)|`` for *all* shards'
+        selectivities.
+        """
         self._merged_counts = None
         self._total_paths_k = None
         self._shard_statistics = [None for _ in self._shards]
         self.replan_cache.clear()
+
+    # -- delta patching (the sharded write path) --------------------------
+
+    @property
+    def supports_patch(self) -> bool:
+        """Whether every shard index takes point edits in place.
+
+        True for the memory backend (its B+tree has point
+        insert/delete); the disk and compressed backends only
+        bulk-load, so mutations there fall back to the ball rebuild.
+        """
+        return all(
+            getattr(shard, "supports_patch", False) for shard in self._shards
+        )
+
+    def patch_shards(self, changes: dict[int, dict]) -> None:
+        """Apply per-shard index deltas in place of a ball rebuild.
+
+        ``changes`` maps shard id -> (encoded path -> ``(adds,
+        removes)`` pair lists), the shape
+        :func:`repro.write.delta.resolve_patch` produces.  Inserts and
+        deletes are idempotent at the backend, so patching is safe to
+        drive from a recheck that lists a pair already in its final
+        state.  Statistics caches drop afterwards, exactly as for
+        :meth:`rebuild_shards`.  Must not be used across an alphabet
+        change — same guard, same reason.
+        """
+        if self.alphabet != self.graph.labels():
+            raise ValidationError(
+                "edge-label vocabulary changed; rebuild the whole index"
+            )
+        for shard in changes:
+            if not 0 <= shard < len(self._shards):
+                raise ValidationError(f"no such shard {shard}")
+        for shard, patches in changes.items():
+            index = self._shards[shard]
+            for encoded, (adds, removes) in patches.items():
+                index.patch(LabelPath.decode(encoded), adds, removes)
+        self.invalidate_statistics()
 
     # -- PathIndex facade (global scatter-gather) -------------------------
 
@@ -640,6 +724,10 @@ class ShardedGraph:
     @property
     def entry_count(self) -> int:
         return sum(shard.entry_count for shard in self._shards)
+
+    def shard_entry_counts(self) -> list[int]:
+        """Index entries per shard — the rebalancer's skew signal."""
+        return [shard.entry_count for shard in self._shards]
 
     @property
     def backend_name(self) -> str:

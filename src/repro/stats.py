@@ -67,6 +67,24 @@ class FaultStats:
 
 
 @dataclass(frozen=True, slots=True)
+class WriteStats:
+    """The write path: group commit, the mutation log, delta patching."""
+
+    #: Commit groups flushed by the group committer.
+    groups: int = 0
+    #: Batches that rode another batch's flush (group size - 1, summed).
+    coalesced: int = 0
+    #: Groups absorbed by per-shard delta patching.
+    patched: int = 0
+    #: Groups that fell back to a ball or full index rebuild.
+    rebuilt: int = 0
+    #: Durable mutation-log records (0 when logging is disabled).
+    log_records: int = 0
+    #: Batches replayed from the log when the database opened.
+    replayed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class EngineStats:
     """One consistent snapshot of every engine counter group."""
 
@@ -74,6 +92,7 @@ class EngineStats:
     scatter: ScatterStats = ScatterStats()
     prepared: PreparedStats = PreparedStats()
     faults: FaultStats = FaultStats()
+    write: WriteStats = WriteStats()
 
     def as_dict(self) -> dict[str, int]:
         """The legacy flat ``cache_info()`` mapping, key for key.
@@ -102,4 +121,10 @@ class EngineStats:
             "artifact_loads": self.prepared.artifact_loads,
             "plans_computed": self.prepared.plans_computed,
             "plan_artifacts": self.prepared.plan_artifacts,
+            "write_groups": self.write.groups,
+            "write_coalesced": self.write.coalesced,
+            "write_patched": self.write.patched,
+            "write_rebuilt": self.write.rebuilt,
+            "log_records": self.write.log_records,
+            "replayed": self.write.replayed,
         }

@@ -1,0 +1,187 @@
+"""Sharded delta patching: turn a commit group into per-shard index edits.
+
+This is the marriage of the paper's dynamic-maintenance story
+(:mod:`repro.indexes.dynamic` — localized ``A x B`` deltas per edge)
+with the sharded engine (:mod:`repro.sharding` — entries partitioned by
+path start).  Instead of rebuilding the touched shard *ball* per
+mutation, a whole commit group becomes one small set of B+tree point
+edits per touched shard.
+
+Two phases:
+
+* :func:`stage_group` applies every mutation of the group to the graph
+  (in order), collecting per-path *dirty pairs* — the union of each
+  graph-changing mutation's :func:`~repro.indexes.dynamic.edge_delta`,
+  evaluated post-insert for additions and pre-delete for removals —
+  plus the union of touched-shard balls.  Why the union of deltas is a
+  superset of every membership change across the group: take any pair
+  whose membership of path ``p`` differs between the group's initial
+  and final graph.  If it became *present*, its final witness exists;
+  let ``e`` be the witness edge whose last graph-changing touch is
+  latest — at that touch (an add) every other witness edge already has
+  its final, present state, so the witness is intact and the pair is
+  in ``e``'s delta.  If it became *absent*, take any initial witness;
+  its first-changed edge is a removal (a change to a present edge is a
+  removal), and at that pre-delete moment the witness is still intact.
+  No-op mutations change no witnesses and are correctly skipped.
+
+* :func:`resolve_patch` then decides each dirty pair *against the
+  final graph* (bounded ``path_targets`` search) and routes it to the
+  shard owning its start vertex: present pairs become idempotent
+  inserts, absent ones idempotent deletes.  Because every changed pair
+  is dirty and every dirty pair is set to its final truth, patching is
+  exactly equivalent to a rebuild — the property tests pin this
+  against the shards=1 oracle.
+
+Staging falls back (returns a non-``None`` ``fallback``) when a delta
+is non-local: the label alphabet changed (the per-shard path sets
+themselves are stale — full rebuild), or the dirty-pair count passed
+``max_pairs`` (the k-radius ball blew up — ball rebuild is cheaper
+than pair-at-a-time patching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.graph import Graph, LabelPath
+from repro.indexes.dynamic import edge_delta, path_targets
+from repro.write.mutation import MutationBatch
+
+Pair = tuple[int, int]
+
+#: Per-shard patch: encoded path -> (pairs to insert, pairs to delete).
+ShardPatch = dict[str, tuple[list[Pair], list[Pair]]]
+
+
+@dataclass(slots=True)
+class StagedGroup:
+    """Outcome of applying one commit group to the graph."""
+
+    #: Per-batch ``(applied, noops)`` counts, in group order.
+    batch_counts: list[tuple[int, int]] = field(default_factory=list)
+    #: Union of touched-shard balls (valid unless ``fallback`` is
+    #: ``"alphabet"``, which forces a full rebuild anyway).
+    touched: set[int] = field(default_factory=set)
+    #: Encoded path -> dirty pairs (meaningful only when ``fallback``
+    #: is ``None``).
+    dirty: dict[str, set[Pair]] = field(default_factory=dict)
+    #: ``None`` (patchable), ``"alphabet"`` or ``"overflow"``.
+    fallback: str | None = None
+
+    @property
+    def changed(self) -> bool:
+        return any(applied for applied, _ in self.batch_counts)
+
+
+def stage_group(
+    graph: Graph,
+    index,
+    batches: list[MutationBatch],
+    paths: list[LabelPath],
+    max_pairs: int,
+) -> StagedGroup:
+    """Apply ``batches`` to ``graph`` in order; collect the group delta.
+
+    ``index`` supplies the shard topology (``shards_touching``) and
+    must be the sharded index built over ``graph``; ``paths`` is the
+    indexed path enumeration over the *pre-group* alphabet.  The graph
+    is mutated unconditionally — on fallback the caller rebuilds from
+    it; there is no path that leaves the group half-applied.
+    """
+    staged = StagedGroup()
+    budget = max_pairs
+    for batch in batches:
+        applied = 0
+        noops = 0
+        for mutation in batch:
+            if mutation.kind == "add":
+                new_label = mutation.label not in graph.labels()
+                if not mutation.apply_to(graph):
+                    noops += 1
+                    continue
+                applied += 1
+                if new_label:
+                    staged.fallback = "alphabet"
+                    staged.dirty.clear()
+                if staged.fallback == "alphabet":
+                    continue
+                source = graph.node_id(mutation.source)
+                target = graph.node_id(mutation.target)
+                # Ball and delta both on the post-insert graph.
+                staged.touched |= index.shards_touching((source, target))
+                if staged.fallback is None:
+                    budget = _collect(
+                        graph, paths, mutation, source, target, staged, budget
+                    )
+            else:
+                if not graph.has_edge(
+                    mutation.source, mutation.label, mutation.target
+                ):
+                    noops += 1
+                    continue
+                if staged.fallback != "alphabet":
+                    source = graph.node_id(mutation.source)
+                    target = graph.node_id(mutation.target)
+                    # Ball and candidates on the pre-delete graph: the
+                    # witnesses being retracted run through the edge.
+                    staged.touched |= index.shards_touching((source, target))
+                    if staged.fallback is None:
+                        budget = _collect(
+                            graph, paths, mutation, source, target, staged, budget
+                        )
+                mutation.apply_to(graph)
+                applied += 1
+                if mutation.label not in graph.labels():
+                    staged.fallback = "alphabet"
+                    staged.dirty.clear()
+        staged.batch_counts.append((applied, noops))
+    return staged
+
+
+def _collect(
+    graph: Graph,
+    paths: list[LabelPath],
+    mutation,
+    source: int,
+    target: int,
+    staged: StagedGroup,
+    budget: int,
+) -> int:
+    """Fold one edge's per-path deltas into the staged dirty set."""
+    for path in paths:
+        delta = edge_delta(graph, path, mutation.label, source, target)
+        if not delta:
+            continue
+        bucket = staged.dirty.setdefault(path.encode(), set())
+        before = len(bucket)
+        bucket.update(delta)
+        budget -= len(bucket) - before
+        if budget < 0:
+            staged.fallback = "overflow"
+            staged.dirty.clear()
+            return budget
+    return budget
+
+
+def resolve_patch(
+    graph: Graph, index, dirty: dict[str, set[Pair]]
+) -> dict[int, ShardPatch]:
+    """Decide every dirty pair against the final graph; route per shard.
+
+    A pair present in the final graph becomes an (idempotent) insert
+    into the shard owning its start vertex; an absent one an
+    (idempotent) delete.  Shards with no decided pairs are absent from
+    the result.
+    """
+    per_shard: dict[int, ShardPatch] = {}
+    for encoded, pairs in dirty.items():
+        path = LabelPath.decode(encoded)
+        for pair in sorted(pairs):
+            present = pair[1] in path_targets(graph, pair[0], path)
+            shard = index.owner(pair[0])
+            adds, removes = per_shard.setdefault(shard, {}).setdefault(
+                encoded, ([], [])
+            )
+            (adds if present else removes).append(pair)
+    return per_shard

@@ -1,0 +1,192 @@
+"""The crash-safe append-only mutation log (write-ahead, group-flushed).
+
+Durability backbone of the write path: every :class:`MutationBatch` is
+appended as one length-prefixed record *before* it touches the graph or
+any shard index, and made durable by one ``fsync`` per commit *group*
+(many batches ride one flush — see
+:class:`repro.write.commit.GroupCommitter`).
+
+Records reuse the serve wire framing
+(:func:`repro.serve.protocol.pack_frame`): ``[header_len u32]
+[body_len u32][JSON header][body]`` with the header carrying the
+record's sequence number and a CRC-32 of the body, and the body the
+batch's JSON wire form.  Sequence numbers are dense (1, 2, 3, ...), so
+"the suffix past seq N" is well defined for replica resync.
+
+Crash recovery is the standard WAL contract:
+
+* **torn tail** — a crash mid-append or mid-flush leaves a truncated or
+  CRC-corrupt final record; :meth:`~MutationLog.open` scans forward and
+  truncates the file back to the last intact record.  Everything before
+  it is intact (records are written strictly in order), everything
+  after was never acknowledged, so dropping it is correct.
+* **failed flush** — if the group flush itself fails (I/O error, or an
+  injected ``mutlog.flush`` crash), the un-synced suffix is rolled back
+  so the in-memory image, the file, and the sequence counter agree;
+  the committer then fails every batch in the group.  Re-submitting is
+  safe because graph mutations are idempotent and replay re-applies
+  whole batches.
+
+Fault points: ``mutlog.append`` fires per record write,
+``mutlog.flush`` per group flush (the crash-kind point the chaos tests
+arm to kill a commit between append and fsync).
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from pathlib import Path as FilePath
+from typing import Iterator
+
+from repro.errors import StorageError, TransientWireError, WireError
+from repro.faults import fire
+from repro.serve.protocol import pack_frame, read_frame
+from repro.write.mutation import MutationBatch
+
+
+class MutationLog:
+    """Append-only batch log at ``path``; one file, one writer.
+
+    ``sync=False`` skips the per-flush ``fsync`` (for benchmarks that
+    measure coalescing without paying the disk); the default is the
+    durable contract described in the module docstring.
+    """
+
+    def __init__(self, path: str | FilePath, sync: bool = True) -> None:
+        self._path = FilePath(path)
+        self._sync = sync
+        exists = self._path.exists()
+        self._handle = open(self._path, "r+b" if exists else "w+b")
+        #: Records found intact on open (the durable prefix).
+        self.recovered_records = 0
+        #: Bytes of torn tail discarded by the open-time scan.
+        self.truncated_bytes = 0
+        self._durable_seq = 0
+        self._recover()
+        self._durable_offset = self._handle.tell()
+        self._tail_seq = self._durable_seq
+
+    # -- open-time recovery ------------------------------------------------
+
+    def _recover(self) -> None:
+        """Scan to the last intact record; truncate any torn tail."""
+        self._handle.seek(0, os.SEEK_END)
+        size = self._handle.tell()
+        self._handle.seek(0)
+        good_offset = 0
+        while True:
+            try:
+                header, body = read_frame(self._handle.read)
+            except TransientWireError:
+                break  # clean or mid-frame EOF: the tail is torn here
+            except WireError:
+                break  # corrupt lengths or header: same treatment
+            seq = header.get("seq")
+            if (
+                not isinstance(seq, int)
+                or seq != self._durable_seq + 1
+                or header.get("crc") != zlib.crc32(body)
+            ):
+                break
+            self._durable_seq = seq
+            self.recovered_records += 1
+            good_offset = self._handle.tell()
+        if good_offset < size:
+            self.truncated_bytes = size - good_offset
+            self._handle.seek(good_offset)
+            self._handle.truncate()
+        self._handle.seek(good_offset)
+
+    # -- the write side ----------------------------------------------------
+
+    @property
+    def path(self) -> FilePath:
+        return self._path
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the last *durable* (flushed) record."""
+        return self._durable_seq
+
+    def append(self, batch: MutationBatch) -> int:
+        """Buffer one batch record; durable only after :meth:`flush`."""
+        seq = self._tail_seq + 1
+        body = MutationBatch.coerce(batch).as_json_bytes()
+        fire("mutlog.append", seq=seq, mutations=len(batch))
+        try:
+            self._handle.write(
+                pack_frame({"seq": seq, "crc": zlib.crc32(body)}, body)
+            )
+        except OSError as error:
+            self.rollback()
+            raise StorageError(f"mutation log append failed: {error}") from error
+        self._tail_seq = seq
+        return seq
+
+    def flush(self) -> None:
+        """Make every appended record durable (the group-commit fsync).
+
+        On any failure — an I/O error or an injected ``mutlog.flush``
+        crash — the un-synced suffix is rolled back before the error
+        propagates, so the log never acknowledges records it may not
+        hold.
+        """
+        pending = self._tail_seq - self._durable_seq
+        try:
+            fire("mutlog.flush", records=pending)
+            self._handle.flush()
+            if self._sync:
+                os.fsync(self._handle.fileno())
+        except OSError as error:
+            self.rollback()
+            raise StorageError(
+                f"mutation log flush failed: {error}"
+            ) from error
+        except BaseException:
+            self.rollback()
+            raise
+        self._durable_offset = self._handle.tell()
+        self._durable_seq = self._tail_seq
+
+    def rollback(self) -> None:
+        """Discard appended-but-unflushed records (failed group commit)."""
+        self._handle.seek(self._durable_offset)
+        self._handle.truncate()
+        self._tail_seq = self._durable_seq
+
+    # -- the read side -----------------------------------------------------
+
+    def replay(self, after_seq: int = 0) -> Iterator[tuple[int, MutationBatch]]:
+        """Yield ``(seq, batch)`` for every durable record past ``after_seq``.
+
+        Reads a fresh handle, so replay can run while the writer holds
+        the log open (a restarted worker resyncing against a live
+        coordinator).  Only the durable prefix is yielded.
+        """
+        with open(self._path, "rb") as handle:
+            seq = 0
+            while seq < self._durable_seq:
+                try:
+                    header, body = read_frame(handle.read)
+                except (TransientWireError, WireError):
+                    break
+                seq = int(header["seq"])
+                if seq <= after_seq:
+                    continue
+                yield seq, MutationBatch.from_json_bytes(body)
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "MutationLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"MutationLog(path={str(self._path)!r}, "
+            f"durable_seq={self._durable_seq})"
+        )

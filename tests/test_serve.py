@@ -253,7 +253,8 @@ class TestEngineStats:
         oracle.query("a/b")
         stats = oracle.stats()
         assert isinstance(stats, EngineStats)
-        flat = oracle.cache_info()
+        with pytest.warns(DeprecationWarning, match=r"stats\(\)"):
+            flat = oracle.cache_info()
         assert stats.as_dict() == flat
         assert flat["hits"] == stats.cache.hits
         assert flat["prepared_hits"] == stats.prepared.hits
@@ -267,8 +268,10 @@ class TestEngineStats:
             "prepared_hits", "prepared_misses", "prepared_invalidations",
             "artifact_loads", "plans_computed", "plan_artifacts",
             "shards_failed",
+            "write_groups", "write_coalesced", "write_patched",
+            "write_rebuilt", "log_records", "replayed",
         }
-        assert set(oracle.cache_info()) == expected
+        assert set(oracle.stats().as_dict()) == expected
 
 
 # -- worker protocol (one live worker, spoken to by hand) ----------------------
@@ -459,7 +462,7 @@ class TestHttpService:
 
     def test_stats_endpoint_groups(self, client):
         stats = client.stats()
-        assert set(stats) == {"cache", "scatter", "prepared", "faults"}
+        assert set(stats) == {"cache", "scatter", "prepared", "faults", "write"}
         assert "shards_failed" in stats["faults"]
 
     def test_unknown_route_is_typed(self, served):

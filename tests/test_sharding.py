@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 
 from repro import relation as rel
 from repro.api import GraphDatabase
+from repro.config import ServiceConfig
 from repro.errors import ValidationError
 from repro.graph.examples import figure1_graph
 from repro.graph.generators import advogato_like
@@ -27,6 +28,7 @@ from repro.indexes.builder import path_relations, path_relations_columnar
 from repro.indexes.pathindex import PathIndex
 from repro.rpq.semantics import eval_query
 from repro.sharding import ShardedGraph, ShardMembership, shard_of
+from repro.write import Mutation
 
 from tests.strategies import graphs, label_paths
 
@@ -294,20 +296,46 @@ def mutation_oracle(graph: Graph, database: GraphDatabase, queries):
 MUTATION_QUERIES = ("a/a", "a/^a", "b/a", "a*", "(a|b){1,3}")
 
 
-def test_add_edge_rebuilds_only_nearby_shards():
+def test_add_edge_patches_shards_in_place():
     graph = advogato_like(
         nodes=50, edges=150, seed=4, labels=("a", "b", "c")
     )
-    database = GraphDatabase(graph, k=2, shards=4)
+    database = GraphDatabase(
+        graph, config=ServiceConfig(k=2, shards=4)
+    )
     sharded = database.index
     assert isinstance(sharded, ShardedGraph)
     before = sharded.shard_indexes
-    assert database.add_edge("n1", "a", "n2") is not None
+    result = database.apply(Mutation.add("n1", "a", "n2"))
+    assert result.changed and result.mode == "patch"
+    # Delta patching edits the touched shards' B+trees in place: no
+    # shard index object is replaced, and the patched shards are a
+    # subset of the mutation ball.
     after = database.index.shard_indexes
     touched = sharded.shards_touching(
         (graph.node_id("n1"), graph.node_id("n2"))
     )
     assert touched, "the mutated endpoints must touch some shard"
+    assert all(old is new for old, new in zip(before, after))
+    assert set(result.patched_shards) <= set(touched)
+    mutation_oracle(graph, database, MUTATION_QUERIES)
+
+
+def test_add_edge_ball_rebuild_without_patching():
+    graph = advogato_like(
+        nodes=50, edges=150, seed=4, labels=("a", "b", "c")
+    )
+    database = GraphDatabase(
+        graph, config=ServiceConfig(k=2, shards=4, delta_patching=False)
+    )
+    sharded = database.index
+    before = sharded.shard_indexes
+    result = database.apply(Mutation.add("n1", "a", "n2"))
+    assert result.changed and result.mode == "rebuild"
+    after = database.index.shard_indexes
+    touched = sharded.shards_touching(
+        (graph.node_id("n1"), graph.node_id("n2"))
+    )
     replaced = {
         shard
         for shard, (old, new) in enumerate(zip(before, after))

@@ -1,0 +1,531 @@
+"""The write path: unified ``apply()``, group commit, WAL replay, patching.
+
+The contracts under test, in the order the module covers them:
+
+* **value types** — ``Mutation`` / ``MutationBatch`` / ``ApplyResult``
+  validate eagerly and round-trip their wire forms;
+* **exactness** — any interleaving of ``apply()`` batches against the
+  sharded delta-patching engine answers exactly like a ``shards=1``
+  oracle that rebuilds from scratch after every batch (the hypothesis
+  property), including under concurrent writers;
+* **durability** — the mutation log survives torn tails, a crash
+  injected at the ``mutlog.flush`` seam fails the group with nothing
+  applied, and reopening the log replays exactly the acknowledged
+  batches (never a double-apply);
+* **the serve stack** — the coordinator absorbs commit groups as patch
+  broadcasts, restarts workers by journal replay (zero full-graph
+  transfers), and the HTTP ``/apply`` route + clients + CLI speak the
+  same one wire shape;
+* **deprecations** — ``cache_info()`` and legacy keyword knobs warn
+  but keep working.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import sys
+import threading
+
+import pytest
+from concurrent.futures import BrokenExecutor
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import cli
+from repro.api import GraphDatabase
+from repro.client import Client
+from repro.config import ServiceConfig
+from repro.errors import ValidationError
+from repro.faults import FaultPlan, FaultRule, armed, disarmed
+from repro.serve import CoordinatorDatabase
+from repro.serve.server import serve_in_thread
+from repro.write import ApplyResult, Mutation, MutationBatch, MutationLog
+
+QUERIES = ("a/b", "b/a", "a/b/c", "(a|b)/c")
+
+
+def _edges(seed: int, nodes: int = 40, count: int = 160):
+    rng = random.Random(seed)
+    names = [f"n{i}" for i in range(nodes)]
+    return [
+        (rng.choice(names), rng.choice("abc"), rng.choice(names))
+        for _ in range(count)
+    ]
+
+
+def _mutations(seed: int, count: int, nodes: int = 40):
+    """A reproducible mix of adds and removes over the ``_edges`` names."""
+    rng = random.Random(seed)
+    names = [f"n{i}" for i in range(nodes)]
+    return [
+        (
+            Mutation.add if rng.random() < 0.7 else Mutation.remove
+        )(rng.choice(names), rng.choice("abc"), rng.choice(names))
+        for _ in range(count)
+    ]
+
+
+# -- value types ---------------------------------------------------------------
+
+
+class TestMutationTypes:
+    def test_validation_is_eager(self):
+        with pytest.raises(ValidationError):
+            Mutation("upsert", "a", "b", "c")
+        with pytest.raises(ValidationError):
+            Mutation.add("", "b", "c")
+        with pytest.raises(ValidationError):
+            Mutation.add("a", "b/c", "d")
+
+    def test_wire_round_trip(self):
+        batch = MutationBatch.of(
+            Mutation.add("a", "x", "b"), Mutation.remove("b", "y", "a")
+        )
+        assert MutationBatch.from_wire(batch.as_wire()) == batch
+        assert MutationBatch.from_json_bytes(batch.as_json_bytes()) == batch
+
+    def test_coerce_accepts_all_three_shapes(self):
+        one = Mutation.add("a", "x", "b")
+        assert list(MutationBatch.coerce(one)) == [one]
+        assert list(MutationBatch.coerce([one, one])) == [one, one]
+        batch = MutationBatch.of(one)
+        assert MutationBatch.coerce(batch) is batch
+
+    def test_apply_result_round_trip(self):
+        result = ApplyResult(
+            applied=2, noops=1, version=9, mode="patch", patched_shards=(0, 2)
+        )
+        assert ApplyResult.from_wire(result.as_wire()) == result
+        assert result.changed
+        assert not ApplyResult(0, 3, 9, "noop").changed
+
+
+# -- engine exactness ----------------------------------------------------------
+
+
+class _Oracle:
+    """A shards=1 database rebuilt from scratch after every batch.
+
+    The unsharded engine absorbs every changed group with a full
+    index rebuild — an independent code path from delta patching,
+    which is what makes it a ground truth here.
+    """
+
+    def __init__(self, edges, k=2):
+        self.db = GraphDatabase.from_edges(
+            edges, config=ServiceConfig(k=k, shards=1)
+        )
+
+    def apply(self, batch):
+        self.db.apply(MutationBatch.coerce(batch))
+
+    def answers(self):
+        return {q: self.db.query(q, use_cache=False).pairs for q in QUERIES}
+
+    def close(self):
+        self.db.close()
+
+
+class TestApplyEngine:
+    def test_patched_groups_match_rebuilt_oracle(self):
+        edges = _edges(11)
+        db = GraphDatabase.from_edges(edges, config=ServiceConfig(k=2, shards=4))
+        oracle = _Oracle(edges)
+        try:
+            modes = set()
+            for start in range(0, 24, 6):
+                batch = MutationBatch.of(*_mutations(start, 6))
+                result = db.apply(batch)
+                oracle.apply(batch)
+                modes.add(result.mode)
+                for query, want in oracle.answers().items():
+                    assert db.query(query, use_cache=False).pairs == want
+            assert "patch" in modes, f"no group was delta-patched: {modes}"
+            assert db.stats().write.patched > 0
+        finally:
+            db.close()
+            oracle.close()
+
+    def test_new_label_falls_back_to_rebuild(self):
+        db = GraphDatabase.from_edges(_edges(3), config=ServiceConfig(k=2, shards=4))
+        try:
+            result = db.apply(Mutation.add("n0", "zzz", "n1"))
+            assert result.mode == "rebuild"
+            assert db.query("zzz").pairs
+        finally:
+            db.close()
+
+    def test_pure_noop_group_touches_nothing(self):
+        edges = _edges(4)
+        db = GraphDatabase.from_edges(edges, config=ServiceConfig(k=2, shards=2))
+        try:
+            version = db.graph.version
+            result = db.apply(Mutation.add(*edges[0]))
+            assert result.mode == "noop" and not result.changed
+            assert result.noops == 1 and db.graph.version == version
+        finally:
+            db.close()
+
+    def test_shims_ride_apply(self):
+        db = GraphDatabase.from_edges(_edges(5), config=ServiceConfig(k=2, shards=2))
+        try:
+            version = db.add_edge("n0", "a", "n39")
+            assert version == db.graph.version
+            assert db.add_edge("n0", "a", "n39") is None
+            assert db.remove_edge("n0", "a", "n39") == db.graph.version
+            assert db.remove_edge("n0", "a", "n39") is None
+        finally:
+            db.close()
+
+    def test_concurrent_writers_coalesce_and_stay_exact(self):
+        edges = _edges(6)
+        config = ServiceConfig(
+            k=2, shards=4, group_commit_ms=2.0, group_commit_max=16
+        )
+        db = GraphDatabase.from_edges(edges, config=config)
+        oracle = _Oracle(edges)
+        # Adds only: insertions commute and are idempotent, so the
+        # final graph is interleaving-independent.
+        mutations = [
+            m for m in _mutations(99, 48) if m.kind == "add"
+        ][:32]
+        errors = []
+
+        def writer(chunk):
+            try:
+                for mutation in chunk:
+                    db.apply(mutation)
+            except BaseException as error:  # surfaced after join
+                errors.append(error)
+
+        try:
+            threads = [
+                threading.Thread(target=writer, args=(mutations[i::8],))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            oracle.apply(mutations)  # order-independent: adds/removes commute
+            stats = db.stats().write
+            assert stats.groups + stats.patched + stats.rebuilt > 0
+            for query, want in oracle.answers().items():
+                assert db.query(query, use_cache=False).pairs == want
+        finally:
+            db.close()
+            oracle.close()
+
+    def test_rebalance_preserves_answers(self):
+        edges = _edges(7)
+        db = GraphDatabase.from_edges(edges, config=ServiceConfig(k=2, shards=4))
+        oracle = _Oracle(edges)
+        try:
+            moved = db.rebalance(skew_threshold=0.1, candidates=4)
+            assert isinstance(moved, bool)
+            for query, want in oracle.answers().items():
+                assert db.query(query, use_cache=False).pairs == want
+        finally:
+            db.close()
+            oracle.close()
+
+
+@st.composite
+def batch_plans(draw):
+    """A starting edge list plus batches of mutations over few names."""
+    names = [f"n{i}" for i in range(6)]
+    edge = st.tuples(
+        st.sampled_from(names), st.sampled_from("ab"), st.sampled_from(names)
+    )
+    start = draw(st.lists(edge, min_size=2, max_size=12))
+    batches = draw(
+        st.lists(
+            st.lists(
+                st.tuples(st.booleans(), edge), min_size=1, max_size=4
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return start, batches
+
+
+class TestInterleavingProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(plan=batch_plans(), shards=st.sampled_from([2, 3]))
+    def test_any_batch_sequence_matches_oracle(self, plan, shards):
+        start, batches = plan
+        db = GraphDatabase.from_edges(
+            start, config=ServiceConfig(k=2, shards=shards)
+        )
+        oracle = _Oracle(start)
+        try:
+            for spec in batches:
+                batch = MutationBatch.of(
+                    *(
+                        (Mutation.add if add else Mutation.remove)(*edge)
+                        for add, edge in spec
+                    )
+                )
+                db.apply(batch)
+                oracle.apply(batch)
+                for query in ("a/b", "b/a", "a/a"):
+                    want = oracle.db.query(query, use_cache=False).pairs
+                    assert db.query(query, use_cache=False).pairs == want
+        finally:
+            db.close()
+            oracle.close()
+
+
+# -- the mutation log ----------------------------------------------------------
+
+
+class TestMutationLog:
+    """Raw log contracts; disarmed — unlike the engine's commit group,
+    direct ``append``/``flush`` calls carry no retry envelope, so a
+    process-wide chaos plan (CI's ``REPRO_FAULTS``) would fail them
+    by design rather than reveal anything."""
+
+    @pytest.fixture(autouse=True)
+    def _no_chaos(self):
+        with disarmed():
+            yield
+
+    def test_append_flush_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with MutationLog(path) as log:
+            log.append(MutationBatch.of(Mutation.add("a", "x", "b")))
+            log.append(MutationBatch.of(Mutation.remove("a", "x", "b")))
+            log.flush()
+            assert log.last_seq == 2
+            replayed = list(log.replay())
+        assert [seq for seq, _ in replayed] == [1, 2]
+        assert list(replayed[0][1])[0] == Mutation.add("a", "x", "b")
+
+    def test_unflushed_records_are_not_durable(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with MutationLog(path) as log:
+            log.append(MutationBatch.of(Mutation.add("a", "x", "b")))
+            log.flush()
+            log.append(MutationBatch.of(Mutation.add("b", "x", "c")))
+            assert log.last_seq == 1
+            assert len(list(log.replay())) == 1
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with MutationLog(path) as log:
+            log.append(MutationBatch.of(Mutation.add("a", "x", "b")))
+            log.append(MutationBatch.of(Mutation.add("b", "x", "c")))
+            log.flush()
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x07garbage-torn-tail")
+        with MutationLog(path) as log:
+            assert log.recovered_records == 2
+            assert log.truncated_bytes > 0
+            assert log.last_seq == 2
+            log.append(MutationBatch.of(Mutation.add("c", "x", "a")))
+            log.flush()
+            assert [seq for seq, _ in log.replay()] == [1, 2, 3]
+
+
+class TestWalEngine:
+    def _config(self, tmp_path, **extra):
+        return ServiceConfig(
+            k=2,
+            shards=2,
+            mutation_log_path=str(tmp_path / "wal.log"),
+            **extra,
+        )
+
+    def test_reopen_replays_log(self, tmp_path):
+        edges = _edges(8)
+        db = GraphDatabase.from_edges(edges, config=self._config(tmp_path))
+        db.apply(MutationBatch.of(*_mutations(1, 4)))
+        db.apply(MutationBatch.of(*_mutations(2, 4)))
+        want = {q: db.query(q, use_cache=False).pairs for q in QUERIES}
+        version = db.graph.version
+        db.close()
+
+        revived = GraphDatabase.from_edges(edges, config=self._config(tmp_path))
+        try:
+            stats = revived.stats()
+            assert stats.write.replayed == 2
+            assert stats.write.log_records == 2
+            # Replay is by whole batches, exactly once: the edge
+            # multiset matches, so no mutation was double-applied.
+            assert revived.graph.version == version
+            for query, pairs in want.items():
+                assert revived.query(query, use_cache=False).pairs == pairs
+        finally:
+            revived.close()
+
+    def test_crash_at_flush_fails_group_cleanly(self, tmp_path):
+        edges = _edges(9)
+        config = self._config(tmp_path)
+        db = GraphDatabase.from_edges(edges, config=config)
+        try:
+            survivor = MutationBatch.of(*_mutations(3, 3))
+            db.apply(survivor)
+            before = {q: db.query(q, use_cache=False).pairs for q in QUERIES}
+            version = db.graph.version
+
+            plan = FaultPlan([FaultRule("mutlog.flush", "crash", times=1)])
+            doomed = MutationBatch.of(*_mutations(4, 3))
+            with armed(plan):
+                with pytest.raises(BrokenExecutor):
+                    db.apply(doomed)
+            assert plan.fired == 1
+
+            # Nothing applied, nothing acknowledged, answers unchanged.
+            assert db.graph.version == version
+            assert db.stats().write.log_records == 1
+            for query, pairs in before.items():
+                assert db.query(query, use_cache=False).pairs == pairs
+
+            # Re-submitting the same batch after the fault is safe.
+            assert db.apply(doomed).changed
+        finally:
+            db.close()
+
+        # And a reopen replays exactly the two acknowledged batches.
+        revived = GraphDatabase.from_edges(edges, config=self._config(tmp_path))
+        try:
+            assert revived.stats().write.replayed == 2
+        finally:
+            revived.close()
+
+
+# -- deprecations --------------------------------------------------------------
+
+
+class TestDeprecations:
+    def test_cache_info_warns_and_delegates(self):
+        db = GraphDatabase.from_edges(_edges(1, 10, 20), config=ServiceConfig(k=1))
+        try:
+            with pytest.warns(DeprecationWarning, match=r"stats\(\)"):
+                info = db.cache_info()
+            assert info == db.stats().as_dict()
+        finally:
+            db.close()
+
+    def test_legacy_knob_warning_names_the_config_field(self):
+        with pytest.warns(DeprecationWarning, match=r"ServiceConfig\.shards"):
+            db = GraphDatabase.from_edges(_edges(1, 10, 20), k=1, shards=2)
+        db.close()
+
+
+# -- the coordinator -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def write_coordinator():
+    db = CoordinatorDatabase.from_edges(
+        _edges(5), config=ServiceConfig(k=2, shards=3)
+    )
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def write_oracle():
+    db = GraphDatabase.from_edges(_edges(5), config=ServiceConfig(k=2, shards=1))
+    yield db
+    db.close()
+
+
+class TestCoordinatorWritePath:
+    def test_apply_broadcasts_patches(self, write_coordinator, write_oracle):
+        batch = MutationBatch.of(
+            Mutation.add("n1", "a", "n2"), Mutation.add("n2", "b", "n3")
+        )
+        result = write_coordinator.apply(batch)
+        write_oracle.apply(batch)
+        assert result.mode == "patch" and result.patched_shards
+        for query in QUERIES:
+            want = write_oracle.query(query, use_cache=False).pairs
+            assert write_coordinator.query(query, use_cache=False).pairs == want
+
+    def test_restart_resyncs_by_replay_not_transfer(
+        self, write_coordinator, write_oracle
+    ):
+        mutations = _mutations(42, 5)
+        for mutation in mutations:
+            write_coordinator.apply(mutation)
+            write_oracle.apply(mutation)
+        index = write_coordinator._index
+
+        index.handles[1].kill()
+        index.handles[1].process.join(5)
+        assert write_coordinator.ensure_workers() == [1]
+        write_coordinator.cache_clear()
+
+        assert index.replayed_mutations > 0
+        assert index.full_graph_transfers == 0
+        for query in QUERIES:
+            want = write_oracle.query(query, use_cache=False).pairs
+            assert write_coordinator.query(query, use_cache=False).pairs == want
+
+        # The restarted worker keeps taking writes.
+        result = write_coordinator.apply(Mutation.add("n3", "c", "n4"))
+        assert result.changed
+        write_oracle.apply(Mutation.add("n3", "c", "n4"))
+        want = write_oracle.query("a/c", use_cache=False).pairs
+        assert write_coordinator.query("a/c", use_cache=False).pairs == want
+
+
+# -- HTTP, clients, CLI --------------------------------------------------------
+
+
+class TestHttpApply:
+    @pytest.fixture(scope="class")
+    def served(self):
+        config = ServiceConfig(k=2, shards=2, port=0)
+        db = GraphDatabase.from_edges(_edges(12), config=config)
+        handle = serve_in_thread(db, config)
+        yield db, Client(port=handle.port)
+        handle.stop()
+        db.close()
+
+    def test_apply_round_trip(self, served):
+        db, client = served
+        result = client.apply(
+            [Mutation.add("n1", "a", "n2"), Mutation.add("n2", "b", "n3")]
+        )
+        assert isinstance(result, ApplyResult)
+        assert result.version == db.graph.version
+
+    def test_client_shims_ride_apply(self, served):
+        _, client = served
+        version = client.add_edge("n4", "c", "n5")
+        assert isinstance(version, int)
+        assert client.add_edge("n4", "c", "n5") is None
+        removed = client.remove_edge("n4", "c", "n5")
+        assert isinstance(removed, int) and removed > version
+
+    def test_legacy_mutate_route_still_works(self, served):
+        db, client = served
+        from repro.client import decode_mutation, mutate_body
+
+        payload = client._request(
+            "POST", "/mutate", mutate_body("add", "n6", "a", "n7")
+        )
+        assert decode_mutation(payload) == db.graph.version
+
+
+class TestCliMutate:
+    def test_mutate_reads_stdin_delta(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys,
+            "stdin",
+            io.StringIO("# delta\nadd x a y\n+ y b z\nremove x a y\n"),
+        )
+        assert cli.main(["mutate", "--synthetic", "small"]) == 0
+        err = capsys.readouterr().err
+        assert "applied 3" in err and "version" in err
+
+    def test_mutate_rejects_bad_lines(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "stdin", io.StringIO("frobnicate x a y\n"))
+        assert cli.main(["mutate", "--synthetic", "small"]) == 2
+        assert "kind must be" in capsys.readouterr().err
